@@ -1,0 +1,54 @@
+"""E10 — ablations: OE threshold and buffer-pool size.
+
+Shape: a starved buffer re-reads hot nodes (I/O inflates at equal CPU);
+OE trades tree I/O for outlier scanning as the threshold grows.
+"""
+
+import pytest
+
+from repro.config import IndexConfig
+from repro.core.rstknn import RSTkNNSearcher
+from repro.index.ciurtree import CIURTree
+
+from conftest import get_dataset, get_queries
+
+VARIANTS = {
+    "oe-off": IndexConfig(num_clusters=8),
+    "oe-0.05": IndexConfig(num_clusters=8, outlier_threshold=0.05),
+    "oe-0.2": IndexConfig(num_clusters=8, outlier_threshold=0.2),
+    "buffer-8": IndexConfig(num_clusters=8, buffer_pages=8),
+    "buffer-512": IndexConfig(num_clusters=8, buffer_pages=512),
+}
+
+_trees = {}
+
+
+def tree_for(label):
+    if label not in _trees:
+        _trees[label] = CIURTree.build(get_dataset("shop"), VARIANTS[label])
+    return _trees[label]
+
+
+@pytest.mark.parametrize("label", sorted(VARIANTS))
+def test_e10_ablation(bench_one, label):
+    tree = tree_for(label)
+    searcher = RSTkNNSearcher(tree)
+    query = get_queries("shop", count=1)[0]
+
+    def run():
+        tree.reset_io(cold=True)
+        return searcher.search(query, 5)
+
+    result = bench_one(run)
+    assert result.ids == RSTkNNSearcher(tree_for("oe-off")).search(query, 5).ids
+
+
+def test_e10_starved_buffer_costs_io():
+    query = get_queries("shop", count=1)[0]
+    reads = {}
+    for label in ("buffer-8", "buffer-512"):
+        tree = tree_for(label)
+        tree.reset_io(cold=True)
+        RSTkNNSearcher(tree).search(query, 5)
+        reads[label] = tree.io.reads
+    assert reads["buffer-8"] >= reads["buffer-512"]

@@ -1,0 +1,59 @@
+"""E11 — bichromatic BRSTkNN: group search vs per-user probing.
+
+Shape: the group method's cost scales with the *decided frontier*, the
+per-user method with |U| — the group method wins as the user population
+grows.
+"""
+
+import pytest
+
+from repro.core.bichromatic import BichromaticRSTkNN
+from repro.index.iurtree import IURTree
+from repro.model.dataset import STDataset
+from repro.workloads import (
+    WorkloadSpec,
+    generate_corpus,
+    generate_user_corpus,
+    sample_queries,
+)
+
+_state = {}
+
+
+def setup():
+    if not _state:
+        spec = WorkloadSpec(n_objects=300, seed=31)
+        objects = STDataset.from_corpus(generate_corpus(spec))
+        users = objects.derive(generate_user_corpus(spec, 120))
+        _state["objects"] = objects
+        _state["engine"] = BichromaticRSTkNN(
+            IURTree.build(users), IURTree.build(objects)
+        )
+        _state["query"] = sample_queries(objects, 1, seed=32)[0]
+    return _state
+
+
+@pytest.mark.parametrize("k", (1, 5, 10))
+def test_e11_group_search(bench_one, k):
+    state = setup()
+    engine, query = state["engine"], state["query"]
+
+    def run():
+        engine.object_tree.reset_io(cold=True)
+        engine.user_tree.reset_io(cold=True)
+        return engine.search(query, k)
+
+    result = bench_one(run)
+    assert result.user_ids == engine.search_per_user(query, k)
+
+
+@pytest.mark.parametrize("k", (1, 10))
+def test_e11_per_user_search(bench_one, k):
+    state = setup()
+    engine, query = state["engine"], state["query"]
+
+    def run():
+        engine.object_tree.reset_io(cold=True)
+        return engine.search_per_user(query, k)
+
+    bench_one(run, rounds=2)

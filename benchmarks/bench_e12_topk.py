@@ -1,0 +1,41 @@
+"""E12 — batched top-k: the I/O benefit of a shared buffer pool.
+
+Shape: per-query I/O collapses as the batch grows (later queries ride
+pages faulted in by earlier ones); per-query CPU stays flat.
+"""
+
+import pytest
+
+from repro.core.topk import TopKSearcher
+from repro.workloads import sample_queries
+
+from conftest import get_dataset, get_tree
+
+
+@pytest.mark.parametrize("batch", (1, 10, 50))
+def test_e12_batched_topk(bench_one, batch):
+    tree = get_tree("iur")
+    searcher = TopKSearcher(tree)
+    queries = sample_queries(get_dataset(), batch, seed=70)
+
+    def run():
+        tree.reset_io(cold=True)
+        return searcher.batch_topk(queries, 10)
+
+    results = bench_one(run)
+    assert len(results) == batch
+
+
+def test_e12_io_saving_shape():
+    tree = get_tree("iur")
+    searcher = TopKSearcher(tree)
+    queries = sample_queries(get_dataset(), 25, seed=71)
+    cold = 0
+    for q in queries:
+        tree.reset_io(cold=True)
+        searcher.top_k(q, 10)
+        cold += tree.io.reads
+    tree.reset_io(cold=True)
+    searcher.batch_topk(queries, 10)
+    shared = tree.io.reads
+    assert shared < cold / 2, "batching should at least halve per-query I/O"

@@ -1,0 +1,49 @@
+"""E13 — construction strategy ablation: STR vs text-aware STR vs insert.
+
+Shape: STR builds fastest; text-str pays a per-cluster packing pass but
+yields textually purer leaves; insertion is the slow path that exercises
+the split machinery.
+"""
+
+import pytest
+
+from repro.config import IndexConfig
+from repro.core.rstknn import RSTkNNSearcher
+from repro.index.ciurtree import CIURTree
+
+from conftest import get_dataset, get_queries
+
+_trees = {}
+
+
+def tree_for(method):
+    if method not in _trees:
+        _trees[method] = CIURTree.build(
+            get_dataset("shop", n=300), IndexConfig(num_clusters=8), method=method
+        )
+    return _trees[method]
+
+
+@pytest.mark.parametrize("method", ["str", "text-str", "insert"])
+def test_e13_build(bench_one, method):
+    dataset = get_dataset("shop", n=300)
+
+    def run():
+        return CIURTree.build(dataset, IndexConfig(num_clusters=8), method=method)
+
+    tree = bench_one(run, rounds=2)
+    assert tree.stats().objects == 300
+
+
+@pytest.mark.parametrize("method", ["str", "text-str"])
+def test_e13_query_on_variant(bench_one, method):
+    tree = tree_for(method)
+    searcher = RSTkNNSearcher(tree)
+    query = get_queries("shop", n=300, count=1)[0]
+
+    def run():
+        tree.reset_io(cold=True)
+        return searcher.search(query, 5)
+
+    result = bench_one(run)
+    assert result.ids == RSTkNNSearcher(tree_for("str")).search(query, 5).ids

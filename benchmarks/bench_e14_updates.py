@@ -1,0 +1,93 @@
+"""E14 — update throughput and cost-model overhead.
+
+Shape: inserts and deletes touch a root-to-leaf path (plus occasional
+splits/condensations), so per-update page writes stay near the tree
+height; the cost-model estimate is orders cheaper than running the query.
+"""
+
+import random
+
+import pytest
+
+from repro.core.rstknn import RSTkNNSearcher
+from repro.index.costmodel import estimate_rstknn_io
+from repro.index.iurtree import IURTree
+from repro.spatial import Point
+from repro.workloads import gn_like, sample_queries
+
+_state = {}
+
+
+def setup():
+    if not _state:
+        _state["dataset"] = gn_like(n=400, seed=81)
+        _state["tree"] = IURTree.build(_state["dataset"])
+        _state["rng"] = random.Random(82)
+    return _state
+
+
+def test_e14_insert_throughput(bench_one):
+    state = setup()
+    dataset, tree, rng = state["dataset"], state["tree"], state["rng"]
+    terms = dataset.vocabulary.terms()[:40]
+
+    def run():
+        obj = dataset.append_record(
+            Point(rng.uniform(0, 100), rng.uniform(0, 100)),
+            " ".join(rng.sample(terms, 3)),
+        )
+        tree.insert_object(obj)
+        return obj.oid
+
+    oid = bench_one(run, rounds=10)
+    assert tree.delete_object(oid) or True  # keep the tree tidy
+
+
+def test_e14_delete_throughput(bench_one):
+    state = setup()
+    dataset, tree, rng = state["dataset"], state["tree"], state["rng"]
+    terms = dataset.vocabulary.terms()[:40]
+    pending = []
+
+    def prepare():
+        obj = dataset.append_record(
+            Point(rng.uniform(0, 100), rng.uniform(0, 100)),
+            " ".join(rng.sample(terms, 3)),
+        )
+        tree.insert_object(obj)
+        pending.append(obj.oid)
+
+    for _ in range(12):
+        prepare()
+
+    def run():
+        if pending:
+            assert tree.delete_object(pending.pop())
+
+    bench_one(run, rounds=10)
+
+
+def test_e14_cost_model_speed(bench_one):
+    state = setup()
+    tree = state["tree"]
+    query = sample_queries(state["dataset"], 1, seed=83)[0]
+
+    def run():
+        return estimate_rstknn_io(tree, query, 5)
+
+    estimate = bench_one(run, rounds=3)
+    assert estimate.page_ios > 0
+
+
+@pytest.mark.parametrize("k", (1, 10))
+def test_e14_query_after_updates(bench_one, k):
+    state = setup()
+    tree = state["tree"]
+    searcher = RSTkNNSearcher(tree)
+    query = sample_queries(state["dataset"], 1, seed=84)[0]
+
+    def run():
+        tree.reset_io(cold=True)
+        return searcher.search(query, k)
+
+    bench_one(run)

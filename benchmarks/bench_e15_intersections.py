@@ -1,0 +1,72 @@
+"""E15 — intersection-vector ablation benchmark (IUR vs plain IR).
+
+Shape: in the text-dominant marker regime the full IUR-tree needs fewer
+node reads and expansions than the stripped (IR-tree) variant; in the
+default blended regime the two coincide (intersections empty).
+"""
+
+import pytest
+
+from repro.config import IndexConfig, SimilarityConfig
+from repro.core.rstknn import RSTkNNSearcher
+from repro.index.ciurtree import CIURTree
+from repro.model.dataset import STDataset
+from repro.workloads import WorkloadSpec, generate_corpus, sample_queries
+
+_state = {}
+
+
+def setup():
+    if not _state:
+        spec = WorkloadSpec(
+            n_objects=300,
+            n_topics=4,
+            topic_marker=True,
+            topic_affinity=0.95,
+            doc_len_mean=2.0,
+            vocab_size=60,
+            seed=7,
+        )
+        dataset = STDataset.from_corpus(
+            generate_corpus(spec),
+            SimilarityConfig(alpha=0.0, weighting="tf", text_measure="overlap"),
+        )
+        _state["dataset"] = dataset
+        _state["queries"] = sample_queries(dataset, 2, seed=2)
+        for label, store in (("iur", True), ("ir", False)):
+            _state[label] = CIURTree.build(
+                dataset,
+                IndexConfig(num_clusters=4, store_intersections=store),
+                method="text-str",
+            )
+    return _state
+
+
+@pytest.mark.parametrize("label", ["iur", "ir"])
+def test_e15_query(bench_one, label):
+    state = setup()
+    tree = state[label]
+    searcher = RSTkNNSearcher(tree)
+    query = state["queries"][0]
+
+    def run():
+        tree.reset_io(cold=True)
+        return searcher.search(query, 3)
+
+    result = bench_one(run)
+    reference = RSTkNNSearcher(state["iur"]).search(query, 3).ids
+    assert result.ids == reference
+
+
+def test_e15_intersections_reduce_expansions():
+    state = setup()
+    totals = {}
+    for label in ("iur", "ir"):
+        tree = state[label]
+        searcher = RSTkNNSearcher(tree)
+        expansions = 0
+        for query in state["queries"]:
+            tree.reset_io(cold=True)
+            expansions += searcher.search(query, 3).stats.expansions
+        totals[label] = expansions
+    assert totals["iur"] <= totals["ir"]

@@ -1,0 +1,86 @@
+"""E16 — location selection: shared-threshold influence vs naive RSTkNN.
+
+Shape: the selector pays threshold preprocessing once, then each
+candidate costs a cheap bound-pruned traversal; the naive approach pays
+a full reverse search per candidate.  The crossover arrives after a
+handful of candidates.
+"""
+
+import random
+
+import pytest
+
+from repro.core.location_selection import LocationSelector
+from repro.core.rstknn import RSTkNNSearcher
+from repro.spatial import Point
+
+from conftest import get_dataset, get_tree
+
+_state = {}
+
+
+def setup():
+    if not _state:
+        dataset = get_dataset(n=300)
+        tree = get_tree("iur", n=300)
+        rng = random.Random(51)
+        _state["dataset"] = dataset
+        _state["tree"] = tree
+        _state["selector"] = LocationSelector(tree, k=5)
+        _state["text"] = " ".join(dataset.objects[0].keywords[:4])
+        _state["candidates"] = [
+            Point(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(8)
+        ]
+    return _state
+
+
+def test_e16_selector_preprocess(bench_one):
+    tree = get_tree("iur", n=300)
+
+    def run():
+        return LocationSelector(tree, k=5)
+
+    selector = bench_one(run, rounds=2)
+    assert selector.preprocess_seconds >= 0.0
+
+
+def test_e16_influence_per_candidate(bench_one):
+    state = setup()
+    selector, text = state["selector"], state["text"]
+    candidate = state["candidates"][0]
+
+    def run():
+        state["tree"].reset_io(cold=True)
+        return selector.influence(candidate, text)
+
+    result = bench_one(run)
+    query = state["dataset"].make_query(candidate, text)
+    assert list(result.influenced) == RSTkNNSearcher(state["tree"]).search(
+        query, 5
+    ).ids
+
+
+def test_e16_naive_per_candidate(bench_one):
+    state = setup()
+    searcher = RSTkNNSearcher(state["tree"])
+    candidate = state["candidates"][0]
+    query = state["dataset"].make_query(candidate, state["text"])
+
+    def run():
+        state["tree"].reset_io(cold=True)
+        return searcher.search(query, 5)
+
+    bench_one(run)
+
+
+@pytest.mark.parametrize("batch", (4, 8))
+def test_e16_select_best(bench_one, batch):
+    state = setup()
+
+    def run():
+        return state["selector"].select_best(
+            state["candidates"][:batch], state["text"]
+        )
+
+    report = bench_one(run)
+    assert len(report.all_results) == batch

@@ -1,0 +1,65 @@
+"""E1 — query cost vs k (paper analog: the k sweep of the evaluation).
+
+Times one cold RSTkNN query per method per k and asserts result parity
+between the tree methods; the expected shape is cost growing with k and
+the group-level methods beating the per-object baseline by a widening
+margin.
+"""
+
+import pytest
+
+from repro.core.baseline import ThresholdBaseline
+from repro.core.rstknn import RSTkNNSearcher
+
+from conftest import get_dataset, get_queries, get_tree
+
+KS = (1, 5, 10, 20)
+
+
+@pytest.mark.parametrize("k", KS)
+@pytest.mark.parametrize("method", ["iur", "ciur"])
+def test_e1_rstknn_query(bench_one, method, k):
+    tree = get_tree(method)
+    searcher = RSTkNNSearcher(tree)
+    query = get_queries(count=1)[0]
+
+    def run():
+        tree.reset_io(cold=True)
+        return searcher.search(query, k)
+
+    result = bench_one(run)
+    assert result.ids == RSTkNNSearcher(get_tree("iur")).search(query, k).ids
+
+
+@pytest.mark.parametrize("k", (1, 10))
+def test_e1_baseline_query(bench_one, k):
+    """The per-object top-k baseline, at a reduced scale (it is the slow
+    method by design)."""
+    tree = get_tree("base", n=200)
+    baseline = ThresholdBaseline(tree)
+    query = get_queries(n=200, count=1)[0]
+
+    def run():
+        tree.reset_io(cold=True)
+        return baseline.search(query, k)
+
+    ids = bench_one(run, rounds=1)
+    assert ids == RSTkNNSearcher(get_tree("iur", n=200)).search(query, k).ids
+
+
+def test_e1_io_grows_with_k():
+    """Shape check: simulated I/O is non-decreasing in k (more of the
+    dataset is undecided at coarse levels as k grows)."""
+    tree = get_tree("iur")
+    searcher = RSTkNNSearcher(tree)
+    query = get_queries(count=1)[0]
+    reads = []
+    for k in KS:
+        tree.reset_io(cold=True)
+        searcher.search(query, k)
+        reads.append(tree.io.reads)
+    assert reads[-1] >= reads[0]
+    dataset = get_dataset()
+    assert all(r <= tree.stats().pages * 3 for r in reads), (
+        f"I/O out of proportion for |D|={len(dataset)}"
+    )

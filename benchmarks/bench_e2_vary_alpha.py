@@ -1,0 +1,43 @@
+"""E2 — query cost vs alpha (spatial/textual blend).
+
+Shape: with high alpha the R-tree's spatial grouping drives pruning and
+cost falls; with low alpha textual bounds dominate and the clustered
+tree closes the gap.
+"""
+
+import pytest
+
+from repro.config import SimilarityConfig
+from repro.core.baseline import BruteForceRSTkNN
+from repro.core.rstknn import RSTkNNSearcher
+from repro.bench.harness import build_tree
+from repro.workloads import gn_like, sample_queries
+
+ALPHAS = (0.1, 0.5, 0.9)
+N = 300
+
+_cache = {}
+
+
+def setup(alpha, method):
+    key = (alpha, method)
+    if key not in _cache:
+        dataset = gn_like(n=N, config=SimilarityConfig(alpha=alpha))
+        tree = build_tree(dataset, method)
+        query = sample_queries(dataset, 1, seed=50)[0]
+        _cache[key] = (dataset, tree, query)
+    return _cache[key]
+
+
+@pytest.mark.parametrize("alpha", ALPHAS)
+@pytest.mark.parametrize("method", ["iur", "ciur"])
+def test_e2_query_vs_alpha(bench_one, alpha, method):
+    dataset, tree, query = setup(alpha, method)
+    searcher = RSTkNNSearcher(tree)
+
+    def run():
+        tree.reset_io(cold=True)
+        return searcher.search(query, 5)
+
+    result = bench_one(run)
+    assert result.ids == BruteForceRSTkNN(dataset).search(query, 5)

@@ -1,0 +1,33 @@
+"""E4 — pruning power: fraction of the dataset decided at group level.
+
+This is a measurement experiment more than a timing one: the benchmark
+wraps the search, and the assertions pin the paper's qualitative claim —
+the overwhelming majority of objects are pruned or accepted in bulk,
+never individually verified.
+"""
+
+import pytest
+
+from repro.core.rstknn import RSTkNNSearcher
+
+from conftest import get_dataset, get_queries, get_tree
+
+METHODS = ("iur", "ciur", "ciur-oe", "ciur-te", "ciur-oe-te")
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_e4_group_decision_fraction(bench_one, method):
+    tree = get_tree(method)
+    searcher = RSTkNNSearcher(tree)
+    query = get_queries(count=1)[0]
+    n = len(get_dataset())
+
+    def run():
+        tree.reset_io(cold=True)
+        return searcher.search(query, 5)
+
+    result = bench_one(run)
+    group = result.stats.group_decided_objects()
+    verified = result.stats.verified_objects
+    assert group + verified == n
+    assert group / n > 0.8, f"{method}: group pruning collapsed ({group}/{n})"

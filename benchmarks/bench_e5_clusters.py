@@ -1,0 +1,48 @@
+"""E5 — effect of the CIUR-tree's cluster count NC.
+
+Shape: more clusters tighten textual bounds (cost falls, then levels
+off) while index pages grow — the paper's NC tradeoff.
+"""
+
+import pytest
+
+from repro.config import IndexConfig
+from repro.core.rstknn import RSTkNNSearcher
+from repro.index.ciurtree import CIURTree
+from repro.index.iurtree import IURTree
+
+from conftest import get_dataset, get_queries
+
+NCS = (1, 4, 8, 16)
+
+_trees = {}
+
+
+def tree_for(nc):
+    if nc not in _trees:
+        dataset = get_dataset("shop")
+        cfg = IndexConfig(num_clusters=max(nc, 1))
+        if nc == 1:
+            _trees[nc] = IURTree.build(dataset, cfg)
+        else:
+            _trees[nc] = CIURTree.build(dataset, cfg)
+    return _trees[nc]
+
+
+@pytest.mark.parametrize("nc", NCS)
+def test_e5_query_vs_clusters(bench_one, nc):
+    tree = tree_for(nc)
+    searcher = RSTkNNSearcher(tree)
+    query = get_queries("shop", count=1)[0]
+
+    def run():
+        tree.reset_io(cold=True)
+        return searcher.search(query, 5)
+
+    result = bench_one(run)
+    assert result.ids == RSTkNNSearcher(tree_for(1)).search(query, 5).ids
+
+
+def test_e5_index_grows_with_clusters():
+    """Per-cluster summaries cost space: pages non-decreasing in NC."""
+    assert tree_for(16).stats().pages >= tree_for(1).stats().pages

@@ -1,0 +1,42 @@
+"""E6 — index construction cost across datasets and variants.
+
+Shape: CIUR construction pays the clustering pass on top of IUR's bulk
+load; OE additionally scans cohesion.  STR bulk loading beats one-by-one
+insertion.
+"""
+
+import pytest
+
+from repro.config import IndexConfig
+from repro.index.ciurtree import CIURTree
+from repro.index.iurtree import IURTree
+
+from conftest import get_dataset
+
+
+@pytest.mark.parametrize("name", ["gn", "cd", "shop"])
+def test_e6_build_iur(bench_one, name):
+    dataset = get_dataset(name, n=300)
+    tree = bench_one(lambda: IURTree.build(dataset), rounds=2)
+    assert tree.stats().objects == 300
+
+
+@pytest.mark.parametrize("name", ["gn", "shop"])
+def test_e6_build_ciur(bench_one, name):
+    dataset = get_dataset(name, n=300)
+    cfg = IndexConfig(num_clusters=8)
+    tree = bench_one(lambda: CIURTree.build(dataset, cfg), rounds=2)
+    assert tree.stats().clusters >= 2
+
+
+def test_e6_build_ciur_oe(bench_one):
+    dataset = get_dataset("shop", n=300)
+    cfg = IndexConfig(num_clusters=8, outlier_threshold=0.35)
+    tree = bench_one(lambda: CIURTree.build(dataset, cfg), rounds=2)
+    assert tree.stats().outliers >= 0
+
+
+def test_e6_build_by_insertion(bench_one):
+    dataset = get_dataset("gn", n=300)
+    tree = bench_one(lambda: IURTree.build(dataset, method="insert"), rounds=1)
+    tree.check_invariants(enforce_min_fill=True)

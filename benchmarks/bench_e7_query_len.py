@@ -1,0 +1,28 @@
+"""E7 — query cost vs number of query keywords.
+
+Shape: more query terms raise textual similarity everywhere, weakening
+pruning and increasing cost — until the terms saturate the vocabulary.
+"""
+
+import pytest
+
+from repro.core.rstknn import RSTkNNSearcher
+from repro.workloads import sample_queries
+
+from conftest import get_dataset, get_tree
+
+TERM_COUNTS = (1, 4, 16)
+
+
+@pytest.mark.parametrize("terms", TERM_COUNTS)
+@pytest.mark.parametrize("method", ["iur", "ciur"])
+def test_e7_query_length(bench_one, method, terms):
+    tree = get_tree(method)
+    searcher = RSTkNNSearcher(tree)
+    query = sample_queries(get_dataset(), 1, seed=60, query_terms=terms)[0]
+
+    def run():
+        tree.reset_io(cold=True)
+        return searcher.search(query, 5)
+
+    bench_one(run)

@@ -1,0 +1,31 @@
+"""E8 — dataset character: gazetteer vs long-document vs categorized POI.
+
+Shape: the clustered tree's advantage is largest on the categorized
+corpus (clean text clusters), smallest on the gazetteer whose short
+random tags cluster poorly.
+"""
+
+import pytest
+
+from repro.core.baseline import BruteForceRSTkNN
+from repro.core.rstknn import RSTkNNSearcher
+
+from conftest import get_dataset, get_queries, get_tree
+
+DATASETS = ("gn", "cd", "shop")
+
+
+@pytest.mark.parametrize("name", DATASETS)
+@pytest.mark.parametrize("method", ["iur", "ciur"])
+def test_e8_dataset_character(bench_one, name, method):
+    n = 300
+    tree = get_tree(method, name=name, n=n)
+    searcher = RSTkNNSearcher(tree)
+    query = get_queries(name=name, n=n, count=1)[0]
+
+    def run():
+        tree.reset_io(cold=True)
+        return searcher.search(query, 5)
+
+    result = bench_one(run)
+    assert result.ids == BruteForceRSTkNN(get_dataset(name, n)).search(query, 5)

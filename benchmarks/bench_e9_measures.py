@@ -1,0 +1,40 @@
+"""E9 — text measure ablation: extended Jaccard vs cosine vs overlap.
+
+All measures run through identical machinery; the benchmark checks the
+relative query cost and that each measure's searcher agrees with its own
+brute force (results legitimately differ *between* measures).
+"""
+
+import pytest
+
+from repro.config import SimilarityConfig
+from repro.core.baseline import BruteForceRSTkNN
+from repro.core.rstknn import RSTkNNSearcher
+from repro.index.iurtree import IURTree
+from repro.workloads import gn_like, sample_queries
+
+MEASURES = ("extended_jaccard", "cosine", "overlap", "dice", "weighted_jaccard")
+N = 300
+
+_cache = {}
+
+
+def setup(measure):
+    if measure not in _cache:
+        dataset = gn_like(n=N, config=SimilarityConfig(text_measure=measure))
+        _cache[measure] = (dataset, IURTree.build(dataset))
+    return _cache[measure]
+
+
+@pytest.mark.parametrize("measure", MEASURES)
+def test_e9_measure(bench_one, measure):
+    dataset, tree = setup(measure)
+    searcher = RSTkNNSearcher(tree)
+    query = sample_queries(dataset, 1, seed=61)[0]
+
+    def run():
+        tree.reset_io(cold=True)
+        return searcher.search(query, 5)
+
+    result = bench_one(run)
+    assert result.ids == BruteForceRSTkNN(dataset).search(query, 5)

@@ -1,0 +1,53 @@
+"""Shared benchmark fixtures: datasets and trees, built once per session.
+
+Benchmarks time *queries*, not index construction (E6 times construction
+explicitly), so trees are cached per (dataset-key, method).  Every
+benchmark runs against cold-cache I/O accounting but warm Python state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.bench.harness import build_tree
+from repro.index.iurtree import IURTree
+from repro.model.dataset import STDataset
+from repro.workloads import cd_like, gn_like, sample_queries, shop_like
+
+#: Scale of the benchmark suite; small enough to finish in minutes.
+BENCH_N = 400
+
+_datasets: Dict[Tuple[str, int], STDataset] = {}
+_trees: Dict[Tuple[str, int, str], IURTree] = {}
+
+
+def get_dataset(name: str = "gn", n: int = BENCH_N) -> STDataset:
+    key = (name, n)
+    if key not in _datasets:
+        builder = {"gn": gn_like, "cd": cd_like, "shop": shop_like}[name]
+        _datasets[key] = builder(n=n)
+    return _datasets[key]
+
+
+def get_tree(method: str, name: str = "gn", n: int = BENCH_N) -> IURTree:
+    key = (name, n, method)
+    if key not in _trees:
+        _trees[key] = build_tree(get_dataset(name, n), method)
+    return _trees[key]
+
+
+def get_queries(name: str = "gn", n: int = BENCH_N, count: int = 3):
+    return sample_queries(get_dataset(name, n), count, seed=99)
+
+
+@pytest.fixture
+def bench_one(benchmark):
+    """Run a callable once per benchmark round (no inner iterations —
+    a query mutates buffer state, so iterations must stay independent)."""
+
+    def run(fn, rounds: int = 3):
+        return benchmark.pedantic(fn, rounds=rounds, iterations=1, warmup_rounds=0)
+
+    return run

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Bichromatic BRSTkNN: which *users* would see a new service in their
+personalized top-k?
+
+The scenario: a location-based app shows each user the k venues most
+relevant to their location and interests.  A business evaluating a new
+venue (site + description) asks which users would have it surface in
+their top-k feed — the bichromatic reverse spatial-textual kNN of the
+venue against the user population, given the existing venues as
+competitors.
+
+Run:  python examples/ad_placement_bichromatic.py
+"""
+
+from repro import BichromaticRSTkNN, IURTree, STDataset
+from repro.spatial import Point
+from repro.workloads import WorkloadSpec, generate_corpus, generate_user_corpus
+
+spec = WorkloadSpec(n_objects=600, n_topics=6, seed=21)
+
+# Venues define the vocabulary and the spatial normalization; users are a
+# companion population weighted against the venue corpus.
+venues = STDataset.from_corpus(generate_corpus(spec))
+users = venues.derive(generate_user_corpus(spec, n_users=250))
+
+venue_tree = IURTree.build(venues)
+user_tree = IURTree.build(users)
+engine = BichromaticRSTkNN(user_tree, venue_tree)
+
+# Candidate venue: center of the region, description mixing two topics.
+candidate = venues.make_query(
+    Point(spec.region_size / 2, spec.region_size / 2),
+    " ".join(venues.objects[0].keywords[:3] + venues.objects[1].keywords[:3]),
+)
+
+print(f"{len(venues)} venues, {len(users)} users\n")
+for k in (1, 5, 10):
+    venue_tree.reset_io()
+    user_tree.reset_io()
+    result = engine.search(candidate, k)
+    per_user = engine.search_per_user(candidate, k)
+    assert result.user_ids == per_user, "group and per-user methods disagree"
+    reach = 100.0 * len(result) / len(users)
+    print(
+        f"k={k:>2}: the candidate venue reaches {len(result):>3} users "
+        f"({reach:.1f}% of the population)  "
+        f"[user expansions={result.user_expansions}, "
+        f"object expansions={result.object_expansions}]"
+    )
+
+print("\nInterpretation: larger k widens each user's feed, so the reach "
+      "grows monotonically; the group-level search decides most users "
+      "without ever scoring them individually.")

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Index tuning: how cluster count, outlier extraction, and buffer size
+shape RSTkNN cost.
+
+The scenario: a DBA sizing the spatial-textual index for a categorized
+POI collection (strong text clusters — where the CIUR-tree shines).  We
+sweep the knobs of :class:`IndexConfig` and report query cost and index
+footprint for each setting.
+
+Run:  python examples/index_tuning.py
+"""
+
+from repro import CIURTree, IndexConfig, IURTree, RSTkNNSearcher
+from repro.bench import format_table
+from repro.workloads import sample_queries, shop_like
+
+
+def measure(tree, queries, k=5):
+    searcher = RSTkNNSearcher(tree)
+    total_ms = total_io = 0.0
+    result_ids = None
+    for query in queries:
+        tree.reset_io()
+        result = searcher.search(query, k)
+        total_ms += result.stats.elapsed_seconds * 1000.0
+        total_io += tree.io.reads
+        if result_ids is None:
+            result_ids = result.ids
+        else:
+            assert result.ids is not None
+    n = len(queries)
+    return total_ms / n, total_io / n, result_ids
+
+
+def main() -> None:
+    dataset = shop_like(n=600)
+    queries = sample_queries(dataset, 3)
+
+    rows = []
+    reference = None
+    configs = [
+        ("iur (NC=1)", IndexConfig(num_clusters=1), IURTree),
+        ("ciur NC=4", IndexConfig(num_clusters=4), CIURTree),
+        ("ciur NC=8", IndexConfig(num_clusters=8), CIURTree),
+        ("ciur NC=16", IndexConfig(num_clusters=16), CIURTree),
+        ("ciur NC=8 + OE", IndexConfig(num_clusters=8, outlier_threshold=0.15), CIURTree),
+        ("ciur NC=8 + TE", IndexConfig(num_clusters=8, use_entropy_priority=True), CIURTree),
+        ("ciur NC=8, buffer=16", IndexConfig(num_clusters=8, buffer_pages=16), CIURTree),
+    ]
+    for label, cfg, cls in configs:
+        tree = cls.build(dataset, cfg)
+        ms, io, ids = measure(tree, queries)
+        if reference is None:
+            reference = ids
+        assert ids == reference, f"{label} returned different results!"
+        stats = tree.stats()
+        rows.append(
+            [label, f"{ms:.1f}", f"{io:.0f}", str(stats.pages), str(stats.outliers)]
+        )
+
+    print(format_table(
+        ["configuration", "ms/query", "page I/O", "index pages", "outliers"],
+        rows,
+        title="Index tuning on the categorized POI workload (RST5NN)",
+    ))
+    print("\nReading the table: more clusters tighten textual bounds "
+          "(fewer I/Os) at the cost of fatter nodes (more pages); OE "
+          "removes bound-stretching outliers; a small buffer re-reads "
+          "hot nodes and inflates I/O.")
+
+
+if __name__ == "__main__":
+    main()

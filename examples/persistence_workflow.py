@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Production-style workflow: build once, persist, reload, keep updating.
+
+A service builds its spatial-textual index offline, ships the dataset and
+index files, loads them at startup, and applies live inserts/deletes as
+the catalog changes — all while answering RSTkNN queries that stay exact.
+
+Run:  python examples/persistence_workflow.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    CIURTree,
+    IndexConfig,
+    RSTkNNSearcher,
+    load_dataset,
+    load_index,
+    save_dataset,
+    save_index,
+)
+from repro.spatial import Point
+from repro.workloads import sample_queries, shop_like
+
+with tempfile.TemporaryDirectory() as tmp:
+    ds_path = Path(tmp) / "catalog.dataset.json"
+    idx_path = Path(tmp) / "catalog.ciur.json"
+
+    # ---- offline build ------------------------------------------------
+    dataset = shop_like(n=400)
+    tree = CIURTree.build(
+        dataset, IndexConfig(num_clusters=8, outlier_threshold=0.1)
+    )
+    save_dataset(dataset, ds_path)
+    save_index(tree, idx_path)
+    print(f"built + saved: {tree.stats().as_dict()}")
+    print(f"files: dataset={ds_path.stat().st_size}B index={idx_path.stat().st_size}B\n")
+
+    # ---- service startup ----------------------------------------------
+    catalog = load_dataset(ds_path)
+    index = load_index(idx_path, catalog)
+    searcher = RSTkNNSearcher(index)
+    query = sample_queries(catalog, 1, seed=5)[0]
+    before = searcher.search(query, 5)
+    print(f"loaded index answers RST5NN with {len(before.ids)} results")
+
+    # ---- live updates ---------------------------------------------------
+    new_shop = catalog.append_record(
+        Point(query.point.x, query.point.y), " ".join(query.keywords)
+    )
+    index.insert_object(new_shop)
+    print(f"inserted shop #{new_shop.oid} at the query location")
+
+    after = searcher.search(query, 5)
+    assert new_shop.oid in after.ids, "a co-located clone must be a reverse neighbor"
+    print(f"RST5NN now has {len(after.ids)} results (includes #{new_shop.oid})")
+
+    index.delete_object(new_shop.oid)
+    restored = searcher.search(query, 5)
+    assert restored.ids == before.ids
+    print("after deleting it again, results match the pre-update answer")
+
+    # ---- checkpoint the updated index ----------------------------------
+    save_index(index, idx_path)
+    print("checkpointed the live index back to disk")

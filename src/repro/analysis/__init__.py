@@ -1,0 +1,21 @@
+"""Analysis utilities: index quality metrics, bound profiling, tree views.
+
+Everything here is read-only introspection used by the documentation,
+the ablation write-ups, and DBAs tuning an index — nothing in the query
+path depends on this package.
+"""
+
+from .index_quality import IndexQuality, measure_index_quality
+from .bound_profile import BoundProfile, profile_bounds
+from .treeviz import render_tree
+from .workload_stats import WorkloadStats, measure_workload
+
+__all__ = [
+    "IndexQuality",
+    "measure_index_quality",
+    "BoundProfile",
+    "profile_bounds",
+    "render_tree",
+    "WorkloadStats",
+    "measure_workload",
+]

@@ -1,0 +1,161 @@
+"""Index quality metrics: the structural properties that predict pruning.
+
+Three families of signal, computed per level and overall:
+
+* **spatial quality** — mean node MBR area relative to the data region,
+  and mean pairwise sibling overlap (classic R-tree quality measures:
+  smaller and less overlapping is better);
+* **textual purity** — mean distinct clusters per node and mean
+  normalized cluster entropy (what the TE optimization keys on);
+* **summary occupancy** — fraction of node summaries with non-empty
+  intersection vectors (what the E15 ablation keys on: empty
+  intersections mean the "I" of IUR is inert).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..index.iurtree import IURTree
+from ..text.entropy import normalized_cluster_entropy
+
+
+@dataclass(frozen=True)
+class LevelQuality:
+    """Aggregate quality of one tree level (root = level 0)."""
+
+    level: int
+    nodes: int
+    mean_fanout: float
+    mean_area_fraction: float
+    mean_sibling_overlap: float
+    mean_clusters_per_node: float
+    mean_entropy: float
+    intersection_occupancy: float
+
+
+@dataclass(frozen=True)
+class IndexQuality:
+    """Whole-index quality report."""
+
+    levels: List[LevelQuality]
+    height: int
+    nodes: int
+    objects: int
+    outliers: int
+
+    def as_rows(self) -> List[List[str]]:
+        """Rows for :func:`repro.bench.report.format_table`."""
+        out = []
+        for lq in self.levels:
+            out.append(
+                [
+                    str(lq.level),
+                    str(lq.nodes),
+                    f"{lq.mean_fanout:.1f}",
+                    f"{100 * lq.mean_area_fraction:.2f}%",
+                    f"{100 * lq.mean_sibling_overlap:.2f}%",
+                    f"{lq.mean_clusters_per_node:.2f}",
+                    f"{lq.mean_entropy:.2f}",
+                    f"{100 * lq.intersection_occupancy:.1f}%",
+                ]
+            )
+        return out
+
+    HEADERS = [
+        "level",
+        "nodes",
+        "fanout",
+        "area%",
+        "overlap%",
+        "clusters",
+        "entropy",
+        "int-occ%",
+    ]
+
+
+def measure_index_quality(tree: IURTree) -> IndexQuality:
+    """Compute :class:`IndexQuality` for a built tree (no I/O charged —
+    this is offline analysis over the in-memory structure)."""
+    rtree = tree.rtree
+    region_area = max(tree.dataset.region.area(), 1e-12)
+    num_clusters = max(tree.num_clusters(), 1)
+
+    # Assign levels by BFS from the root.
+    levels: Dict[int, List[int]] = {}
+    if rtree.root_id is not None:
+        frontier = [(rtree.root_id, 0)]
+        while frontier:
+            nid, level = frontier.pop()
+            levels.setdefault(level, []).append(nid)
+            node = rtree.node(nid)
+            if not node.is_leaf:
+                frontier.extend((e.ref, level + 1) for e in node.entries)
+
+    out: List[LevelQuality] = []
+    for level in sorted(levels):
+        node_ids = levels[level]
+        fanouts: List[int] = []
+        area_fracs: List[float] = []
+        overlaps: List[float] = []
+        clusters: List[int] = []
+        entropies: List[float] = []
+        int_total = int_nonempty = 0
+        for nid in node_ids:
+            node = rtree.node(nid)
+            fanouts.append(node.fanout)
+            area_fracs.append(node.mbr().area() / region_area)
+            overlaps.append(_sibling_overlap(node))
+            labels = {}
+            for entry in node.entries:
+                for cid, iv in entry.clusters.items():
+                    labels[cid] = labels.get(cid, 0) + iv.doc_count
+                    int_total += 1
+                    if len(iv.intersection):
+                        int_nonempty += 1
+            clusters.append(len(labels))
+            entropies.append(normalized_cluster_entropy(labels, num_clusters))
+        n = len(node_ids)
+        out.append(
+            LevelQuality(
+                level=level,
+                nodes=n,
+                mean_fanout=sum(fanouts) / n,
+                mean_area_fraction=sum(area_fracs) / n,
+                mean_sibling_overlap=sum(overlaps) / n,
+                mean_clusters_per_node=sum(clusters) / n,
+                mean_entropy=sum(entropies) / n,
+                intersection_occupancy=(
+                    int_nonempty / int_total if int_total else 0.0
+                ),
+            )
+        )
+    return IndexQuality(
+        levels=out,
+        height=rtree.height(),
+        nodes=len(rtree.nodes),
+        objects=len(tree.dataset),
+        outliers=len(tree.outliers),
+    )
+
+
+def _sibling_overlap(node) -> float:
+    """Mean pairwise overlap of the node's entry MBRs, normalized by the
+    smaller rectangle's area (0 = disjoint siblings, 1 = fully nested)."""
+    entries = node.entries
+    if len(entries) < 2:
+        return 0.0
+    total = 0.0
+    pairs = 0
+    for i in range(len(entries)):
+        for j in range(i + 1, len(entries)):
+            a, b = entries[i].mbr, entries[j].mbr
+            inter = a.intersection_area(b)
+            denom = min(a.area(), b.area())
+            if denom > 0.0:
+                total += inter / denom
+            elif inter > 0.0 or (a.intersects(b) and a.is_point()):
+                total += 1.0
+            pairs += 1
+    return total / pairs if pairs else 0.0

@@ -1,0 +1,113 @@
+"""ASCII rendering of a (C)IUR-tree: structure, sizes, text summaries.
+
+For documentation and debugging — a glanceable view of what the index
+actually built::
+
+    node#6 [2 children, 8 objs] mbr=(0.7,0.6)-(4.8,4.6)
+    ├── node#4 [2 children, 4 objs] clusters={0:4}
+    │   ├── leaf#0 [3 objs]
+    │   └── leaf#1 [1 objs]
+    └── node#5 [2 children, 4 objs]
+        ...
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..index.iurtree import IURTree
+
+
+def render_tree(
+    tree: IURTree,
+    max_depth: int = 4,
+    show_objects: bool = False,
+    show_clusters: bool = True,
+) -> str:
+    """Render the tree as an indented ASCII outline.
+
+    Args:
+        tree: The index to draw.
+        max_depth: Deepest level to draw (root is depth 0); deeper
+            subtrees are summarized as ``...``.
+        show_objects: Also list leaf object ids and their keywords.
+        show_clusters: Include per-node cluster histograms.
+    """
+    rtree = tree.rtree
+    lines: List[str] = []
+    if rtree.root_id is None:
+        lines.append("(empty tree)")
+    else:
+        _render_node(
+            tree, rtree.root_id, "", "", 0, max_depth, show_objects,
+            show_clusters, lines,
+        )
+    outliers = tree.outliers
+    if outliers:
+        lines.append(f"+ {len(outliers)} OE outliers (scanned exactly): "
+                     + ", ".join(f"#{o.oid}" for o in outliers[:8])
+                     + ("..." if len(outliers) > 8 else ""))
+    return "\n".join(lines)
+
+
+def _render_node(
+    tree: IURTree,
+    node_id: int,
+    prefix: str,
+    branch: str,
+    depth: int,
+    max_depth: int,
+    show_objects: bool,
+    show_clusters: bool,
+    lines: List[str],
+) -> None:
+    node = tree.rtree.node(node_id)
+    mbr = node.mbr()
+    kind = "leaf" if node.is_leaf else "node"
+    if node.is_leaf:
+        size = f"{node.fanout} objs"
+    else:
+        size = f"{node.fanout} children, {node.object_count()} objs"
+    label = (
+        f"{branch}{kind}#{node_id} [{size}] "
+        f"mbr=({mbr.xlo:.1f},{mbr.ylo:.1f})-({mbr.xhi:.1f},{mbr.yhi:.1f})"
+    )
+    if show_clusters:
+        histogram = {}
+        for entry in node.entries:
+            for cid, iv in entry.clusters.items():
+                histogram[cid] = histogram.get(cid, 0) + iv.doc_count
+        label += " clusters={" + ", ".join(
+            f"{cid}:{count}" for cid, count in sorted(histogram.items())
+        ) + "}"
+    lines.append(prefix + label)
+    if node.is_leaf:
+        if show_objects:
+            for i, entry in enumerate(node.entries):
+                obj = tree.dataset.get(entry.ref)
+                connector = "└── " if i == len(node.entries) - 1 else "├── "
+                child_prefix = prefix + ("    " if branch.startswith("└") else "│   " if branch else "")
+                kws = " ".join(obj.keywords[:4])
+                lines.append(f"{child_prefix}{connector}obj#{obj.oid} '{kws}'")
+        return
+    if depth >= max_depth:
+        inner = prefix + ("    " if branch.startswith("└") else "│   " if branch else "")
+        lines.append(inner + f"... ({node.fanout} subtrees elided)")
+        return
+    for i, entry in enumerate(node.entries):
+        last = i == len(node.entries) - 1
+        connector = "└── " if last else "├── "
+        child_prefix = prefix + (
+            "    " if branch.startswith("└") else ("│   " if branch else "")
+        )
+        _render_node(
+            tree,
+            entry.ref,
+            child_prefix,
+            connector,
+            depth + 1,
+            max_depth,
+            show_objects,
+            show_clusters,
+            lines,
+        )

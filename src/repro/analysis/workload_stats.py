@@ -1,0 +1,127 @@
+"""Corpus statistics: the workload properties that drive index behaviour.
+
+Quantifies, for any dataset, the three characteristics DESIGN.md §4 says
+the generators must reproduce — vocabulary skew, document length, and
+spatial clusteredness — so users can compare their own data against the
+bundled workloads and pick tuning knobs accordingly (see docs/TUNING.md).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..model.dataset import STDataset
+
+
+@dataclass(frozen=True)
+class WorkloadStats:
+    """Summary statistics of one corpus."""
+
+    objects: int
+    vocabulary: int
+    mean_doc_terms: float
+    median_doc_terms: float
+    max_doc_terms: int
+    zipf_exponent: float
+    top10_term_mass: float
+    spatial_clustering: float
+    region_diagonal: float
+
+    def as_rows(self) -> List[List[str]]:
+        """Rows for :func:`repro.bench.report.format_table`."""
+        return [
+            ["objects", str(self.objects)],
+            ["vocabulary", str(self.vocabulary)],
+            ["mean terms/doc", f"{self.mean_doc_terms:.2f}"],
+            ["median terms/doc", f"{self.median_doc_terms:.1f}"],
+            ["max terms/doc", str(self.max_doc_terms)],
+            ["zipf exponent (fit)", f"{self.zipf_exponent:.2f}"],
+            ["top-10 term mass", f"{100 * self.top10_term_mass:.1f}%"],
+            ["spatial clustering (R)", f"{self.spatial_clustering:.2f}"],
+            ["region diagonal", f"{self.region_diagonal:.2f}"],
+        ]
+
+    HEADERS = ["statistic", "value"]
+
+
+def measure_workload(dataset: STDataset, sample: int = 400, seed: int = 7) -> WorkloadStats:
+    """Compute :class:`WorkloadStats` for a dataset.
+
+    ``zipf_exponent`` is a least-squares fit of log-frequency against
+    log-rank over the collection frequencies (≈1.0–1.2 for natural text).
+    ``spatial_clustering`` is the Clark–Evans-style ratio R = observed
+    mean nearest-neighbor distance / expected under uniformity: R ≈ 1 is
+    random, R → 0 is strongly clustered, R > 1 is dispersed.  Computed on
+    a sample for large corpora.
+    """
+    lens = sorted(len(o.vector) for o in dataset.objects)
+    n = len(lens)
+    mean_len = sum(lens) / n
+    median_len = (
+        lens[n // 2] if n % 2 else (lens[n // 2 - 1] + lens[n // 2]) / 2.0
+    )
+
+    vocab = dataset.vocabulary
+    freqs = sorted(
+        (vocab.collection_frequency(tid) for tid in range(len(vocab))),
+        reverse=True,
+    )
+    freqs = [f for f in freqs if f > 0]
+    zipf = _fit_zipf(freqs)
+    total_mass = sum(freqs)
+    top10 = sum(freqs[:10]) / total_mass if total_mass else 0.0
+
+    clustering = _clark_evans(dataset, sample, seed)
+
+    return WorkloadStats(
+        objects=n,
+        vocabulary=len(vocab),
+        mean_doc_terms=mean_len,
+        median_doc_terms=median_len,
+        max_doc_terms=lens[-1],
+        zipf_exponent=zipf,
+        top10_term_mass=top10,
+        spatial_clustering=clustering,
+        region_diagonal=dataset.region.diagonal(),
+    )
+
+
+def _fit_zipf(freqs: List[int]) -> float:
+    """Least-squares slope of log f vs log rank, negated."""
+    if len(freqs) < 3:
+        return 0.0
+    xs = [math.log(rank) for rank in range(1, len(freqs) + 1)]
+    ys = [math.log(f) for f in freqs]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var = sum((x - mean_x) ** 2 for x in xs)
+    if var == 0.0:
+        return 0.0
+    return -cov / var
+
+
+def _clark_evans(dataset: STDataset, sample: int, seed: int) -> float:
+    """Clark–Evans nearest-neighbor ratio on a sample of points."""
+    points = [o.point for o in dataset.objects]
+    if len(points) < 2:
+        return 1.0
+    rng = random.Random(seed)
+    probes = points if len(points) <= sample else rng.sample(points, sample)
+    total_nn = 0.0
+    for p in probes:
+        best = min(
+            p.distance_to(q) for q in points if q is not p
+        )
+        total_nn += best
+    observed = total_nn / len(probes)
+    area = max(dataset.region.area(), 1e-12)
+    density = len(points) / area
+    expected = 0.5 / math.sqrt(density) if density > 0 else 1.0
+    if expected == 0.0:
+        return 1.0
+    return observed / expected

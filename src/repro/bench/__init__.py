@@ -1,0 +1,21 @@
+"""Benchmark harness: method registry, runners, and table reporting."""
+
+from .harness import (
+    METHODS,
+    QueryRun,
+    build_tree,
+    make_searcher,
+    run_baseline_queries,
+    run_queries,
+)
+from .report import format_table
+
+__all__ = [
+    "METHODS",
+    "QueryRun",
+    "build_tree",
+    "make_searcher",
+    "run_baseline_queries",
+    "run_queries",
+    "format_table",
+]

@@ -1,0 +1,82 @@
+"""The quick suite: a one-page health/performance summary.
+
+``repro-rstknn bench`` runs a compact standard workload — every index
+variant on one dataset, a handful of queries, parity-checked — and
+prints a single table plus environment facts.  Meant for "did my change
+regress anything?" loops and for readers who want one number per method
+without running the full E1–E16 sweep.
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+from typing import List, Optional, Tuple
+
+from ..core.baseline import ThresholdBaseline
+from ..core.rstknn import RSTkNNSearcher
+from ..workloads import gn_like, sample_queries
+from .harness import METHODS, build_tree
+
+Table = Tuple[List[str], List[List[str]]]
+
+
+def run_quick_suite(
+    n: int = 400,
+    k: int = 5,
+    num_queries: int = 3,
+    include_base: bool = True,
+    seed: int = 42,
+) -> Table:
+    """Build every method on one dataset and measure the same workload.
+
+    Returns ``(headers, rows)``; raises ``AssertionError`` when any two
+    methods disagree on any query's result set.
+    """
+    dataset = gn_like(n=n, seed=seed)
+    queries = sample_queries(dataset, num_queries)
+    headers = ["method", "build s", "pages", "ms/query", "I/O reads", "|result|"]
+    rows: List[List[str]] = []
+    reference: Optional[List[List[int]]] = None
+
+    methods = [m for m in METHODS if include_base or m != "base"]
+    for method in methods:
+        tree = build_tree(dataset, method)
+        stats = tree.stats()
+        results: List[List[int]] = []
+        total_ms = 0.0
+        total_reads = 0
+        for query in queries:
+            tree.reset_io(cold=True)
+            started = time.perf_counter()
+            if method == "base":
+                ids = ThresholdBaseline(tree).search(query, k)
+            else:
+                ids = RSTkNNSearcher(tree).search(query, k).ids
+            total_ms += (time.perf_counter() - started) * 1000.0
+            total_reads += tree.io.reads
+            results.append(ids)
+        if reference is None:
+            reference = results
+        elif results != reference:
+            raise AssertionError(f"{method} disagrees with {methods[0]}")
+        mean_result = sum(len(ids) for ids in results) / len(results)
+        rows.append(
+            [
+                method,
+                f"{stats.build_seconds:.3f}",
+                str(stats.pages),
+                f"{total_ms / len(queries):.1f}",
+                f"{total_reads / len(queries):.1f}",
+                f"{mean_result:.1f}",
+            ]
+        )
+    return headers, rows
+
+
+def environment_summary() -> List[str]:
+    """Lines describing the machine, for benchmark context."""
+    return [
+        f"python {platform.python_version()} ({platform.python_implementation()})",
+        f"platform {platform.system()} {platform.machine()}",
+    ]

@@ -1,0 +1,33 @@
+"""Plain-text table formatting for experiment output."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[str]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table (monospace, experiment logs)."""
+    cols = len(headers)
+    norm_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    for row in norm_rows:
+        if len(row) != cols:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {cols}: {row!r}"
+            )
+    widths = [len(h) for h in headers]
+    for row in norm_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in norm_rows)
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Experiment result persistence: append-only JSONL run logs.
+
+Every CLI experiment run can be journaled to a JSON-lines file — one
+record per run with the experiment id, the parameters, the table, and a
+wall-clock stamp supplied by the caller — so sweeps can be accumulated
+across sessions and re-rendered or diffed later.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+from ..errors import ConfigError
+
+PathLike = Union[str, Path]
+
+
+class ResultLog:
+    """Append-only journal of experiment tables."""
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+
+    def append(
+        self,
+        experiment: str,
+        headers: Sequence[str],
+        rows: Sequence[Sequence[str]],
+        params: Optional[Dict[str, object]] = None,
+        stamp: Optional[str] = None,
+    ) -> None:
+        """Append one run record."""
+        record = {
+            "experiment": experiment,
+            "headers": list(headers),
+            "rows": [list(map(str, row)) for row in rows],
+            "params": dict(params or {}),
+            "stamp": stamp,
+        }
+        with self.path.open("a") as fh:
+            fh.write(json.dumps(record) + "\n")
+
+    def records(self) -> Iterator[Dict[str, object]]:
+        """Yield every stored record (oldest first)."""
+        if not self.path.exists():
+            return
+        with self.path.open() as fh:
+            for line_no, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ConfigError(
+                        f"corrupt result log {self.path} at line {line_no}: {exc}"
+                    ) from exc
+
+    def latest(self, experiment: str) -> Optional[Dict[str, object]]:
+        """The most recent record for one experiment id, if any."""
+        found: Optional[Dict[str, object]] = None
+        for record in self.records():
+            if record.get("experiment") == experiment:
+                found = record
+        return found
+
+    def experiments(self) -> List[str]:
+        """Distinct experiment ids present in the log, sorted."""
+        return sorted({str(r.get("experiment")) for r in self.records()})
+
+    def render(self, experiment: str) -> str:
+        """Re-render the latest table for an experiment."""
+        from .report import format_table
+
+        record = self.latest(experiment)
+        if record is None:
+            raise ConfigError(f"no stored runs for {experiment} in {self.path}")
+        return format_table(
+            record["headers"], record["rows"], title=f"{experiment} (stored)"
+        )

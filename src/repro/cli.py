@@ -1,0 +1,162 @@
+"""Command-line interface: run experiments and quick demos.
+
+Examples::
+
+    repro-rstknn list
+    repro-rstknn run E1
+    repro-rstknn run E3 --scale 2000
+    repro-rstknn demo --n 1000 --k 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench.experiments import EXPERIMENTS, run_experiment
+from .bench.report import format_table
+from .core.rstknn import RSTkNNSearcher
+from .index.iurtree import IURTree
+from .workloads import gn_like, sample_queries
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    rows = [[name, desc] for name, (_, desc) in sorted(EXPERIMENTS.items())]
+    print(format_table(["experiment", "description"], rows))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    kwargs = {}
+    if args.scale is not None:
+        # Every experiment driver accepts its scale as the first knob.
+        key = args.experiment.upper()
+        if key == "E3":
+            kwargs["sizes"] = [args.scale // 4, args.scale // 2, args.scale]
+        elif key == "E11":
+            kwargs["n_objects"] = args.scale
+        else:
+            kwargs["n"] = args.scale
+    headers, rows = run_experiment(args.experiment, **kwargs)
+    _, desc = EXPERIMENTS[args.experiment.upper()]
+    print(format_table(headers, rows, title=f"{args.experiment.upper()} — {desc}"))
+    if args.out:
+        from datetime import datetime, timezone
+
+        from .bench.results import ResultLog
+
+        ResultLog(args.out).append(
+            args.experiment.upper(),
+            headers,
+            rows,
+            params=kwargs,
+            stamp=datetime.now(timezone.utc).isoformat(),
+        )
+        print(f"(appended to {args.out})")
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    from .bench.results import ResultLog
+
+    log = ResultLog(args.log)
+    if args.experiment:
+        print(log.render(args.experiment.upper()))
+    else:
+        stored = log.experiments()
+        if not stored:
+            print(f"no runs stored in {args.log}")
+        else:
+            print("stored experiments:", ", ".join(stored))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench.quick import environment_summary, run_quick_suite
+
+    for line in environment_summary():
+        print(line)
+    headers, rows = run_quick_suite(
+        n=args.n, k=args.k, include_base=not args.no_base
+    )
+    print(
+        format_table(
+            headers,
+            rows,
+            title=f"quick suite — |D|={args.n}, k={args.k} (parity checked)",
+        )
+    )
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    dataset = gn_like(n=args.n)
+    tree = IURTree.build(dataset)
+    searcher = RSTkNNSearcher(tree)
+    queries = sample_queries(dataset, args.queries)
+    print(f"dataset: {dataset.stats()}")
+    print(f"index:   {tree.stats().as_dict()}")
+    for i, query in enumerate(queries):
+        tree.reset_io()
+        result = searcher.search(query, args.k)
+        print(
+            f"query {i}: |RSTkNN|={len(result.ids)} "
+            f"io={tree.io.reads} stats={result.stats.as_dict()}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-rstknn",
+        description="Reverse spatial-textual kNN reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list available experiments")
+    p_list.set_defaults(fn=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run one experiment and print its table")
+    p_run.add_argument("experiment", help="experiment id, e.g. E1")
+    p_run.add_argument(
+        "--scale", type=int, default=None, help="override the dataset size"
+    )
+    p_run.add_argument(
+        "--out", default=None, help="append the table to a JSONL result log"
+    )
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_show = sub.add_parser("show", help="re-render stored experiment results")
+    p_show.add_argument("log", help="JSONL result log written by `run --out`")
+    p_show.add_argument(
+        "experiment", nargs="?", default=None, help="experiment id to render"
+    )
+    p_show.set_defaults(fn=_cmd_show)
+
+    p_bench = sub.add_parser("bench", help="run the quick one-page suite")
+    p_bench.add_argument("--n", type=int, default=400)
+    p_bench.add_argument("--k", type=int, default=5)
+    p_bench.add_argument(
+        "--no-base", action="store_true", help="skip the slow baseline row"
+    )
+    p_bench.set_defaults(fn=_cmd_bench)
+
+    p_demo = sub.add_parser("demo", help="build an index and run a few queries")
+    p_demo.add_argument("--n", type=int, default=800)
+    p_demo.add_argument("--k", type=int, default=5)
+    p_demo.add_argument("--queries", type=int, default=3)
+    p_demo.set_defaults(fn=_cmd_demo)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Core RSTkNN machinery: bounds, contribution lists, searchers, baselines."""
+
+from .bounds import BoundComputer
+from .contributions import Contribution, ContributionList
+from .rstknn import RSTkNNSearcher, SearchResult, SearchStats
+from .topk import TopKSearcher
+from .baseline import BruteForceRSTkNN, ThresholdBaseline
+from .bichromatic import BichromaticRSTkNN
+from .explain import SearchTrace, TraceEvent
+from .spatial_keyword import SpatialKeywordSearcher
+from .location_selection import InfluenceResult, LocationSelector, SelectionReport
+
+__all__ = [
+    "BoundComputer",
+    "Contribution",
+    "ContributionList",
+    "RSTkNNSearcher",
+    "SearchResult",
+    "SearchStats",
+    "TopKSearcher",
+    "BruteForceRSTkNN",
+    "ThresholdBaseline",
+    "BichromaticRSTkNN",
+    "SearchTrace",
+    "TraceEvent",
+    "SpatialKeywordSearcher",
+    "InfluenceResult",
+    "LocationSelector",
+    "SelectionReport",
+]

@@ -1,0 +1,111 @@
+"""Baselines the paper compares against.
+
+* :class:`BruteForceRSTkNN` — exact O(n²) reference: for every object,
+  rank every other object and check where the query lands.  The oracle
+  for every correctness test in the suite.
+* :class:`ThresholdBaseline` — the practical pre-IUR-tree strategy: index
+  the objects, then answer RSTkNN by running one top-k query *per object*
+  to learn its k-th neighbor score and comparing the query's similarity
+  against it.  Correct, but pays ``n`` tree searches — exactly the cost
+  profile the paper's group-level pruning removes.
+
+Both implement the shared tie-inclusive membership: ``o`` is a result iff
+strictly fewer than ``k`` other objects are strictly more similar to ``o``
+than the query is — equivalently ``SimST(q, o) >= RS_k(o)``, the k-th
+neighbor score (taken as 0 when fewer than ``k`` neighbors exist).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..config import SimilarityConfig
+from ..errors import QueryError
+from ..index.iurtree import IURTree
+from ..model.dataset import STDataset
+from ..model.objects import STObject
+from ..model.scorer import STScorer
+from .topk import TopKSearcher
+
+
+class BruteForceRSTkNN:
+    """Quadratic-time oracle for reverse spatial-textual kNN."""
+
+    def __init__(
+        self, dataset: STDataset, config: Optional[SimilarityConfig] = None
+    ) -> None:
+        self.dataset = dataset
+        self.scorer = STScorer.for_dataset(dataset, config)
+
+    def kth_neighbor_score(self, obj: STObject, k: int) -> float:
+        """``RS_k(obj)``: the k-th largest SimST to other dataset objects."""
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        sims = sorted(
+            (
+                self.scorer.score(obj, other)
+                for other in self.dataset.objects
+                if other.oid != obj.oid
+            ),
+            reverse=True,
+        )
+        if len(sims) < k:
+            return 0.0
+        return sims[k - 1]
+
+    def search(self, query: STObject, k: int) -> List[int]:
+        """Sorted ids of all objects with the query in their top-k."""
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        results: List[int] = []
+        for obj in self.dataset.objects:
+            q_sim = self.scorer.score(query, obj)
+            stronger = 0
+            for other in self.dataset.objects:
+                if other.oid == obj.oid:
+                    continue
+                if self.scorer.score(other, obj) > q_sim:
+                    stronger += 1
+                    if stronger >= k:
+                        break
+            if stronger <= k - 1:
+                results.append(obj.oid)
+        return sorted(results)
+
+    def top_k(self, query: STObject, k: int) -> List[tuple]:
+        """Brute-force top-k (oracle for :class:`TopKSearcher`)."""
+        scored = sorted(
+            ((self.scorer.score(query, o), o.oid) for o in self.dataset.objects),
+            key=lambda so: (-so[0], so[1]),
+        )
+        return [(oid, score) for score, oid in scored[:k]]
+
+
+class ThresholdBaseline:
+    """Per-object top-k probing over a tree index (the pre-paper method)."""
+
+    def __init__(
+        self, tree: IURTree, config: Optional[SimilarityConfig] = None
+    ) -> None:
+        self.tree = tree
+        self.topk = TopKSearcher(tree, config)
+        self.scorer = STScorer.for_dataset(tree.dataset, config)
+
+    def search(self, query: STObject, k: int) -> List[int]:
+        """RSTkNN by issuing one top-k query per dataset object."""
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        results: List[int] = []
+        for obj in self.tree.dataset.objects:
+            q_sim = self.scorer.score(query, obj)
+            threshold = self.topk.kth_score(obj, k, exclude_oid=obj.oid)
+            if q_sim >= threshold:
+                results.append(obj.oid)
+        return sorted(results)
+
+    def thresholds(self, k: int) -> Dict[int, float]:
+        """``RS_k`` for every object (used by analyses and tests)."""
+        return {
+            obj.oid: self.topk.kth_score(obj, k, exclude_oid=obj.oid)
+            for obj in self.tree.dataset.objects
+        }

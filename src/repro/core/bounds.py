@@ -1,0 +1,143 @@
+"""Spatial-textual similarity bounds between tree entries.
+
+Everything the branch-and-bound searcher knows about similarity flows
+through :class:`BoundComputer`, which blends the spatial MBR-distance
+bounds with the textual interval-vector bounds:
+
+    MinST(E, F) = alpha * (1 - MaxDist(E, F)/maxD) + (1-alpha) * MinSimT(E, F)
+    MaxST(E, F) = alpha * (1 - MinDist(E, F)/maxD) + (1-alpha) * MaxSimT(E, F)
+
+so for every object pair ``o in E, o' in F``:
+``MinST(E, F) <= SimST(o, o') <= MaxST(E, F)``.
+
+For clustered (CIUR) entries, the textual bounds are taken over all
+cluster pairs: a document of ``E`` lives in exactly one of its clusters,
+so ``min`` / ``max`` over pairs of per-cluster bounds is valid and tighter
+than the merged single-cluster bound whenever clusters separate the text.
+
+Because an object entry's interval vector is degenerate (int == uni ==
+its document), the same formulas yield *exact* similarities for
+object-object pairs — no special cases in the searcher.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+from ..index.entry import Entry
+from ..spatial import SpatialProximity
+from ..text import TextMeasure
+
+
+class BoundComputer:
+    """Computes and memoizes entry-pair SimST bounds."""
+
+    def __init__(
+        self,
+        proximity: SpatialProximity,
+        measure: TextMeasure,
+        alpha: float,
+        enable_cache: bool = True,
+    ) -> None:
+        """``enable_cache=False`` disables memoization.
+
+        The caches key on ``(entry.ref, entry.is_object)`` pairs, which is
+        sound only while every entry comes from a single id namespace
+        (one tree plus one query).  Bichromatic search mixes two trees
+        whose node/object ids collide, so it must switch the caches off.
+        """
+        self.proximity = proximity
+        self.measure = measure
+        self.alpha = alpha
+        self.enable_cache = enable_cache
+        self._text_cache: Dict[
+            Tuple[int, bool, int, bool], Tuple[float, float]
+        ] = {}
+        self._exact_cache: Dict[Tuple[int, int], float] = {}
+
+    # ------------------------------------------------------------------
+    # Textual bounds
+    # ------------------------------------------------------------------
+
+    def text_bounds(self, a: Entry, b: Entry) -> Tuple[float, float]:
+        """``(MinSimT, MaxSimT)`` over every document pair of ``a × b``."""
+        key = (a.ref, a.is_object, b.ref, b.is_object)
+        if self.enable_cache:
+            cached = self._text_cache.get(key)
+            if cached is not None:
+                return cached
+        lo = None
+        hi = 0.0
+        for iv_a in a.clusters.values():
+            for iv_b in b.clusters.values():
+                pair_lo = self.measure.min_similarity(iv_a, iv_b)
+                pair_hi = self.measure.max_similarity(iv_a, iv_b)
+                lo = pair_lo if lo is None else min(lo, pair_lo)
+                hi = max(hi, pair_hi)
+        result = (lo if lo is not None else 0.0, hi)
+        if self.enable_cache:
+            self._text_cache[key] = result
+            self._text_cache[(key[2], key[3], key[0], key[1])] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Blended bounds
+    # ------------------------------------------------------------------
+
+    def exact_score(self, a: Entry, b: Entry) -> float:
+        """Exact SimST between two object entries (memoized)."""
+        key = (a.ref, b.ref)
+        if self.enable_cache:
+            cached = self._exact_cache.get(key)
+            if cached is not None:
+                return cached
+        alpha = self.alpha
+        score = 0.0
+        if alpha > 0.0:
+            am, bm = a.mbr, b.mbr
+            dist = math.hypot(am.xlo - bm.xlo, am.ylo - bm.ylo)
+            score += alpha * self.proximity.from_distance(dist)
+        if alpha < 1.0:
+            score += (1.0 - alpha) * self.measure.similarity(
+                a.exact_vector(), b.exact_vector()
+            )
+        if self.enable_cache:
+            self._exact_cache[key] = score
+            self._exact_cache[(b.ref, a.ref)] = score
+        return score
+
+    def st_bounds(self, a: Entry, b: Entry) -> Tuple[float, float]:
+        """``(MinST, MaxST)`` over every object pair of ``a × b``.
+
+        Exact (``MinST == MaxST``) when both entries are objects.
+        """
+        if a.is_object and b.is_object:
+            score = self.exact_score(a, b)
+            return score, score
+        alpha = self.alpha
+        if alpha == 0.0:
+            t_lo, t_hi = self.text_bounds(a, b)
+            return t_lo, t_hi
+        s_lo = self.proximity.lower_bound(a.mbr, b.mbr)
+        s_hi = self.proximity.upper_bound(a.mbr, b.mbr)
+        if alpha == 1.0:
+            return alpha * s_lo, alpha * s_hi
+        t_lo, t_hi = self.text_bounds(a, b)
+        return (
+            alpha * s_lo + (1.0 - alpha) * t_lo,
+            alpha * s_hi + (1.0 - alpha) * t_hi,
+        )
+
+    def self_bounds(self, entry: Entry) -> Tuple[float, float]:
+        """``(MinST, MaxST)`` between two *distinct* objects inside ``entry``.
+
+        The spatial extremes within one MBR are 0 (co-located) and the
+        diagonal; the textual bounds are the entry-vs-itself cluster-pair
+        bounds.  Only meaningful when ``entry.count >= 2``.
+        """
+        return self.st_bounds(entry, entry)
+
+    def clear_cache(self) -> None:
+        """Drop memoized text bounds (between queries)."""
+        self._text_cache.clear()

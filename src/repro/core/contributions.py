@@ -1,0 +1,170 @@
+"""Contribution lists: group-level kNN bounds for frontier entries.
+
+For a frontier entry ``E``, every other entry ``F`` of some (possibly
+historical) partition of the dataset *contributes* ``F.count`` objects
+whose similarity to any ``o ∈ E`` lies within ``[MinST(E,F), MaxST(E,F)]``;
+``E`` itself contributes ``E.count - 1`` objects within its self-bounds.
+From the multiset of contributions:
+
+* ``kNNL(E)`` — the k-th largest value counting every contribution at its
+  **lower** bound.  Every object in ``E`` is guaranteed at least ``k``
+  neighbors at similarity >= ``kNNL(E)``, so its true k-th NN similarity
+  is >= ``kNNL(E)``.
+* ``kNNU(E)`` — the k-th largest value counting **upper** bounds.
+  Provided the contributions cover the *entire* dataset (an invariant the
+  searchers maintain: lists start from a full partition and every edit
+  replaces a contribution by an equal-coverage refinement), at most
+  ``k - 1`` objects can beat ``kNNU(E)``, so every object's true k-th NN
+  similarity is <= ``kNNU(E)``.
+
+The bounds drive the two decision rules: prune ``E`` when
+``MaxST(q,E) < kNNL(E)``; accept all of ``E`` when ``MinST(q,E) >= kNNU(E)``.
+
+Lists support the paper's *lazy effect-list refinement*: a contribution
+records the entry that produced it, so an inherited (loose but valid)
+contribution can later be tightened in place — either by recomputing the
+bounds directly against its entry, or by substituting the entry's
+recorded children.  Only the few contributions that actually gate a
+decision ever get tightened.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..index.entry import Entry
+
+#: A live-entry key: (ref, is_object).
+SourceKey = Tuple[int, bool]
+
+
+@dataclass(frozen=True)
+class Contribution:
+    """``count`` objects with pairwise SimST within [min_st, max_st].
+
+    ``entry`` is the summarizing tree entry the bounds were derived from
+    (possibly via a looser ancestor of the list's owner); it is kept so
+    the bounds can be tightened lazily.
+    """
+
+    source: SourceKey
+    entry: "Entry"
+    min_st: float
+    max_st: float
+    count: int
+
+
+class ContributionList:
+    """The mutable contribution set of one frontier entry.
+
+    Tracks which sources are *tight* (bounds computed directly between
+    the owner and ``contribution.entry``); inherited copies reset the
+    tight set because the inherited bounds were computed for an ancestor.
+    """
+
+    __slots__ = ("_by_source", "_tight")
+
+    def __init__(self) -> None:
+        self._by_source: Dict[SourceKey, Contribution] = {}
+        self._tight: Set[SourceKey] = set()
+
+    def copy(self) -> "ContributionList":
+        """Copy for an heir: same contributions, nothing tight."""
+        out = ContributionList()
+        out._by_source = dict(self._by_source)
+        return out
+
+    def set(self, contribution: Contribution, tight: bool = False) -> None:
+        """Insert or replace the contribution from one source."""
+        if contribution.count <= 0:
+            self.remove(contribution.source)
+            return
+        self._by_source[contribution.source] = contribution
+        if tight:
+            self._tight.add(contribution.source)
+        else:
+            self._tight.discard(contribution.source)
+
+    def remove(self, source: SourceKey) -> None:
+        """Drop a source (expanded into children, or self on expansion)."""
+        self._by_source.pop(source, None)
+        self._tight.discard(source)
+
+    def is_tight(self, source: SourceKey) -> bool:
+        """Whether this source's bounds were computed directly."""
+        return source in self._tight
+
+    def __len__(self) -> int:
+        return len(self._by_source)
+
+    def __contains__(self, source: SourceKey) -> bool:
+        return source in self._by_source
+
+    def contributions(self) -> Iterable[Contribution]:
+        """Iterate over the stored contributions."""
+        return self._by_source.values()
+
+    def total_count(self) -> int:
+        """Objects covered by the list (coverage invariant)."""
+        return sum(c.count for c in self._by_source.values())
+
+    def top_by_min(self, m: int) -> List[Contribution]:
+        """The ``m`` contributions with the largest lower bounds."""
+        return heapq.nlargest(m, self._by_source.values(), key=_by_min)
+
+    def top_by_max(self, m: int) -> List[Contribution]:
+        """The ``m`` contributions with the largest upper bounds."""
+        return heapq.nlargest(m, self._by_source.values(), key=_by_max)
+
+    # ------------------------------------------------------------------
+    # kNN bounds
+    # ------------------------------------------------------------------
+
+    def knn_lower(self, k: int) -> float:
+        """k-th largest guaranteed similarity (0 when < k objects)."""
+        return _kth_largest(
+            [(c.min_st, c.count) for c in self._by_source.values()], k
+        )
+
+    def knn_upper(self, k: int) -> float:
+        """k-th largest possible similarity (0 when < k objects).
+
+        Only an upper bound on the true k-th NN similarity when the list
+        covers the whole dataset; the searchers maintain that invariant.
+        """
+        return _kth_largest(
+            [(c.max_st, c.count) for c in self._by_source.values()], k
+        )
+
+
+def _by_min(c: Contribution) -> float:
+    return c.min_st
+
+
+def _by_max(c: Contribution) -> float:
+    return c.max_st
+
+
+def _kth_largest(weighted: List[Tuple[float, int]], k: int) -> float:
+    """The k-th largest value of a multiset given as (value, count) pairs.
+
+    Returns 0.0 when the multiset holds fewer than ``k`` values, which
+    encodes "the k-th neighbor does not exist": a query is then trivially
+    within the top-k, and 0 makes the accept rule fire (every SimST >= 0)
+    while keeping the prune rule silent.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be >= 1, got {k}")
+    # Every pair carries count >= 1, so the k-th largest element lies
+    # within the k largest pairs by value — partial selection suffices.
+    remaining = k
+    for value, count in heapq.nlargest(k, weighted):
+        if count <= 0:
+            continue
+        remaining -= count
+        if remaining <= 0:
+            return value
+    return 0.0

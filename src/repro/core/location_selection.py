@@ -1,0 +1,211 @@
+"""Influence counting and optimal location selection.
+
+The natural application of RSTkNN — and the 2011 paper's future-work
+direction, later developed into MaxBRSTkNN by follow-up work — is *site
+selection*: given a text description and a set of candidate locations,
+place the new object where it becomes a top-k neighbor of the most
+existing objects (its **influence**).
+
+Naively this is one RSTkNN query per candidate.  This module does the
+work the candidates can share, once:
+
+1. every object's k-th-neighbor score ``RS_k(o)`` is computed with one
+   batched top-k pass over a shared warm buffer (cheap, see E12);
+2. the tree is annotated with per-subtree threshold extremes
+   ``thr_min/thr_max`` (min/max ``RS_k`` below each node).
+
+Counting a candidate's influence is then a bound-pruned traversal: a
+subtree is *out* when even the candidate's best similarity cannot reach
+the subtree's smallest threshold (``MaxST(q, N) < thr_min(N)``), and
+*fully in* when its worst similarity clears the largest threshold
+(``MinST(q, N) >= thr_max(N)``).  Exactly the RSTkNN decision rules, but
+against precomputed thresholds — so each extra candidate costs one cheap
+traversal instead of a full reverse search.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import SimilarityConfig
+from ..errors import QueryError
+from ..index.entry import Entry
+from ..index.iurtree import IURTree
+from ..model.objects import STObject
+from ..spatial import Point
+from ..text import make_measure
+from .bounds import BoundComputer
+from .topk import TopKSearcher
+
+
+@dataclass(frozen=True)
+class InfluenceResult:
+    """Influence of one candidate placement."""
+
+    location: Point
+    influenced: Tuple[int, ...]
+
+    @property
+    def count(self) -> int:
+        """Number of influenced objects."""
+        return len(self.influenced)
+
+
+@dataclass
+class SelectionReport:
+    """Outcome of a best-location selection."""
+
+    best: InfluenceResult
+    all_results: List[InfluenceResult]
+    preprocess_seconds: float = 0.0
+    search_seconds: float = 0.0
+    io: Dict[str, int] = field(default_factory=dict)
+
+
+class LocationSelector:
+    """Shared-threshold influence engine over one (C)IUR-tree."""
+
+    def __init__(
+        self,
+        tree: IURTree,
+        k: int,
+        config: Optional[SimilarityConfig] = None,
+    ) -> None:
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        self.tree = tree
+        self.k = k
+        cfg = config if config is not None else tree.dataset.config
+        self.config = cfg
+        self.measure = make_measure(cfg.text_measure)
+        self.alpha = cfg.alpha
+        started = time.perf_counter()
+        self._thresholds = self._compute_thresholds()
+        self._node_thresholds = self._annotate_nodes()
+        self.preprocess_seconds = time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    # Preprocessing
+    # ------------------------------------------------------------------
+
+    def _compute_thresholds(self) -> Dict[int, float]:
+        """``RS_k(o)`` for every object, via warm-buffer top-k probes."""
+        topk = TopKSearcher(self.tree, self.config)
+        return {
+            obj.oid: topk.kth_score(obj, self.k, exclude_oid=obj.oid)
+            for obj in self.tree.dataset.objects
+        }
+
+    def _annotate_nodes(self) -> Dict[int, Tuple[float, float]]:
+        """Per-node (thr_min, thr_max) over the subtree's objects."""
+        out: Dict[int, Tuple[float, float]] = {}
+        rtree = self.tree.rtree
+
+        def visit(node_id: int) -> Tuple[float, float]:
+            node = rtree.node(node_id)
+            lo, hi = float("inf"), float("-inf")
+            for entry in node.entries:
+                if entry.is_object:
+                    value = self._thresholds[entry.ref]
+                    lo = min(lo, value)
+                    hi = max(hi, value)
+                else:
+                    clo, chi = visit(entry.ref)
+                    lo = min(lo, clo)
+                    hi = max(hi, chi)
+            out[node_id] = (lo, hi)
+            return lo, hi
+
+        if rtree.root_id is not None:
+            visit(rtree.root_id)
+        return out
+
+    def threshold_of(self, oid: int) -> float:
+        """``RS_k`` of one object (exposed for analyses and tests)."""
+        return self._thresholds[oid]
+
+    # ------------------------------------------------------------------
+    # Influence counting
+    # ------------------------------------------------------------------
+
+    def influence(self, location: Point, text: str) -> InfluenceResult:
+        """Objects that would count the placed object in their top-k.
+
+        Tie-inclusive, matching :class:`RSTkNNSearcher` semantics:
+        influence includes objects where the newcomer ties their current
+        k-th neighbor.
+        """
+        query = self.tree.dataset.make_query(location, text)
+        return self._influence_of(query)
+
+    def _influence_of(self, query: STObject) -> InfluenceResult:
+        bounds = BoundComputer(
+            self.tree.dataset.proximity, self.measure, self.alpha
+        )
+        q_entry = Entry.for_object(-1, query.mbr(), query.vector)
+        influenced: List[int] = []
+        stack: List[Entry] = []
+        root = self.tree.root_entry()
+        if root is not None:
+            stack.append(root)
+        stack.extend(self.tree.outlier_entries())
+        while stack:
+            entry = stack.pop()
+            q_lo, q_hi = bounds.st_bounds(q_entry, entry)
+            if entry.is_object:
+                if q_hi >= self._thresholds[entry.ref]:
+                    influenced.append(entry.ref)
+                continue
+            thr_lo, thr_hi = self._node_thresholds[entry.ref]
+            if q_hi < thr_lo:
+                continue  # cannot influence anything below
+            if q_lo >= thr_hi:
+                influenced.extend(self._collect(entry))
+                continue
+            stack.extend(self.tree.children(entry, tag="influence"))
+        influenced.sort()
+        return InfluenceResult(query.point, tuple(influenced))
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+
+    def select_best(
+        self, candidates: Sequence[Point], text: str
+    ) -> SelectionReport:
+        """Evaluate every candidate and return the most influential one.
+
+        Ties break toward the earliest candidate, so the result is
+        deterministic in the input order.
+        """
+        if not candidates:
+            raise QueryError("select_best needs at least one candidate")
+        started = time.perf_counter()
+        results = [self.influence(point, text) for point in candidates]
+        best = max(enumerate(results), key=lambda ir: (ir[1].count, -ir[0]))[1]
+        return SelectionReport(
+            best=best,
+            all_results=results,
+            preprocess_seconds=self.preprocess_seconds,
+            search_seconds=time.perf_counter() - started,
+            io=self.tree.io.snapshot(),
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _collect(self, entry: Entry) -> List[int]:
+        if entry.is_object:
+            return [entry.ref]
+        out: List[int] = []
+        stack = [entry]
+        while stack:
+            e = stack.pop()
+            if e.is_object:
+                out.append(e.ref)
+            else:
+                stack.extend(self.tree.children(e, tag="influence-collect"))
+        return out

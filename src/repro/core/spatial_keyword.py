@@ -1,0 +1,207 @@
+"""Classic spatial-keyword queries over the same (C)IUR-tree.
+
+The IUR-tree subsumes the IR-tree, so the standard spatial-keyword query
+suite (Cong et al., the paper's indexing substrate) comes almost for
+free and rounds the library out for downstream users:
+
+* **Boolean range query** — objects inside a rectangle whose documents
+  contain *all* required terms;
+* **Boolean kNN query** — the k nearest objects (pure distance)
+  containing all required terms;
+* **Term range query** — objects inside a rectangle containing *any* of
+  the terms (disjunctive form).
+
+Pruning uses the union vectors: a subtree can only contain a document
+with term ``t`` if its union carries ``t``, and (conjunctively) only if
+it carries *every* required term.  Subtrees whose *intersection* carries
+every required term satisfy the predicate wholesale — the "I" side gives
+a containment fast path symmetric to the RSTkNN accept rule.
+
+All traversal goes through :meth:`IURTree.children`, so simulated I/O is
+charged like every other query in the library.
+
+Term-containment semantics: an object "contains" a term iff the term has
+non-zero weight in its **weighted vector** — identical to what the index
+summaries see.  (Under TF-IDF a term occurring in every document gets
+weight 0 and is not searchable; use ``tf`` weighting when raw keyword
+semantics matter.)
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import QueryError
+from ..index.entry import Entry
+from ..index.iurtree import IURTree
+from ..spatial import Point, Rect
+
+
+class SpatialKeywordSearcher:
+    """Boolean spatial-keyword queries over a (C)IUR-tree."""
+
+    def __init__(self, tree: IURTree) -> None:
+        self.tree = tree
+
+    # ------------------------------------------------------------------
+    # Term plumbing
+    # ------------------------------------------------------------------
+
+    def _term_ids(self, terms: Sequence[str]) -> Optional[List[int]]:
+        """Resolve terms to ids; None when any term is out-of-vocabulary
+        (a conjunctive query can then match nothing)."""
+        ids: List[int] = []
+        vocab = self.tree.dataset.vocabulary
+        for term in terms:
+            tid = vocab.id_of(term)
+            if tid is None:
+                return None
+            ids.append(tid)
+        return ids
+
+    @staticmethod
+    def _may_contain_all(entry: Entry, term_ids: Sequence[int]) -> bool:
+        """Union test: some document below could hold every term."""
+        for iv in entry.clusters.values():
+            if all(tid in iv.union for tid in term_ids):
+                return True
+        return False
+
+    @staticmethod
+    def _all_contain_all(entry: Entry, term_ids: Sequence[int]) -> bool:
+        """Intersection test: every document below holds every term."""
+        return all(
+            all(tid in iv.intersection for tid in term_ids)
+            for iv in entry.clusters.values()
+        )
+
+    @staticmethod
+    def _may_contain_any(entry: Entry, term_ids: Sequence[int]) -> bool:
+        for iv in entry.clusters.values():
+            if any(tid in iv.union for tid in term_ids):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def boolean_range(self, region: Rect, terms: Sequence[str]) -> List[int]:
+        """Objects inside ``region`` containing *all* of ``terms``.
+
+        With no terms this is a plain spatial range query.
+        """
+        term_ids = self._term_ids(terms)
+        if term_ids is None:
+            return []
+        roots = self._initials()
+        out: List[int] = []
+        stack = [e for e in roots if region.intersects(e.mbr)]
+        while stack:
+            entry = stack.pop()
+            if not region.intersects(entry.mbr):
+                continue
+            if term_ids and not self._may_contain_all(entry, term_ids):
+                continue
+            if entry.is_object:
+                if region.contains_point(entry.mbr.center()) and all(
+                    tid in entry.exact_vector() for tid in term_ids
+                ):
+                    out.append(entry.ref)
+                continue
+            if (
+                region.contains_rect(entry.mbr)
+                and term_ids
+                and self._all_contain_all(entry, term_ids)
+            ):
+                out.extend(self._collect(entry))
+                continue
+            stack.extend(self.tree.children(entry, tag="bool-range"))
+        return sorted(out)
+
+    def any_term_range(self, region: Rect, terms: Sequence[str]) -> List[int]:
+        """Objects inside ``region`` containing *any* of ``terms``."""
+        vocab = self.tree.dataset.vocabulary
+        term_ids = [tid for tid in (vocab.id_of(t) for t in terms) if tid is not None]
+        if not term_ids:
+            return []
+        out: List[int] = []
+        stack = [e for e in self._initials() if region.intersects(e.mbr)]
+        while stack:
+            entry = stack.pop()
+            if not region.intersects(entry.mbr):
+                continue
+            if not self._may_contain_any(entry, term_ids):
+                continue
+            if entry.is_object:
+                vector = entry.exact_vector()
+                if region.contains_point(entry.mbr.center()) and any(
+                    tid in vector for tid in term_ids
+                ):
+                    out.append(entry.ref)
+                continue
+            stack.extend(self.tree.children(entry, tag="any-range"))
+        return sorted(out)
+
+    def boolean_knn(
+        self, point: Point, k: int, terms: Sequence[str]
+    ) -> List[Tuple[int, float]]:
+        """The ``k`` nearest objects (Euclidean) containing all ``terms``.
+
+        Best-first by MBR distance with conjunctive union pruning; ties
+        break by object id for determinism.
+        """
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        term_ids = self._term_ids(terms)
+        if term_ids is None:
+            return []
+        counter = itertools.count()
+        heap: List[Tuple[float, int, int, int, Entry]] = []
+
+        def push(entry: Entry) -> None:
+            if term_ids and not self._may_contain_all(entry, term_ids):
+                return
+            dist = entry.mbr.min_dist_point(point)
+            if entry.is_object:
+                heapq.heappush(heap, (dist, 1, entry.ref, next(counter), entry))
+            else:
+                heapq.heappush(heap, (dist, 0, 0, next(counter), entry))
+
+        for entry in self._initials():
+            push(entry)
+
+        results: List[Tuple[int, float]] = []
+        while heap and len(results) < k:
+            dist, _, _, _, entry = heapq.heappop(heap)
+            if entry.is_object:
+                vector = entry.exact_vector()
+                if all(tid in vector for tid in term_ids):
+                    results.append((entry.ref, dist))
+                continue
+            for child in self.tree.children(entry, tag="bool-knn"):
+                push(child)
+        return results
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _initials(self) -> List[Entry]:
+        root = self.tree.root_entry()
+        return ([root] if root is not None else []) + self.tree.outlier_entries()
+
+    def _collect(self, entry: Entry) -> List[int]:
+        if entry.is_object:
+            return [entry.ref]
+        out: List[int] = []
+        stack = [entry]
+        while stack:
+            e = stack.pop()
+            if e.is_object:
+                out.append(e.ref)
+            else:
+                stack.extend(self.tree.children(e, tag="bool-collect"))
+        return out

@@ -1,0 +1,19 @@
+"""Tabular data ingestion: CSV/TSV loaders for real-world corpora.
+
+The :mod:`repro.io` package handles *exact* round-trips of library
+objects; this package handles the messier job of getting external data
+in — delimited files with configurable columns, coordinate validation,
+and de-duplication — plus a small bundled sample corpus for docs and
+smoke tests.
+"""
+
+from .csv_loader import CsvSchema, load_csv_dataset, write_csv
+from .sample import sample_dataset, sample_records
+
+__all__ = [
+    "CsvSchema",
+    "load_csv_dataset",
+    "write_csv",
+    "sample_dataset",
+    "sample_records",
+]

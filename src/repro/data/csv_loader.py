@@ -1,0 +1,164 @@
+"""CSV/TSV ingestion of spatial-textual records.
+
+A :class:`CsvSchema` names the coordinate and text columns (by header or
+index); :func:`load_csv_dataset` streams the file, validates coordinates,
+optionally concatenates several text columns, and builds an
+:class:`STDataset` under any similarity configuration.  Malformed rows
+can be skipped (with a count returned) or raise, depending on
+``strict``.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..config import SimilarityConfig
+from ..errors import DatasetError
+from ..model.dataset import STDataset
+from ..spatial import Point
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class CsvSchema:
+    """Column mapping for a delimited spatial-textual file.
+
+    Columns are named by header.  ``text_columns`` are concatenated with
+    spaces — e.g. a POI file's name + category + description.
+    """
+
+    x_column: str = "x"
+    y_column: str = "y"
+    text_columns: Tuple[str, ...] = ("text",)
+    delimiter: str = ","
+
+    def __post_init__(self) -> None:
+        if not self.text_columns:
+            raise DatasetError("CsvSchema needs at least one text column")
+        if len(self.delimiter) != 1:
+            raise DatasetError("delimiter must be a single character")
+
+
+@dataclass
+class LoadReport:
+    """What happened during ingestion."""
+
+    rows_read: int = 0
+    rows_loaded: int = 0
+    rows_skipped: int = 0
+    skipped_reasons: List[str] = field(default_factory=list)
+
+
+def load_csv_dataset(
+    path: PathLike,
+    schema: Optional[CsvSchema] = None,
+    config: Optional[SimilarityConfig] = None,
+    strict: bool = False,
+    max_rows: Optional[int] = None,
+) -> Tuple[STDataset, LoadReport]:
+    """Load a delimited file into a dataset.
+
+    Args:
+        path: The file to read (must have a header row).
+        schema: Column mapping; defaults to ``x, y, text``.
+        config: Similarity configuration for weighting.
+        strict: Raise on the first malformed row instead of skipping.
+        max_rows: Stop after this many data rows (sampling big files).
+
+    Returns:
+        ``(dataset, report)``.
+
+    Raises:
+        DatasetError: Unreadable file, missing columns, or (in strict
+            mode) any malformed row — and always when zero rows load.
+    """
+    sch = schema if schema is not None else CsvSchema()
+    report = LoadReport()
+    records: List[Tuple[Point, str]] = []
+    try:
+        handle = open(path, newline="")
+    except OSError as exc:
+        raise DatasetError(f"cannot open {path}: {exc}") from exc
+    with handle:
+        reader = csv.DictReader(handle, delimiter=sch.delimiter)
+        header = reader.fieldnames or []
+        needed = [sch.x_column, sch.y_column, *sch.text_columns]
+        missing = [col for col in needed if col not in header]
+        if missing:
+            raise DatasetError(
+                f"{path} is missing columns {missing}; header is {header}"
+            )
+        for row in reader:
+            if max_rows is not None and report.rows_read >= max_rows:
+                break
+            report.rows_read += 1
+            try:
+                point = Point(
+                    _parse_coord(row[sch.x_column], sch.x_column),
+                    _parse_coord(row[sch.y_column], sch.y_column),
+                )
+                text = " ".join(
+                    (row[col] or "").strip() for col in sch.text_columns
+                ).strip()
+                if not text:
+                    raise DatasetError("empty text")
+            except DatasetError as exc:
+                if strict:
+                    raise DatasetError(
+                        f"{path} row {report.rows_read}: {exc}"
+                    ) from exc
+                report.rows_skipped += 1
+                if len(report.skipped_reasons) < 10:
+                    report.skipped_reasons.append(
+                        f"row {report.rows_read}: {exc}"
+                    )
+                continue
+            records.append((point, text))
+            report.rows_loaded += 1
+    if not records:
+        raise DatasetError(f"{path}: no loadable rows")
+    return STDataset.from_corpus(records, config), report
+
+
+def write_csv(
+    dataset: STDataset, path: PathLike, schema: Optional[CsvSchema] = None
+) -> None:
+    """Write a dataset's records out in the schema's column layout.
+
+    Text is written as the object's keyword set (term frequencies are a
+    property of the weighting, not the raw file); loading the file back
+    reproduces locations and vocabulary, not exact TF counts.
+    """
+    sch = schema if schema is not None else CsvSchema()
+    text_col = sch.text_columns[0]
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(
+            handle,
+            fieldnames=[sch.x_column, sch.y_column, text_col],
+            delimiter=sch.delimiter,
+        )
+        writer.writeheader()
+        for obj in dataset.objects:
+            writer.writerow(
+                {
+                    sch.x_column: repr(obj.point.x),
+                    sch.y_column: repr(obj.point.y),
+                    text_col: " ".join(obj.keywords),
+                }
+            )
+
+
+def _parse_coord(raw: Optional[str], column: str) -> float:
+    if raw is None or not raw.strip():
+        raise DatasetError(f"missing {column}")
+    try:
+        value = float(raw)
+    except ValueError:
+        raise DatasetError(f"non-numeric {column}: {raw!r}") from None
+    if value != value or value in (float("inf"), float("-inf")):
+        raise DatasetError(f"non-finite {column}: {raw!r}")
+    return value

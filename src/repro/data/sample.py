@@ -1,0 +1,95 @@
+"""A small bundled sample corpus: 60 POIs of a fictional city.
+
+Hand-curated so docs, doctests, and smoke examples have a stable,
+human-readable dataset with genuine spatial districts (harbor, old town,
+station, campus) and textual categories (food, lodging, culture,
+services).  Coordinates are kilometers on a 10×10 grid.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..config import SimilarityConfig
+from ..model.dataset import STDataset
+from ..spatial import Point
+
+#: (x, y, description) — grouped by district for readability.
+_SAMPLE_POIS: Tuple[Tuple[float, float, str], ...] = (
+    # Harbor (west, ~x 0-3, y 4-7): seafood, maritime
+    (0.8, 5.2, "seafood restaurant oysters harbor view"),
+    (1.1, 5.6, "fish market fresh seafood"),
+    (1.4, 4.9, "sailing club marina boats"),
+    (0.6, 6.1, "lighthouse museum maritime history"),
+    (1.9, 5.8, "harbor hotel rooms breakfast"),
+    (2.3, 5.1, "sushi bar japanese seafood"),
+    (1.6, 6.4, "ferry terminal tickets travel"),
+    (2.0, 4.6, "fishing supplies bait tackle"),
+    (2.6, 6.0, "waterfront cafe coffee pastries"),
+    (0.9, 4.4, "shipyard repairs maritime services"),
+    # Old town (center, ~x 4-6, y 4-6): culture, dining
+    (4.5, 5.0, "cathedral gothic architecture tours"),
+    (4.8, 5.3, "art museum paintings sculpture"),
+    (5.1, 4.7, "wine bar tapas evening"),
+    (5.3, 5.5, "boutique hotel historic rooms"),
+    (4.3, 4.5, "italian restaurant pasta pizza wine"),
+    (5.6, 5.1, "antique books shop rare prints"),
+    (4.9, 5.9, "theater opera concerts"),
+    (5.4, 4.3, "chocolate shop pralines gifts"),
+    (4.6, 5.6, "city hall civic services"),
+    (5.0, 5.2, "plaza fountain landmark"),
+    (5.8, 5.7, "jazz club live music cocktails"),
+    (4.2, 5.8, "walking tours history guide"),
+    # Station district (south, ~x 4-7, y 0-3): transit, fast food, services
+    (5.2, 1.2, "central station trains transit"),
+    (5.5, 1.5, "fast food burgers fries"),
+    (4.9, 0.9, "kebab takeaway late night"),
+    (5.8, 1.1, "budget hostel beds backpackers"),
+    (6.2, 1.8, "pharmacy health essentials"),
+    (4.6, 1.6, "convenience store snacks drinks"),
+    (6.0, 0.7, "car rental vehicles travel"),
+    (5.1, 2.2, "noodle bar asian quick lunch"),
+    (6.5, 1.4, "copy shop printing services"),
+    (4.4, 2.0, "bike rental city tours"),
+    # Campus (north-east, ~x 7-9, y 7-9): study, cheap eats, tech
+    (7.6, 8.1, "university library study books"),
+    (8.0, 8.4, "student cafe coffee cheap lunch"),
+    (8.3, 7.7, "computer store laptops repairs"),
+    (7.9, 7.4, "copy center printing thesis binding"),
+    (8.6, 8.0, "ramen noodles japanese student favorite"),
+    (7.3, 7.9, "physics institute research lectures"),
+    (8.2, 8.8, "botanical garden plants walks"),
+    (8.8, 8.5, "bookshop textbooks stationery"),
+    (7.7, 8.7, "gym fitness climbing wall"),
+    (8.5, 7.2, "pizza slice takeaway student deal"),
+    # Market quarter (north-west, ~x 1-3, y 7-9): food, crafts
+    (1.8, 8.2, "farmers market vegetables cheese"),
+    (2.2, 8.6, "bakery bread croissants"),
+    (1.5, 7.8, "craft brewery beer tasting"),
+    (2.6, 8.1, "flower shop bouquets plants"),
+    (2.0, 7.5, "butcher sausages regional"),
+    (2.9, 8.8, "ceramics studio pottery classes"),
+    (1.2, 8.5, "tea house herbal infusions"),
+    (2.4, 7.2, "spice shop curry saffron"),
+    # Scattered suburbs
+    (9.3, 2.1, "garden center plants tools"),
+    (8.9, 0.8, "warehouse furniture discount"),
+    (0.5, 9.1, "country inn rooms quiet"),
+    (9.6, 9.4, "observatory stars tours"),
+    (0.4, 0.6, "campground tents nature"),
+    (3.4, 3.2, "city park playground picnic"),
+    (6.8, 6.2, "river bridge viewpoint"),
+    (3.8, 6.9, "swimming pool sauna family"),
+    (7.1, 4.1, "football stadium matches events"),
+    (3.1, 1.0, "airport shuttle transfers travel"),
+)
+
+
+def sample_records() -> List[Tuple[Point, str]]:
+    """The raw (location, description) records of the sample city."""
+    return [(Point(x, y), text) for x, y, text in _SAMPLE_POIS]
+
+
+def sample_dataset(config: Optional[SimilarityConfig] = None) -> STDataset:
+    """The bundled sample city as a weighted dataset (60 POIs)."""
+    return STDataset.from_corpus(sample_records(), config)

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised deliberately by this package derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing genuine programming errors (``TypeError`` etc.).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class DatasetError(ReproError):
+    """A dataset is malformed or inconsistent with an operation."""
+
+
+class IndexError_(ReproError):
+    """An index structure violated an internal invariant.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`; exported as ``IndexCorruptionError`` from the
+    package root.
+    """
+
+
+# Friendlier public alias.
+IndexCorruptionError = IndexError_
+
+
+class StorageError(ReproError):
+    """The page store or buffer pool was used incorrectly."""
+
+
+class PageFormatError(StorageError):
+    """A serialized page could not be decoded."""
+
+
+class BufferPoolError(StorageError):
+    """Buffer pool misuse: over-pinning, unpinning an unpinned page, etc."""
+
+
+class QueryError(ReproError):
+    """A query was issued with invalid parameters."""

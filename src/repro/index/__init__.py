@@ -1,0 +1,19 @@
+"""Index substrate: R-tree, IUR-tree, CIUR-tree and their statistics."""
+
+from .entry import Entry
+from .node import Node
+from .rtree import RTree
+from .iurtree import IURTree
+from .ciurtree import CIURTree
+from .outliers import split_outliers
+from .stats import IndexStats
+
+__all__ = [
+    "Entry",
+    "Node",
+    "RTree",
+    "IURTree",
+    "CIURTree",
+    "split_outliers",
+    "IndexStats",
+]

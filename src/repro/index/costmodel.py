@@ -1,0 +1,157 @@
+"""Analytical I/O cost estimation for RSTkNN queries.
+
+A planner-style model in the spirit of classic R-tree cost analysis: a
+node must be read when the query's decision procedure cannot discard it
+from its parent's summary, which happens when the node's best possible
+similarity to the query ``MaxST(q, N)`` clears the *reverse threshold* —
+the similarity a dataset object needs before the query can sit in its
+top-k.
+
+The threshold is unknown before running the query, so the model estimates
+it from a random sample: for ``m`` sampled objects it computes the exact
+k-th-neighbor similarity *within the sample* and corrects for the
+sample-to-population ratio using the standard order-statistic scaling
+(the k-th neighbor among ``n`` objects behaves like the ``k·m/n``-th
+among ``m``).  The estimate is then
+
+    E[I/O] ≈ Σ over nodes N of pages(N) · 1[MaxST(q, N) >= θ̂]
+
+Everything runs against in-memory summaries — the estimator never touches
+the simulated disk, so it is usable for query planning.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.bounds import BoundComputer
+from ..errors import QueryError
+from ..model.objects import STObject
+from ..model.scorer import STScorer
+from ..text import make_measure
+from .entry import Entry
+from .iurtree import IURTree
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Predicted query cost.
+
+    Attributes:
+        threshold: The estimated reverse threshold θ̂.
+        node_visits: Predicted number of node reads.
+        page_ios: Predicted simulated page I/Os (nodes weighted by their
+            page span).
+        total_nodes: Number of nodes in the tree (the ceiling).
+    """
+
+    threshold: float
+    node_visits: int
+    page_ios: int
+    total_nodes: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dict of the estimate, for experiment logging."""
+        return {
+            "threshold": self.threshold,
+            "node_visits": self.node_visits,
+            "page_ios": self.page_ios,
+            "total_nodes": self.total_nodes,
+        }
+
+
+class RSTkNNCostModel:
+    """Sampling-based I/O estimator for one tree."""
+
+    def __init__(self, tree: IURTree, sample_size: int = 64, seed: int = 13) -> None:
+        if sample_size < 2:
+            raise QueryError(f"sample_size must be >= 2, got {sample_size}")
+        self.tree = tree
+        self.sample_size = sample_size
+        self.seed = seed
+        self._scorer = STScorer.for_dataset(tree.dataset)
+        self._sample: Optional[List[STObject]] = None
+
+    # ------------------------------------------------------------------
+    # Threshold estimation
+    # ------------------------------------------------------------------
+
+    def _sampled_objects(self) -> List[STObject]:
+        if self._sample is None:
+            objects = self.tree.dataset.objects
+            rng = random.Random(self.seed)
+            size = min(self.sample_size, len(objects))
+            self._sample = rng.sample(objects, size)
+        return self._sample
+
+    def estimate_threshold(self, k: int) -> float:
+        """θ̂: the typical k-th-neighbor similarity of a dataset object.
+
+        Within an ``m``-sample of an ``n``-object collection, the
+        population's k-th neighbor corresponds to roughly the
+        ``max(1, round(k·m/n))``-th sample neighbor.
+        """
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        sample = self._sampled_objects()
+        n = len(self.tree.dataset)
+        m = len(sample)
+        if m < 2:
+            return 0.0
+        rank = max(1, min(m - 1, round(k * m / max(n, 1))))
+        kth_scores = []
+        for obj in sample:
+            sims = sorted(
+                (
+                    self._scorer.score(obj, other)
+                    for other in sample
+                    if other.oid != obj.oid
+                ),
+                reverse=True,
+            )
+            kth_scores.append(sims[rank - 1])
+        kth_scores.sort()
+        return kth_scores[len(kth_scores) // 2]  # median: robust to tails
+
+    # ------------------------------------------------------------------
+    # I/O estimation
+    # ------------------------------------------------------------------
+
+    def estimate(self, query: STObject, k: int) -> CostEstimate:
+        """Predict node visits and page I/Os for ``search(query, k)``."""
+        threshold = self.estimate_threshold(k)
+        cfg = self.tree.dataset.config
+        bounds = BoundComputer(
+            self.tree.dataset.proximity, make_measure(cfg.text_measure), cfg.alpha
+        )
+        q_entry = Entry.for_object(-1, query.mbr(), query.vector)
+        visits = 0
+        pages = 0
+        rtree = self.tree.rtree
+        for nid, node in rtree.nodes.items():
+            entry = Entry.for_subtree(nid, node.mbr(), node.entries)
+            _, hi = bounds.st_bounds(q_entry, entry)
+            if hi >= threshold:
+                visits += 1
+                record_id = node.record_id
+                pages += (
+                    self.tree.disk.record_pages(record_id)
+                    if record_id is not None
+                    else 1
+                )
+        return CostEstimate(
+            threshold=threshold,
+            node_visits=visits,
+            page_ios=pages,
+            total_nodes=len(rtree.nodes),
+        )
+
+
+def estimate_rstknn_io(
+    tree: IURTree, query: STObject, k: int, sample_size: int = 64
+) -> CostEstimate:
+    """One-shot convenience wrapper around :class:`RSTkNNCostModel`."""
+    return RSTkNNCostModel(tree, sample_size=sample_size).estimate(query, k)

@@ -1,0 +1,131 @@
+"""Tree entries: the unit the search algorithm reasons about.
+
+An :class:`Entry` describes either a subtree (directory entry) or a single
+object (leaf entry) with everything the bounds need:
+
+* an MBR;
+* the number of objects beneath it;
+* per-text-cluster interval vectors (the IUR-tree is the special case of
+  a single cluster ``0``; the CIUR-tree stores one summary per cluster
+  present in the subtree).
+
+Entries are value objects — the searcher moves them between frontier,
+pruned, and answer sets freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..errors import IndexError_
+from ..spatial import Rect
+from ..text import IntervalVector, SparseVector
+from ..text.entropy import cluster_entropy
+
+
+@dataclass(frozen=True)
+class Entry:
+    """Immutable directory or object entry.
+
+    Attributes:
+        ref: Child node id (directory entry) or object id (object entry).
+        mbr: Bounding rectangle (degenerate point box for objects).
+        is_object: True for leaf-level object entries.
+        clusters: ``cluster_id -> IntervalVector`` textual summaries; the
+            per-cluster ``doc_count`` values sum to :attr:`count`.
+    """
+
+    ref: int
+    mbr: Rect
+    is_object: bool
+    clusters: Dict[int, IntervalVector] = field(default_factory=dict, hash=False)
+
+    def __post_init__(self) -> None:
+        if not self.clusters:
+            raise IndexError_(f"entry {self.ref} has no textual summary")
+        total = sum(iv.doc_count for iv in self.clusters.values())
+        if self.is_object and total != 1:
+            raise IndexError_(
+                f"object entry {self.ref} summarizes {total} documents"
+            )
+        object.__setattr__(self, "_count", total)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Entry):
+            return NotImplemented
+        return (
+            self.ref == other.ref
+            and self.is_object == other.is_object
+            and self.mbr == other.mbr
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.ref, self.is_object, self.mbr))
+
+    @property
+    def count(self) -> int:
+        """Number of objects beneath this entry (1 for object entries)."""
+        return self._count  # type: ignore[attr-defined]  # set in __post_init__
+
+    def exact_vector(self) -> SparseVector:
+        """The concrete document vector of an object entry."""
+        if not self.is_object:
+            raise IndexError_(f"entry {self.ref} is not an object entry")
+        (iv,) = self.clusters.values()
+        return iv.union
+
+    def merged_interval(self) -> IntervalVector:
+        """Cluster-blind summary (what a plain IUR-tree node would store)."""
+        return IntervalVector.merge(self.clusters.values())
+
+    def entropy(self) -> float:
+        """Shannon entropy of the cluster histogram — the TE signal."""
+        return cluster_entropy(
+            {cid: iv.doc_count for cid, iv in self.clusters.items()}
+        )
+
+    def without_intersections(self) -> "Entry":
+        """A copy whose textual summaries keep only union (max) weights.
+
+        Models a plain IR-tree directory entry; all textual lower bounds
+        computed through it collapse to 0.
+        """
+        stripped = {
+            cid: IntervalVector(SparseVector({}), iv.union, iv.doc_count)
+            for cid, iv in self.clusters.items()
+        }
+        return Entry(
+            ref=self.ref,
+            mbr=self.mbr,
+            is_object=self.is_object,
+            clusters=stripped,
+        )
+
+    @staticmethod
+    def for_object(
+        oid: int, mbr: Rect, vector: SparseVector, cluster_id: int = 0
+    ) -> "Entry":
+        """Build the exact entry of one object."""
+        return Entry(
+            ref=oid,
+            mbr=mbr,
+            is_object=True,
+            clusters={cluster_id: IntervalVector.from_document(vector)},
+        )
+
+    @staticmethod
+    def for_subtree(node_id: int, mbr: Rect, children: List["Entry"]) -> "Entry":
+        """Summarize child entries into a directory entry.
+
+        Per-cluster summaries merge only with the same cluster id, which
+        is what keeps CIUR-tree bounds tight.
+        """
+        if not children:
+            raise IndexError_(f"subtree entry {node_id} has no children")
+        grouped: Dict[int, List[IntervalVector]] = {}
+        for child in children:
+            for cid, iv in child.clusters.items():
+                grouped.setdefault(cid, []).append(iv)
+        merged = {cid: IntervalVector.merge(parts) for cid, parts in grouped.items()}
+        return Entry(ref=node_id, mbr=mbr, is_object=False, clusters=merged)

@@ -1,0 +1,77 @@
+"""Tree nodes: containers of entries plus their serialized form."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import IndexError_
+from ..spatial import Rect
+from ..storage.serialize import (
+    NodeCodec,
+    SerializedCluster,
+    SerializedEntry,
+    SerializedNode,
+)
+from .entry import Entry
+
+
+@dataclass
+class Node:
+    """One IUR/CIUR-tree node.
+
+    ``record_id`` is assigned when the tree is persisted to the simulated
+    disk; fetching a node during search charges its record's page span.
+    """
+
+    node_id: int
+    is_leaf: bool
+    entries: List[Entry] = field(default_factory=list)
+    parent_id: Optional[int] = None
+    record_id: Optional[int] = None
+
+    def mbr(self) -> Rect:
+        """The bounding rectangle of all entries."""
+        if not self.entries:
+            raise IndexError_(f"node {self.node_id} is empty")
+        return Rect.union_all(e.mbr for e in self.entries)
+
+    def object_count(self) -> int:
+        """Total objects summarized beneath this node."""
+        return sum(e.count for e in self.entries)
+
+    @property
+    def fanout(self) -> int:
+        """Number of entries stored in the node."""
+        return len(self.entries)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_serialized(self) -> SerializedNode:
+        """Neutral form for the storage codec (drives page accounting)."""
+        out = SerializedNode(is_leaf=self.is_leaf, entries=[])
+        for entry in self.entries:
+            clusters = [
+                SerializedCluster(
+                    cluster_id=cid,
+                    count=iv.doc_count,
+                    intersection=iv.intersection.to_dict(),
+                    union=iv.union.to_dict(),
+                )
+                for cid, iv in sorted(entry.clusters.items())
+            ]
+            out.entries.append(
+                SerializedEntry(
+                    ref=entry.ref,
+                    mbr=entry.mbr.as_tuple(),
+                    doc_count=entry.count,
+                    clusters=clusters,
+                )
+            )
+        return out
+
+    def encode(self) -> bytes:
+        """Serialized byte form (drives page accounting)."""
+        return NodeCodec.encode(self.to_serialized())

@@ -1,0 +1,43 @@
+"""Outlier detection & extraction (the OE optimization of the CIUR-tree).
+
+A document far from its text-cluster centroid stretches the cluster's
+interval vectors and loosens every bound computed through them.  OE pulls
+such documents out of the tree: they are kept in a small side list that
+the searcher handles exactly (each outlier becomes a pre-expanded object
+entry on the initial frontier), while the remaining documents produce
+tight per-cluster summaries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import ConfigError
+from ..text.clustering import ClusteringResult
+
+
+def split_outliers(
+    clustering: ClusteringResult, threshold: float
+) -> Tuple[List[int], List[int]]:
+    """Partition document indices into (core, outliers) by cohesion.
+
+    Args:
+        clustering: A fitted clustering with per-document cohesion (cosine
+            to the assigned centroid).
+        threshold: Documents with cohesion strictly below this are
+            outliers.  0 extracts nothing; 1 extracts everything not
+            exactly on its centroid.
+
+    Returns:
+        ``(core_indices, outlier_indices)``, both sorted ascending.
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise ConfigError(f"outlier threshold must be in [0, 1], got {threshold}")
+    core: List[int] = []
+    outliers: List[int] = []
+    for i, cohesion in enumerate(clustering.cohesion):
+        if cohesion < threshold:
+            outliers.append(i)
+        else:
+            core.append(i)
+    return core, outliers

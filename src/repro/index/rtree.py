@@ -1,0 +1,505 @@
+"""A from-scratch R-tree over spatial-textual entries.
+
+Structure-wise this is a classic Guttman R-tree (quadratic split) with an
+STR (Sort-Tile-Recursive) bulk loader; entry-wise it already carries the
+IUR augmentation, because :meth:`Entry.for_subtree` merges the per-cluster
+interval vectors of children whenever a directory entry is (re)built.
+The IUR/CIUR trees in this package are therefore thin layers adding
+persistence and cluster assignment on top of this structural core.
+
+Purely spatial queries (range, k-nearest by distance) are provided for
+tests, examples, and the spatial baseline.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..errors import IndexError_
+from ..spatial import Point, Rect
+from .entry import Entry
+from .node import Node
+
+
+class RTree:
+    """In-memory R-tree of :class:`Entry` objects."""
+
+    def __init__(self, max_entries: int = 16, min_entries: int = 4) -> None:
+        if max_entries < 2:
+            raise IndexError_(f"max_entries must be >= 2, got {max_entries}")
+        if not 1 <= min_entries <= max_entries // 2:
+            raise IndexError_(
+                f"min_entries must be in [1, max_entries/2], got {min_entries}"
+            )
+        self.max_entries = max_entries
+        self.min_entries = min_entries
+        self.nodes: Dict[int, Node] = {}
+        self.root_id: Optional[int] = None
+        self._next_node_id = 0
+        #: Nodes whose entries changed since the last flush; consumed by
+        #: the persistence layer to rewrite only what moved.
+        self.dirty: Set[int] = set()
+        #: Nodes removed from the tree since the last flush.
+        self.removed: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Node bookkeeping
+    # ------------------------------------------------------------------
+
+    def node(self, node_id: int) -> Node:
+        """Look up a node by id (raises on unknown ids)."""
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise IndexError_(f"unknown node id {node_id}") from None
+
+    @property
+    def root(self) -> Node:
+        """The root node (raises when the tree is empty)."""
+        if self.root_id is None:
+            raise IndexError_("tree is empty")
+        return self.node(self.root_id)
+
+    def _new_node(self, is_leaf: bool) -> Node:
+        node = Node(node_id=self._next_node_id, is_leaf=is_leaf)
+        self._next_node_id += 1
+        self.nodes[node.node_id] = node
+        self.dirty.add(node.node_id)
+        return node
+
+    def height(self) -> int:
+        """Levels from root to leaves (a single leaf root has height 1)."""
+        if self.root_id is None:
+            return 0
+        h = 1
+        node = self.root
+        while not node.is_leaf:
+            node = self.node(node.entries[0].ref)
+            h += 1
+        return h
+
+    def object_count(self) -> int:
+        """Total objects stored in the tree."""
+        return self.root.object_count() if self.root_id is not None else 0
+
+    # ------------------------------------------------------------------
+    # STR bulk loading
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def bulk_load(
+        cls,
+        items: Iterable[Entry],
+        max_entries: int = 16,
+        min_entries: int = 4,
+    ) -> "RTree":
+        """Sort-Tile-Recursive packing of object entries into a tree."""
+        tree = cls(max_entries, min_entries)
+        objects = list(items)
+        if not objects:
+            return tree
+        # Pack object entries into leaves.
+        leaf_groups = _str_pack(objects, max_entries)
+        level_nodes: List[Node] = []
+        for group in leaf_groups:
+            node = tree._new_node(is_leaf=True)
+            node.entries = list(group)
+            level_nodes.append(node)
+        # Build directory levels until a single root remains.
+        while len(level_nodes) > 1:
+            parent_entries = [
+                Entry.for_subtree(n.node_id, n.mbr(), n.entries) for n in level_nodes
+            ]
+            groups = _str_pack(parent_entries, max_entries)
+            next_level: List[Node] = []
+            for group in groups:
+                node = tree._new_node(is_leaf=False)
+                node.entries = list(group)
+                for child_entry in group:
+                    tree.node(child_entry.ref).parent_id = node.node_id
+                next_level.append(node)
+            level_nodes = next_level
+        tree.root_id = level_nodes[0].node_id
+        return tree
+
+    # ------------------------------------------------------------------
+    # Incremental insertion
+    # ------------------------------------------------------------------
+
+    def insert(self, entry: Entry) -> None:
+        """Insert an object entry, splitting on overflow (quadratic)."""
+        if not entry.is_object:
+            raise IndexError_("insert expects an object entry")
+        if self.root_id is None:
+            root = self._new_node(is_leaf=True)
+            root.entries.append(entry)
+            self.root_id = root.node_id
+            return
+        leaf = self._choose_leaf(self.root, entry.mbr)
+        leaf.entries.append(entry)
+        self.dirty.add(leaf.node_id)
+        self._handle_overflow(leaf)
+        self._refresh_upward(leaf.node_id)
+
+    def _choose_leaf(self, node: Node, mbr: Rect) -> Node:
+        while not node.is_leaf:
+            best_entry = min(
+                node.entries,
+                key=lambda e: (e.mbr.enlargement(mbr), e.mbr.area(), e.ref),
+            )
+            node = self.node(best_entry.ref)
+        return node
+
+    def _handle_overflow(self, node: Node) -> None:
+        while len(node.entries) > self.max_entries:
+            sibling = self._split(node)
+            self.dirty.add(node.node_id)
+            self.dirty.add(sibling.node_id)
+            parent = (
+                self.node(node.parent_id) if node.parent_id is not None else None
+            )
+            if parent is None:
+                # Grow a new root above the split pair.
+                new_root = self._new_node(is_leaf=False)
+                for child in (node, sibling):
+                    child.parent_id = new_root.node_id
+                    new_root.entries.append(
+                        Entry.for_subtree(child.node_id, child.mbr(), child.entries)
+                    )
+                self.root_id = new_root.node_id
+                return
+            sibling.parent_id = parent.node_id
+            self.dirty.add(parent.node_id)
+            parent.entries = [e for e in parent.entries if e.ref != node.node_id]
+            parent.entries.append(
+                Entry.for_subtree(node.node_id, node.mbr(), node.entries)
+            )
+            parent.entries.append(
+                Entry.for_subtree(sibling.node_id, sibling.mbr(), sibling.entries)
+            )
+            node = parent
+
+    def _split(self, node: Node) -> Node:
+        """Guttman quadratic split; returns the new sibling node."""
+        entries = node.entries
+        seed_a, seed_b = _pick_seeds(entries)
+        group_a = [entries[seed_a]]
+        group_b = [entries[seed_b]]
+        remaining = [e for i, e in enumerate(entries) if i not in (seed_a, seed_b)]
+        mbr_a = group_a[0].mbr
+        mbr_b = group_b[0].mbr
+        while remaining:
+            # Force-assign when a group must absorb all remaining entries
+            # to reach the minimum fill.
+            if len(group_a) + len(remaining) == self.min_entries:
+                group_a.extend(remaining)
+                remaining = []
+                break
+            if len(group_b) + len(remaining) == self.min_entries:
+                group_b.extend(remaining)
+                remaining = []
+                break
+            idx = _pick_next(remaining, mbr_a, mbr_b)
+            entry = remaining.pop(idx)
+            grow_a = mbr_a.enlargement(entry.mbr)
+            grow_b = mbr_b.enlargement(entry.mbr)
+            if (grow_a, mbr_a.area(), len(group_a)) <= (
+                grow_b,
+                mbr_b.area(),
+                len(group_b),
+            ):
+                group_a.append(entry)
+                mbr_a = mbr_a.union(entry.mbr)
+            else:
+                group_b.append(entry)
+                mbr_b = mbr_b.union(entry.mbr)
+        sibling = self._new_node(is_leaf=node.is_leaf)
+        node.entries = group_a
+        sibling.entries = group_b
+        if not node.is_leaf:
+            for e in sibling.entries:
+                self.node(e.ref).parent_id = sibling.node_id
+        return sibling
+
+    def _refresh_upward(self, node_id: int) -> None:
+        """Rebuild ancestors' directory entries after a subtree changed."""
+        node = self.node(node_id)
+        while node.parent_id is not None:
+            parent = self.node(node.parent_id)
+            self.dirty.add(parent.node_id)
+            parent.entries = [
+                Entry.for_subtree(node.node_id, node.mbr(), node.entries)
+                if e.ref == node.node_id
+                else e
+                for e in parent.entries
+            ]
+            node = parent
+
+    # ------------------------------------------------------------------
+    # Deletion (Guttman Delete + CondenseTree)
+    # ------------------------------------------------------------------
+
+    def delete(self, oid: int, location: Rect) -> bool:
+        """Delete the object entry ``oid`` whose MBR is ``location``.
+
+        Classic R-tree deletion: find the hosting leaf, remove the entry,
+        condense the tree (underflowing nodes are dissolved and their
+        objects reinserted), and shrink the root while it has a single
+        directory child.  Returns False when the object is absent.
+        """
+        if self.root_id is None:
+            return False
+        leaf = self._find_leaf(self.root, oid, location)
+        if leaf is None:
+            return False
+        leaf.entries = [e for e in leaf.entries if e.ref != oid]
+        self.dirty.add(leaf.node_id)
+        orphans = self._condense(leaf)
+        self._shrink_root()
+        for orphan in orphans:
+            if self.root_id is None:
+                root = self._new_node(is_leaf=True)
+                root.entries.append(orphan)
+                self.root_id = root.node_id
+            else:
+                self.insert(orphan)
+        self._shrink_root()
+        return True
+
+    def _find_leaf(self, node: Node, oid: int, location: Rect) -> Optional[Node]:
+        if node.is_leaf:
+            if any(e.ref == oid for e in node.entries):
+                return node
+            return None
+        for entry in node.entries:
+            if entry.mbr.contains_rect(location):
+                found = self._find_leaf(self.node(entry.ref), oid, location)
+                if found is not None:
+                    return found
+        return None
+
+    def _condense(self, node: Node) -> List[Entry]:
+        """Dissolve underflowing ancestors, collecting orphaned objects."""
+        orphans: List[Entry] = []
+        current = node
+        while current.parent_id is not None:
+            parent = self.node(current.parent_id)
+            if len(current.entries) < self.min_entries:
+                parent.entries = [
+                    e for e in parent.entries if e.ref != current.node_id
+                ]
+                self.dirty.add(parent.node_id)
+                orphans.extend(self._collect_objects(current))
+                self._discard_subtree(current)
+            else:
+                parent.entries = [
+                    Entry.for_subtree(
+                        current.node_id, current.mbr(), current.entries
+                    )
+                    if e.ref == current.node_id
+                    else e
+                    for e in parent.entries
+                ]
+                self.dirty.add(parent.node_id)
+            current = parent
+        if current.node_id == self.root_id and not current.entries:
+            self._discard_subtree(current)
+            self.root_id = None
+        return orphans
+
+    def _shrink_root(self) -> None:
+        while self.root_id is not None:
+            root = self.root
+            if root.is_leaf or len(root.entries) != 1:
+                return
+            child = self.node(root.entries[0].ref)
+            child.parent_id = None
+            self.root_id = child.node_id
+            self.nodes.pop(root.node_id, None)
+            self.dirty.discard(root.node_id)
+            self.removed.add(root.node_id)
+
+    def _collect_objects(self, node: Node) -> List[Entry]:
+        out: List[Entry] = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.is_leaf:
+                out.extend(current.entries)
+            else:
+                stack.extend(self.node(e.ref) for e in current.entries)
+        return out
+
+    def _discard_subtree(self, node: Node) -> None:
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if not current.is_leaf:
+                stack.extend(self.node(e.ref) for e in current.entries)
+            self.nodes.pop(current.node_id, None)
+            self.dirty.discard(current.node_id)
+            self.removed.add(current.node_id)
+
+    # ------------------------------------------------------------------
+    # Spatial queries
+    # ------------------------------------------------------------------
+
+    def range_search(self, rect: Rect) -> List[int]:
+        """Object ids whose points fall inside ``rect``."""
+        if self.root_id is None:
+            return []
+        out: List[int] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            for entry in node.entries:
+                if not rect.intersects(entry.mbr):
+                    continue
+                if node.is_leaf:
+                    out.append(entry.ref)
+                else:
+                    stack.append(self.node(entry.ref))
+        return sorted(out)
+
+    def nearest(self, point: Point, k: int = 1) -> List[Tuple[int, float]]:
+        """The k nearest object ids by Euclidean distance (best-first)."""
+        if self.root_id is None or k < 1:
+            return []
+        counter = itertools.count()
+        heap: List[Tuple[float, int, Optional[Node], Optional[Entry]]] = [
+            (0.0, next(counter), self.root, None)
+        ]
+        results: List[Tuple[int, float]] = []
+        while heap and len(results) < k:
+            dist, _, node, obj_entry = heapq.heappop(heap)
+            if obj_entry is not None:
+                results.append((obj_entry.ref, dist))
+                continue
+            assert node is not None
+            for entry in node.entries:
+                d = entry.mbr.min_dist_point(point)
+                if node.is_leaf:
+                    heapq.heappush(heap, (d, next(counter), None, entry))
+                else:
+                    heapq.heappush(
+                        heap, (d, next(counter), self.node(entry.ref), None)
+                    )
+        return results
+
+    # ------------------------------------------------------------------
+    # Invariants (exercised by property tests)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self, enforce_min_fill: bool = True) -> None:
+        """Raise :class:`IndexError_` on any structural violation.
+
+        ``enforce_min_fill=False`` skips the minimum-fanout check, which
+        STR bulk loading legitimately violates in trailing groups.
+        """
+        if self.root_id is None:
+            return
+        seen_objects: List[int] = []
+        stack: List[Tuple[int, Optional[Rect]]] = [(self.root_id, None)]
+        leaf_depths = set()
+        depth_of: Dict[int, int] = {self.root_id: 1}
+        while stack:
+            node_id, parent_mbr = stack.pop()
+            node = self.node(node_id)
+            if not node.entries:
+                raise IndexError_(f"node {node_id} is empty")
+            if len(node.entries) > self.max_entries:
+                raise IndexError_(
+                    f"node {node_id} fanout {len(node.entries)} exceeds "
+                    f"{self.max_entries}"
+                )
+            if (
+                enforce_min_fill
+                and node_id != self.root_id
+                and len(node.entries) < self.min_entries
+            ):
+                raise IndexError_(
+                    f"node {node_id} fanout {len(node.entries)} below minimum "
+                    f"{self.min_entries}"
+                )
+            if parent_mbr is not None and not parent_mbr.contains_rect(node.mbr()):
+                raise IndexError_(f"node {node_id} escapes its parent entry MBR")
+            if node.is_leaf:
+                leaf_depths.add(depth_of[node_id])
+                seen_objects.extend(e.ref for e in node.entries)
+                for e in node.entries:
+                    if not e.is_object:
+                        raise IndexError_(f"leaf {node_id} holds a subtree entry")
+            else:
+                for e in node.entries:
+                    if e.is_object:
+                        raise IndexError_(f"inner node {node_id} holds an object")
+                    child = self.node(e.ref)
+                    if child.parent_id != node_id:
+                        raise IndexError_(
+                            f"child {e.ref} has wrong parent pointer"
+                        )
+                    if not e.mbr.contains_rect(child.mbr()):
+                        raise IndexError_(f"entry MBR of child {e.ref} too small")
+                    if e.count != child.object_count():
+                        raise IndexError_(f"entry count of child {e.ref} stale")
+                    depth_of[e.ref] = depth_of[node_id] + 1
+                    stack.append((e.ref, e.mbr))
+        if len(leaf_depths) > 1:
+            raise IndexError_(f"leaves at multiple depths: {sorted(leaf_depths)}")
+        if len(set(seen_objects)) != len(seen_objects):
+            raise IndexError_("duplicate object ids in leaves")
+
+
+# ----------------------------------------------------------------------
+# STR packing and quadratic-split helpers
+# ----------------------------------------------------------------------
+
+
+def _str_pack(entries: List[Entry], capacity: int) -> List[List[Entry]]:
+    """Sort-Tile-Recursive grouping of entries into runs of ``capacity``."""
+    import math
+
+    n = len(entries)
+    if n <= capacity:
+        return [list(entries)]
+    by_x = sorted(entries, key=lambda e: (e.mbr.center().x, e.mbr.center().y, e.ref))
+    num_leaves = math.ceil(n / capacity)
+    num_slices = math.ceil(math.sqrt(num_leaves))
+    slice_size = math.ceil(n / num_slices)
+    groups: List[List[Entry]] = []
+    for s in range(0, n, slice_size):
+        strip = sorted(
+            by_x[s : s + slice_size],
+            key=lambda e: (e.mbr.center().y, e.mbr.center().x, e.ref),
+        )
+        for g in range(0, len(strip), capacity):
+            groups.append(strip[g : g + capacity])
+    return groups
+
+
+def _pick_seeds(entries: List[Entry]) -> Tuple[int, int]:
+    """Quadratic PickSeeds: the pair wasting the most dead area."""
+    best = (0, 1)
+    best_waste = float("-inf")
+    for i in range(len(entries)):
+        for j in range(i + 1, len(entries)):
+            a, b = entries[i].mbr, entries[j].mbr
+            waste = a.union(b).area() - a.area() - b.area()
+            if waste > best_waste:
+                best_waste = waste
+                best = (i, j)
+    return best
+
+
+def _pick_next(remaining: List[Entry], mbr_a: Rect, mbr_b: Rect) -> int:
+    """PickNext: the entry with the strongest group preference."""
+    best_idx = 0
+    best_diff = -1.0
+    for i, entry in enumerate(remaining):
+        diff = abs(mbr_a.enlargement(entry.mbr) - mbr_b.enlargement(entry.mbr))
+        if diff > best_diff:
+            best_diff = diff
+            best_idx = i
+    return best_idx

@@ -1,0 +1,37 @@
+"""Index statistics: structure, footprint, and build cost summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class IndexStats:
+    """Snapshot of an index's shape and simulated footprint."""
+
+    kind: str
+    objects: int
+    nodes: int
+    leaves: int
+    height: int
+    pages: int
+    bytes: int
+    clusters: int
+    outliers: int
+    build_seconds: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dict of the statistics, for experiment logging."""
+        return {
+            "kind": self.kind,
+            "objects": self.objects,
+            "nodes": self.nodes,
+            "leaves": self.leaves,
+            "height": self.height,
+            "pages": self.pages,
+            "bytes": self.bytes,
+            "clusters": self.clusters,
+            "outliers": self.outliers,
+            "build_seconds": self.build_seconds,
+        }

@@ -1,0 +1,12 @@
+"""File persistence: exact round-trips for datasets and indexes.
+
+Formats are versioned JSON containers (stdlib-only) — plain enough to
+inspect by hand, exact enough to reproduce experiments bit-for-bit:
+weighted vectors and vocabulary statistics are stored verbatim rather
+than re-derived from raw text.
+"""
+
+from .dataset_io import load_dataset, save_dataset
+from .index_io import load_index, save_index
+
+__all__ = ["load_dataset", "save_dataset", "load_index", "save_index"]

@@ -1,0 +1,7 @@
+"""Data model: spatial-textual objects, datasets, and the SimST scorer."""
+
+from .objects import STObject
+from .dataset import STDataset
+from .scorer import STScorer
+
+__all__ = ["STObject", "STDataset", "STScorer"]

@@ -1,0 +1,40 @@
+"""The spatial-textual object: a point location plus a weighted vector."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ..spatial import Point, Rect
+from ..text import IntervalVector, SparseVector
+
+
+@dataclass(frozen=True)
+class STObject:
+    """One object of the dataset (or a query object).
+
+    Attributes:
+        oid: Dataset-unique identifier (queries conventionally use -1).
+        point: Location.
+        vector: Weighted term vector under the dataset's weighting scheme.
+        keywords: The raw terms, kept for presentation and for workload
+            generators; the algorithms only read ``vector``.
+    """
+
+    oid: int
+    point: Point
+    vector: SparseVector
+    keywords: Tuple[str, ...] = field(default=())
+
+    def mbr(self) -> Rect:
+        """Degenerate MBR of the object's point."""
+        return Rect.from_point(self.point)
+
+    def interval(self) -> IntervalVector:
+        """The exact interval summary of this single document."""
+        return IntervalVector.from_document(self.vector)
+
+    def __repr__(self) -> str:
+        kws = " ".join(self.keywords[:4])
+        more = "..." if len(self.keywords) > 4 else ""
+        return f"STObject({self.oid} @ ({self.point.x:.3g},{self.point.y:.3g}) '{kws}{more}')"

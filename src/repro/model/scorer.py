@@ -1,0 +1,56 @@
+"""The blended spatial-textual scorer ``SimST``.
+
+``SimST(o1, o2) = alpha * SimS + (1 - alpha) * SimT`` — the single scoring
+function the whole library ranks by.  The scorer binds together a spatial
+proximity normalizer and a text measure so callers can't accidentally mix
+normalizations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import SimilarityConfig
+from ..spatial import SpatialProximity
+from ..text import TextMeasure, make_measure
+from .dataset import STDataset
+from .objects import STObject
+
+
+class STScorer:
+    """Exact object-to-object SimST scoring."""
+
+    def __init__(
+        self,
+        proximity: SpatialProximity,
+        measure: TextMeasure,
+        alpha: float,
+    ) -> None:
+        self.proximity = proximity
+        self.measure = measure
+        self.alpha = alpha
+
+    @staticmethod
+    def for_dataset(
+        dataset: STDataset, config: Optional[SimilarityConfig] = None
+    ) -> "STScorer":
+        """Scorer matching a dataset's region and similarity config."""
+        cfg = config if config is not None else dataset.config
+        return STScorer(dataset.proximity, make_measure(cfg.text_measure), cfg.alpha)
+
+    def spatial(self, a: STObject, b: STObject) -> float:
+        """The spatial proximity component of SimST."""
+        return self.proximity.between(a.point, b.point)
+
+    def textual(self, a: STObject, b: STObject) -> float:
+        """The text similarity component of SimST."""
+        return self.measure.similarity(a.vector, b.vector)
+
+    def score(self, a: STObject, b: STObject) -> float:
+        """``SimST(a, b)`` in [0, 1]."""
+        alpha = self.alpha
+        spatial = self.proximity.between(a.point, b.point) if alpha > 0.0 else 0.0
+        textual = (
+            self.measure.similarity(a.vector, b.vector) if alpha < 1.0 else 0.0
+        )
+        return alpha * spatial + (1.0 - alpha) * textual

@@ -1,0 +1,10 @@
+"""Spatial substrate: points, rectangles (MBRs) and proximity scores.
+
+Everything in this package is pure geometry — no index or similarity logic.
+"""
+
+from .point import Point
+from .rect import Rect
+from .proximity import SpatialProximity
+
+__all__ = ["Point", "Rect", "SpatialProximity"]

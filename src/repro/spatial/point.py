@@ -1,0 +1,50 @@
+"""2-D point with exact Euclidean geometry helpers."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """An immutable 2-D point.
+
+    Points order lexicographically by ``(x, y)``, which gives tests and
+    tie-breaking a deterministic total order.
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def squared_distance_to(self, other: "Point") -> float:
+        """Squared Euclidean distance (avoids the sqrt where possible)."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def manhattan_distance_to(self, other: "Point") -> float:
+        """L1 distance; used by a few workload generators."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return the point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    @staticmethod
+    def midpoint(a: "Point", b: "Point") -> "Point":
+        """Midpoint of the segment ``ab``."""
+        return Point((a.x + b.x) / 2.0, (a.y + b.y) / 2.0)

@@ -1,0 +1,67 @@
+"""Normalized spatial proximity, Equation-style ``SimS = 1 - d / maxD``.
+
+``maxD`` is the diameter of the data space (the maximum distance between
+any two points in the dataset, or of a declared bounding region).  The
+normalization puts spatial proximity on the same ``[0, 1]`` scale as text
+similarity so the two can be blended with ``alpha``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from .point import Point
+from .rect import Rect
+
+
+@dataclass(frozen=True)
+class SpatialProximity:
+    """Converts distances into ``[0, 1]`` proximity scores.
+
+    Attributes:
+        max_distance: The normalization diameter ``maxD``.  Distances above
+            ``maxD`` clamp to proximity 0, which keeps the score well
+            defined for query points slightly outside the data MBR.
+    """
+
+    max_distance: float
+
+    def __post_init__(self) -> None:
+        if self.max_distance <= 0.0:
+            raise ConfigError(
+                f"max_distance must be positive, got {self.max_distance}"
+            )
+
+    @staticmethod
+    def for_region(region: Rect) -> "SpatialProximity":
+        """Proximity normalized by the diagonal of ``region``."""
+        diag = region.diagonal()
+        if diag == 0.0:
+            # All objects colocated: any distance of 0 maps to 1; pick a
+            # unit diameter so distinct query points still score sanely.
+            diag = 1.0
+        return SpatialProximity(diag)
+
+    def from_distance(self, distance: float) -> float:
+        """Map a distance to proximity ``1 - d/maxD``, clamped to [0, 1]."""
+        if distance < 0.0:
+            raise ConfigError(f"distance must be non-negative, got {distance}")
+        score = 1.0 - distance / self.max_distance
+        if score < 0.0:
+            return 0.0
+        if score > 1.0:
+            return 1.0
+        return score
+
+    def between(self, a: Point, b: Point) -> float:
+        """Proximity between two points."""
+        return self.from_distance(a.distance_to(b))
+
+    def upper_bound(self, a: Rect, b: Rect) -> float:
+        """Largest possible proximity between any point pair of two MBRs."""
+        return self.from_distance(a.min_dist(b))
+
+    def lower_bound(self, a: Rect, b: Rect) -> float:
+        """Smallest possible proximity between any point pair of two MBRs."""
+        return self.from_distance(a.max_dist(b))

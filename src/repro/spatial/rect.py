@@ -1,0 +1,222 @@
+"""Axis-aligned rectangles (MBRs) and the distance algebra used by bounds.
+
+The branch-and-bound algorithm of the paper leans on two quantities between
+minimum bounding rectangles:
+
+* ``min_dist(A, B)`` — the smallest possible distance between a point of A
+  and a point of B (0 if they intersect); and
+* ``max_dist(A, B)`` — the largest possible distance between a point of A
+  and a point of B (realized at opposite corners).
+
+Both are exact for axis-aligned boxes and proven tight by the property
+tests in ``tests/test_rect_properties.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Tuple
+
+from ..errors import ConfigError
+from .point import Point
+
+
+@dataclass(frozen=True, order=True)
+class Rect:
+    """An immutable, possibly degenerate axis-aligned rectangle.
+
+    Degenerate rectangles (``xlo == xhi`` and/or ``ylo == yhi``) represent
+    points and segments; the R-tree stores object points this way.
+    """
+
+    xlo: float
+    ylo: float
+    xhi: float
+    yhi: float
+
+    def __post_init__(self) -> None:
+        if self.xlo > self.xhi or self.ylo > self.yhi:
+            raise ConfigError(
+                f"malformed Rect: ({self.xlo}, {self.ylo}, {self.xhi}, {self.yhi})"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def from_point(p: Point) -> "Rect":
+        """A degenerate rectangle covering exactly ``p``."""
+        return Rect(p.x, p.y, p.x, p.y)
+
+    @staticmethod
+    def from_points(points: Iterable[Point]) -> "Rect":
+        """The MBR of a non-empty collection of points."""
+        pts = list(points)
+        if not pts:
+            raise ConfigError("Rect.from_points requires at least one point")
+        xs = [p.x for p in pts]
+        ys = [p.y for p in pts]
+        return Rect(min(xs), min(ys), max(xs), max(ys))
+
+    @staticmethod
+    def union_all(rects: Iterable["Rect"]) -> "Rect":
+        """The MBR enclosing every rectangle in a non-empty collection."""
+        it = iter(rects)
+        try:
+            first = next(it)
+        except StopIteration:
+            raise ConfigError("Rect.union_all requires at least one rect") from None
+        xlo, ylo, xhi, yhi = first.xlo, first.ylo, first.xhi, first.yhi
+        for r in it:
+            xlo = min(xlo, r.xlo)
+            ylo = min(ylo, r.ylo)
+            xhi = max(xhi, r.xhi)
+            yhi = max(yhi, r.yhi)
+        return Rect(xlo, ylo, xhi, yhi)
+
+    # ------------------------------------------------------------------
+    # Basic measures
+    # ------------------------------------------------------------------
+
+    @property
+    def width(self) -> float:
+        """Extent along x."""
+        return self.xhi - self.xlo
+
+    @property
+    def height(self) -> float:
+        """Extent along y."""
+        return self.yhi - self.ylo
+
+    def area(self) -> float:
+        """Area (0 for degenerate rectangles)."""
+        return self.width * self.height
+
+    def margin(self) -> float:
+        """Half-perimeter; the R*-style split heuristic minimizes this."""
+        return self.width + self.height
+
+    def diagonal(self) -> float:
+        """Length of the main diagonal == ``max_dist(self, self)``."""
+        return math.hypot(self.width, self.height)
+
+    def center(self) -> Point:
+        """The rectangle's center point."""
+        return Point((self.xlo + self.xhi) / 2.0, (self.ylo + self.yhi) / 2.0)
+
+    def corners(self) -> List[Point]:
+        """The four corner points (duplicates possible when degenerate)."""
+        return [
+            Point(self.xlo, self.ylo),
+            Point(self.xlo, self.yhi),
+            Point(self.xhi, self.ylo),
+            Point(self.xhi, self.yhi),
+        ]
+
+    def is_point(self) -> bool:
+        """True when the rectangle is a single point."""
+        return self.xlo == self.xhi and self.ylo == self.yhi
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.xlo
+        yield self.ylo
+        yield self.xhi
+        yield self.yhi
+
+    def as_tuple(self) -> Tuple[float, float, float, float]:
+        """(xlo, ylo, xhi, yhi)."""
+        return (self.xlo, self.ylo, self.xhi, self.yhi)
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    def contains_point(self, p: Point) -> bool:
+        """True when the point lies inside (boundary inclusive)."""
+        return self.xlo <= p.x <= self.xhi and self.ylo <= p.y <= self.yhi
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True when the other rectangle lies fully inside."""
+        return (
+            self.xlo <= other.xlo
+            and self.ylo <= other.ylo
+            and self.xhi >= other.xhi
+            and self.yhi >= other.yhi
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """True when the rectangles share any point."""
+        return not (
+            self.xhi < other.xlo
+            or other.xhi < self.xlo
+            or self.yhi < other.ylo
+            or other.yhi < self.ylo
+        )
+
+    def intersection_area(self, other: "Rect") -> float:
+        """Area of overlap (0 when disjoint)."""
+        w = min(self.xhi, other.xhi) - max(self.xlo, other.xlo)
+        h = min(self.yhi, other.yhi) - max(self.ylo, other.ylo)
+        if w <= 0.0 or h <= 0.0:
+            return 0.0
+        return w * h
+
+    def union(self, other: "Rect") -> "Rect":
+        """The smallest rectangle covering both."""
+        return Rect(
+            min(self.xlo, other.xlo),
+            min(self.ylo, other.ylo),
+            max(self.xhi, other.xhi),
+            max(self.yhi, other.yhi),
+        )
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area growth needed to absorb ``other`` (R-tree ChooseLeaf)."""
+        return self.union(other).area() - self.area()
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+
+    def min_dist_point(self, p: Point) -> float:
+        """Smallest distance from ``p`` to any point of the rectangle."""
+        dx = max(self.xlo - p.x, 0.0, p.x - self.xhi)
+        dy = max(self.ylo - p.y, 0.0, p.y - self.yhi)
+        return math.hypot(dx, dy)
+
+    def max_dist_point(self, p: Point) -> float:
+        """Largest distance from ``p`` to any point of the rectangle.
+
+        Realized at the corner farthest from ``p`` in both axes.
+        """
+        dx = max(abs(p.x - self.xlo), abs(p.x - self.xhi))
+        dy = max(abs(p.y - self.ylo), abs(p.y - self.yhi))
+        return math.hypot(dx, dy)
+
+    def min_dist(self, other: "Rect") -> float:
+        """Smallest distance between a point of ``self`` and of ``other``."""
+        dx = max(self.xlo - other.xhi, 0.0, other.xlo - self.xhi)
+        dy = max(self.ylo - other.yhi, 0.0, other.ylo - self.yhi)
+        return math.hypot(dx, dy)
+
+    def max_dist(self, other: "Rect") -> float:
+        """Largest distance between a point of ``self`` and of ``other``.
+
+        Per axis, the extreme separation is between opposite-facing edges:
+        ``max(|self.hi - other.lo|, |other.hi - self.lo|)``.
+        """
+        dx = max(abs(self.xhi - other.xlo), abs(other.xhi - self.xlo))
+        dy = max(abs(self.yhi - other.ylo), abs(other.yhi - self.ylo))
+        return math.hypot(dx, dy)
+
+    def min_max_dist(self, other: "Rect") -> float:
+        """An upper bound on the distance from the *best-placed* point of
+        ``self`` to the farthest point of ``other``.
+
+        Used by the tight self/one-object refinements: there exists a point
+        in ``self`` (its center) whose distance to every point of ``other``
+        is at most this value.
+        """
+        return self.center().distance_to(other.center()) + other.diagonal() / 2.0

@@ -1,0 +1,16 @@
+"""Storage substrate: pages, a simulated disk, and an LRU buffer pool.
+
+The paper evaluates index methods by *simulated* page I/O (a counter that
+increments on every page fetched past the buffer, with multi-page reads
+charged per page), because real disk I/O hides behind OS and runtime
+caches.  This package provides exactly that substrate: a page-addressed
+in-memory store with strict I/O accounting and an LRU pool with pinning.
+"""
+
+from .iostats import IOStats
+from .page import Page
+from .disk import DiskManager
+from .buffer import BufferPool
+from .serialize import NodeCodec
+
+__all__ = ["IOStats", "Page", "DiskManager", "BufferPool", "NodeCodec"]

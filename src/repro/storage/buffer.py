@@ -1,0 +1,132 @@
+"""LRU buffer pool over the simulated disk.
+
+The pool caches whole records (a record is one serialized tree node) and
+accounts capacity in *pages*, so a fat node with a three-page posting
+block occupies three page slots.  Pinned records are never evicted;
+over-committing the pool with pins raises :class:`BufferPoolError`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from ..errors import BufferPoolError
+from .disk import DiskManager
+
+
+class BufferPool:
+    """Page-budgeted LRU cache of disk records."""
+
+    def __init__(self, disk: DiskManager, capacity_pages: int = 128) -> None:
+        if capacity_pages < 1:
+            raise BufferPoolError(
+                f"capacity_pages must be >= 1, got {capacity_pages}"
+            )
+        self.disk = disk
+        self.capacity_pages = capacity_pages
+        self._cache: "OrderedDict[int, bytes]" = OrderedDict()
+        self._pages_used = 0
+        self._pins: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+
+    def get(self, record_id: int, tag: str = "") -> bytes:
+        """Fetch a record, through the cache.
+
+        A hit refreshes recency and charges no I/O; a miss reads from the
+        disk manager (charging its page span) and inserts the record,
+        evicting LRU unpinned records as needed.
+        """
+        cached = self._cache.get(record_id)
+        if cached is not None:
+            self._cache.move_to_end(record_id)
+            self.disk.stats.record_hit(self.disk.record_pages(record_id))
+            return cached
+        data = self.disk.read(record_id, tag)
+        self._insert(record_id, data)
+        return data
+
+    def contains(self, record_id: int) -> bool:
+        """True when the record is resident in the pool."""
+        return record_id in self._cache
+
+    # ------------------------------------------------------------------
+    # Pinning
+    # ------------------------------------------------------------------
+
+    def pin(self, record_id: int, tag: str = "") -> bytes:
+        """Fetch and pin a record (it will not be evicted until unpinned)."""
+        data = self.get(record_id, tag)
+        self._pins[record_id] = self._pins.get(record_id, 0) + 1
+        return data
+
+    def unpin(self, record_id: int) -> None:
+        """Release one pin on a record."""
+        count = self._pins.get(record_id, 0)
+        if count <= 0:
+            raise BufferPoolError(f"record {record_id} is not pinned")
+        if count == 1:
+            del self._pins[record_id]
+        else:
+            self._pins[record_id] = count - 1
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def invalidate(self, record_id: int) -> None:
+        """Drop a record from the cache (after a rewrite)."""
+        if record_id in self._pins:
+            raise BufferPoolError(f"cannot invalidate pinned record {record_id}")
+        data = self._cache.pop(record_id, None)
+        if data is not None:
+            self._pages_used -= self.disk.record_pages(record_id)
+
+    def clear(self) -> None:
+        """Empty the pool (used to force cold-cache measurements)."""
+        if self._pins:
+            raise BufferPoolError("cannot clear a pool with pinned records")
+        self._cache.clear()
+        self._pages_used = 0
+
+    @property
+    def pages_used(self) -> int:
+        """Pages currently occupied by resident records."""
+        return self._pages_used
+
+    @property
+    def resident_records(self) -> int:
+        """Number of records currently cached."""
+        return len(self._cache)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _insert(self, record_id: int, data: bytes) -> None:
+        pages = self.disk.record_pages(record_id)
+        if pages > self.capacity_pages:
+            # Record larger than the whole pool: serve it uncached, like a
+            # real buffer manager streaming an oversized object.
+            return
+        self._evict_until(self.capacity_pages - pages)
+        self._cache[record_id] = data
+        self._pages_used += pages
+
+    def _evict_until(self, target_pages: int) -> None:
+        if target_pages < 0:
+            raise BufferPoolError("eviction target below zero")
+        for victim in list(self._cache):
+            if self._pages_used <= target_pages:
+                return
+            if victim in self._pins:
+                continue
+            del self._cache[victim]
+            self._pages_used -= self.disk.record_pages(victim)
+        if self._pages_used > target_pages:
+            raise BufferPoolError(
+                "buffer pool over-committed: pinned records exceed capacity"
+            )

@@ -1,0 +1,54 @@
+"""Simulated I/O accounting.
+
+One logical read of a page that is not in the buffer pool costs one I/O;
+a node whose serialized form spans ``n`` pages costs ``n``.  Writes during
+index construction are tracked separately so query-time numbers stay
+clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class IOStats:
+    """Mutable counters shared by a disk manager and its buffer pool."""
+
+    reads: int = 0
+    writes: int = 0
+    buffer_hits: int = 0
+    by_tag: Dict[str, int] = field(default_factory=dict)
+
+    def record_read(self, pages: int = 1, tag: str = "") -> None:
+        """Charge ``pages`` read I/Os, optionally under a tag."""
+        self.reads += pages
+        if tag:
+            self.by_tag[tag] = self.by_tag.get(tag, 0) + pages
+
+    def record_write(self, pages: int = 1) -> None:
+        """Charge `pages` write I/Os."""
+        self.writes += pages
+
+    def record_hit(self, pages: int = 1) -> None:
+        """Record `pages` served from the buffer (no I/O)."""
+        self.buffer_hits += pages
+
+    def reset(self) -> None:
+        """Zero all counters (called between measured queries)."""
+        self.reads = 0
+        self.writes = 0
+        self.buffer_hits = 0
+        self.by_tag.clear()
+
+    def snapshot(self) -> Dict[str, int]:
+        """A copy of the counters for experiment logging."""
+        out = {
+            "reads": self.reads,
+            "writes": self.writes,
+            "buffer_hits": self.buffer_hits,
+        }
+        for tag, count in self.by_tag.items():
+            out[f"reads.{tag}"] = count
+        return out

@@ -1,0 +1,50 @@
+"""The page: fixed-capacity byte container addressed by page id."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import StorageError
+
+#: Default simulated page size, matching the 4 kB pages of the evaluation.
+DEFAULT_PAGE_SIZE = 4096
+
+
+@dataclass
+class Page:
+    """A single fixed-size page.
+
+    The payload may be shorter than ``capacity`` (slack is implicit); it
+    may never be longer — multi-page records are handled above this layer
+    by the disk manager's record abstraction.
+    """
+
+    page_id: int
+    capacity: int = DEFAULT_PAGE_SIZE
+    data: bytes = b""
+    dirty: bool = field(default=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.page_id < 0:
+            raise StorageError(f"page_id must be >= 0, got {self.page_id}")
+        if self.capacity < 1:
+            raise StorageError(f"capacity must be >= 1, got {self.capacity}")
+        if len(self.data) > self.capacity:
+            raise StorageError(
+                f"payload of {len(self.data)} bytes exceeds page capacity "
+                f"{self.capacity}"
+            )
+
+    def write(self, data: bytes) -> None:
+        """Replace the payload, marking the page dirty."""
+        if len(data) > self.capacity:
+            raise StorageError(
+                f"payload of {len(data)} bytes exceeds page capacity {self.capacity}"
+            )
+        self.data = data
+        self.dirty = True
+
+    @property
+    def free_space(self) -> int:
+        """Unused bytes remaining in the page."""
+        return self.capacity - len(self.data)

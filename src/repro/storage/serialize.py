@@ -1,0 +1,144 @@
+"""Binary (de)serialization of tree nodes.
+
+The codec is layering-neutral: it encodes a :class:`SerializedNode` made of
+plain tuples/dicts, and the index layer converts its in-memory node
+structures to and from this form.  Serialization exists for two reasons:
+
+* it makes the *page-size model honest* — a node's simulated footprint is
+  the byte length of exactly what an on-disk system would store (MBRs,
+  child refs, per-cluster posting entries with min/max weights); and
+* round-trip tests pin the format, so index size numbers are reproducible.
+
+Format (little-endian)::
+
+    node    := u8 is_leaf | u16 n_entries | entry*
+    entry   := i64 ref | 4×f64 mbr | u32 doc_count | u16 n_clusters | cluster*
+    cluster := u16 cluster_id | u32 count | vec intersection | vec union
+    vec     := u32 n | (u32 term_id, f32 weight)*
+
+Weights are stored as f32 like a production inverted file would; the codec
+therefore quantizes, and the index keeps its authoritative float64 vectors
+in memory while using the codec only for page accounting and persistence
+tests.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..errors import PageFormatError
+
+_HEADER = struct.Struct("<BH")
+_ENTRY_FIXED = struct.Struct("<q4dIH")
+_CLUSTER_FIXED = struct.Struct("<HI")
+_VEC_LEN = struct.Struct("<I")
+_VEC_ITEM = struct.Struct("<If")
+
+
+@dataclass
+class SerializedCluster:
+    """Per-cluster textual summary of one entry."""
+
+    cluster_id: int
+    count: int
+    intersection: Dict[int, float]
+    union: Dict[int, float]
+
+
+@dataclass
+class SerializedEntry:
+    """One directory or leaf entry in neutral form.
+
+    ``ref`` is a child record id for directory entries and an object id
+    for leaf entries; the ``is_leaf`` flag of the node disambiguates.
+    """
+
+    ref: int
+    mbr: Tuple[float, float, float, float]
+    doc_count: int
+    clusters: List[SerializedCluster] = field(default_factory=list)
+
+
+@dataclass
+class SerializedNode:
+    is_leaf: bool
+    entries: List[SerializedEntry] = field(default_factory=list)
+
+
+class NodeCodec:
+    """Encoder/decoder for :class:`SerializedNode`."""
+
+    @staticmethod
+    def encode(node: SerializedNode) -> bytes:
+        """Serialize a node to its binary record form."""
+        parts = [_HEADER.pack(1 if node.is_leaf else 0, len(node.entries))]
+        for entry in node.entries:
+            parts.append(
+                _ENTRY_FIXED.pack(
+                    entry.ref, *entry.mbr, entry.doc_count, len(entry.clusters)
+                )
+            )
+            for cluster in entry.clusters:
+                parts.append(_CLUSTER_FIXED.pack(cluster.cluster_id, cluster.count))
+                parts.append(NodeCodec._encode_vec(cluster.intersection))
+                parts.append(NodeCodec._encode_vec(cluster.union))
+        return b"".join(parts)
+
+    @staticmethod
+    def decode(data: bytes) -> SerializedNode:
+        """Parse a binary record back into a SerializedNode."""
+        try:
+            return NodeCodec._decode(data)
+        except struct.error as exc:
+            raise PageFormatError(f"truncated node record: {exc}") from exc
+
+    @staticmethod
+    def _decode(data: bytes) -> SerializedNode:
+        offset = 0
+        is_leaf, n_entries = _HEADER.unpack_from(data, offset)
+        offset += _HEADER.size
+        entries: List[SerializedEntry] = []
+        for _ in range(n_entries):
+            ref, xlo, ylo, xhi, yhi, doc_count, n_clusters = _ENTRY_FIXED.unpack_from(
+                data, offset
+            )
+            offset += _ENTRY_FIXED.size
+            clusters: List[SerializedCluster] = []
+            for _ in range(n_clusters):
+                cid, count = _CLUSTER_FIXED.unpack_from(data, offset)
+                offset += _CLUSTER_FIXED.size
+                inter, offset = NodeCodec._decode_vec(data, offset)
+                union, offset = NodeCodec._decode_vec(data, offset)
+                clusters.append(SerializedCluster(cid, count, inter, union))
+            entries.append(
+                SerializedEntry(ref, (xlo, ylo, xhi, yhi), doc_count, clusters)
+            )
+        if offset != len(data):
+            raise PageFormatError(
+                f"trailing bytes in node record: {len(data) - offset}"
+            )
+        return SerializedNode(bool(is_leaf), entries)
+
+    # ------------------------------------------------------------------
+    # Vectors
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _encode_vec(weights: Dict[int, float]) -> bytes:
+        parts = [_VEC_LEN.pack(len(weights))]
+        for tid in sorted(weights):
+            parts.append(_VEC_ITEM.pack(tid, weights[tid]))
+        return b"".join(parts)
+
+    @staticmethod
+    def _decode_vec(data: bytes, offset: int) -> Tuple[Dict[int, float], int]:
+        (n,) = _VEC_LEN.unpack_from(data, offset)
+        offset += _VEC_LEN.size
+        out: Dict[int, float] = {}
+        for _ in range(n):
+            tid, w = _VEC_ITEM.unpack_from(data, offset)
+            offset += _VEC_ITEM.size
+            out[tid] = w
+        return out, offset

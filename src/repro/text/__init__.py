@@ -1,0 +1,54 @@
+"""Text substrate: vocabularies, sparse vectors, weighting, similarity.
+
+The IUR-tree family needs more than plain document similarity — it needs
+*interval vectors* (per-term [min, max] weight summaries of a subtree) and
+provable min/max similarity bounds between them.  Those live here too so
+the index code stays purely structural.
+"""
+
+from .tokenize import tokenize
+from .vocabulary import Vocabulary
+from .vector import SparseVector
+from .interval import IntervalVector
+from .weighting import (
+    WeightingScheme,
+    TfWeighting,
+    TfIdfWeighting,
+    LanguageModelWeighting,
+    BM25Weighting,
+    make_weighting,
+)
+from .similarity import (
+    TextMeasure,
+    ExtendedJaccard,
+    CosineMeasure,
+    OverlapMeasure,
+    DiceMeasure,
+    WeightedJaccard,
+    make_measure,
+)
+from .clustering import SphericalKMeans, ClusteringResult
+from .entropy import cluster_entropy
+
+__all__ = [
+    "tokenize",
+    "Vocabulary",
+    "SparseVector",
+    "IntervalVector",
+    "WeightingScheme",
+    "TfWeighting",
+    "TfIdfWeighting",
+    "LanguageModelWeighting",
+    "BM25Weighting",
+    "make_weighting",
+    "TextMeasure",
+    "ExtendedJaccard",
+    "CosineMeasure",
+    "OverlapMeasure",
+    "DiceMeasure",
+    "WeightedJaccard",
+    "make_measure",
+    "SphericalKMeans",
+    "ClusteringResult",
+    "cluster_entropy",
+]

@@ -1,0 +1,152 @@
+"""Spherical k-means over sparse text vectors.
+
+The CIUR-tree groups documents by textual similarity so that per-cluster
+interval vectors stay tight.  Spherical k-means (cosine geometry on unit
+vectors) is the classic choice for text and is what we implement here —
+deterministic given a seed, dependency-free, and robust to empty clusters.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..errors import ConfigError
+from .vector import SparseVector
+
+
+@dataclass
+class ClusteringResult:
+    """Assignment of documents to text clusters.
+
+    Attributes:
+        labels: ``labels[i]`` is the cluster id of document ``i``.
+        centroids: Unit-normalized cluster centroids (may be fewer than
+            requested when the corpus has fewer distinct documents).
+        cohesion: ``cohesion[i]`` is the cosine of document ``i`` to its
+            centroid — the outlier-extraction signal.
+    """
+
+    labels: List[int]
+    centroids: List[SparseVector]
+    cohesion: List[float]
+
+    @property
+    def num_clusters(self) -> int:
+        """Number of centroids actually produced."""
+        return len(self.centroids)
+
+    def members(self, cluster: int) -> List[int]:
+        """Document indices assigned to ``cluster``."""
+        return [i for i, lab in enumerate(self.labels) if lab == cluster]
+
+
+class SphericalKMeans:
+    """k-means with cosine similarity on normalized vectors.
+
+    Empty documents (no terms) are all assigned to cluster 0 with cohesion
+    1.0 — they are textually identical to each other and carry no signal.
+    """
+
+    def __init__(self, k: int, max_iter: int = 25, seed: int = 7) -> None:
+        if k < 1:
+            raise ConfigError(f"k must be >= 1, got {k}")
+        if max_iter < 1:
+            raise ConfigError(f"max_iter must be >= 1, got {max_iter}")
+        self.k = k
+        self.max_iter = max_iter
+        self.seed = seed
+
+    def fit(self, vectors: Sequence[SparseVector]) -> ClusteringResult:
+        """Cluster ``vectors`` and return labels, centroids, cohesion."""
+        n = len(vectors)
+        if n == 0:
+            return ClusteringResult([], [], [])
+        unit = [v.normalized() for v in vectors]
+        k = min(self.k, n)
+        if k == 1:
+            centroid = SparseVector.mean(unit).normalized()
+            cohesion = [u.dot(centroid) if u else 1.0 for u in unit]
+            return ClusteringResult([0] * n, [centroid], cohesion)
+
+        rng = random.Random(self.seed)
+        centroids = self._seed_centroids(unit, k, rng)
+        labels = [0] * n
+        for _ in range(self.max_iter):
+            changed = False
+            for i, u in enumerate(unit):
+                best = self._nearest(u, centroids)
+                if best != labels[i]:
+                    labels[i] = best
+                    changed = True
+            centroids = self._recompute(unit, labels, centroids, rng)
+            if not changed:
+                break
+        cohesion = [
+            unit[i].dot(centroids[labels[i]]) if unit[i] else 1.0 for i in range(n)
+        ]
+        return ClusteringResult(labels, centroids, cohesion)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _seed_centroids(
+        self, unit: Sequence[SparseVector], k: int, rng: random.Random
+    ) -> List[SparseVector]:
+        """k-means++-style seeding on cosine distance."""
+        first = rng.randrange(len(unit))
+        centroids = [unit[first]]
+        while len(centroids) < k:
+            # Distance of each point to its nearest chosen centroid.
+            dists = []
+            for u in unit:
+                best = max((u.dot(c) for c in centroids), default=0.0)
+                dists.append(max(0.0, 1.0 - best))
+            total = sum(dists)
+            if total == 0.0:
+                # All points identical to some centroid; pad with copies.
+                centroids.append(unit[rng.randrange(len(unit))])
+                continue
+            pick = rng.random() * total
+            acc = 0.0
+            chosen = len(unit) - 1
+            for i, d in enumerate(dists):
+                acc += d
+                if acc >= pick:
+                    chosen = i
+                    break
+            centroids.append(unit[chosen])
+        return centroids
+
+    @staticmethod
+    def _nearest(u: SparseVector, centroids: Sequence[SparseVector]) -> int:
+        best_idx = 0
+        best_sim = -1.0
+        for idx, c in enumerate(centroids):
+            sim = u.dot(c)
+            if sim > best_sim:
+                best_sim = sim
+                best_idx = idx
+        return best_idx
+
+    @staticmethod
+    def _recompute(
+        unit: Sequence[SparseVector],
+        labels: List[int],
+        old: List[SparseVector],
+        rng: random.Random,
+    ) -> List[SparseVector]:
+        groups: List[List[SparseVector]] = [[] for _ in old]
+        for u, lab in zip(unit, labels):
+            groups[lab].append(u)
+        centroids: List[SparseVector] = []
+        for gi, group in enumerate(groups):
+            if not group:
+                # Re-seed an empty cluster at a random point; keeps k stable.
+                centroids.append(unit[rng.randrange(len(unit))])
+                continue
+            mean = SparseVector.mean(group).normalized()
+            centroids.append(mean if mean else old[gi])
+        return centroids

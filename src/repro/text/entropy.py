@@ -1,0 +1,41 @@
+"""Cluster-label entropy, the signal behind the TE traversal optimization.
+
+A CIUR-tree node whose subtree mixes many text clusters has loose textual
+bounds (its per-cluster envelopes cover heterogeneous documents), so the
+searcher gains more from expanding it early.  The entropy of the node's
+cluster-count histogram quantifies that mixing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+
+def cluster_entropy(counts: Mapping[int, int]) -> float:
+    """Shannon entropy (nats) of a cluster-count histogram.
+
+    Zero counts are ignored; an empty or single-cluster histogram has
+    entropy 0.  Raises ``ValueError`` on negative counts.
+    """
+    total = 0
+    for c in counts.values():
+        if c < 0:
+            raise ValueError(f"cluster counts must be >= 0, got {c}")
+        total += c
+    if total == 0:
+        return 0.0
+    ent = 0.0
+    for c in counts.values():
+        if c == 0:
+            continue
+        p = c / total
+        ent -= p * math.log(p)
+    return ent
+
+
+def normalized_cluster_entropy(counts: Mapping[int, int], num_clusters: int) -> float:
+    """Entropy scaled to [0, 1] by the maximum ``log(num_clusters)``."""
+    if num_clusters <= 1:
+        return 0.0
+    return cluster_entropy(counts) / math.log(num_clusters)

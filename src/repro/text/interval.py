@@ -1,0 +1,130 @@
+"""Interval vectors: the textual summaries carried by IUR-tree nodes.
+
+An :class:`IntervalVector` summarizes a *set* of documents with, per term,
+
+* a **union weight** ``uni[t]`` — the maximum weight of ``t`` over the
+  documents that contain it (``t`` present iff *some* document has it); and
+* an **intersection weight** ``int[t]`` — the minimum weight of ``t`` over
+  the documents, where a term absent from *any* document has intersection
+  weight 0 (and is stored as absent).
+
+These are exactly the pseudo-document vectors of the IUR-tree: for every
+summarized document ``d`` and term ``t``:
+
+    int[t] <= d[t] <= uni[t]      (taking absent weights as 0)
+
+The similarity-bound machinery in :mod:`repro.text.similarity` consumes
+only interval vectors, so a concrete document is summarized exactly by the
+degenerate interval ``int == uni == d``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from ..errors import DatasetError
+from .vector import SparseVector
+
+
+class IntervalVector:
+    """Immutable [min, max] per-term weight summary of a document set."""
+
+    __slots__ = ("intersection", "union", "doc_count")
+
+    def __init__(
+        self, intersection: SparseVector, union: SparseVector, doc_count: int
+    ) -> None:
+        if doc_count < 1:
+            raise DatasetError(f"IntervalVector needs doc_count >= 1, got {doc_count}")
+        for tid, w in intersection.items():
+            uw = union.get(tid)
+            if uw < w:
+                raise DatasetError(
+                    f"intersection weight {w} exceeds union weight {uw} for term {tid}"
+                )
+        self.intersection = intersection
+        self.union = union
+        self.doc_count = doc_count
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalVector):
+            return NotImplemented
+        return (
+            self.intersection == other.intersection
+            and self.union == other.union
+            and self.doc_count == other.doc_count
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.intersection, self.union, self.doc_count))
+
+    def __repr__(self) -> str:
+        return (
+            f"IntervalVector(docs={self.doc_count}, "
+            f"|int|={len(self.intersection)}, |uni|={len(self.union)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def from_document(vector: SparseVector) -> "IntervalVector":
+        """The exact summary of a single document."""
+        return IntervalVector(vector, vector, 1)
+
+    @staticmethod
+    def merge(parts: Iterable["IntervalVector"]) -> "IntervalVector":
+        """Summary of the union of several summarized sets.
+
+        Union weights take the per-term max; intersection weights take the
+        per-term min *and* require the term to be present in every part's
+        intersection (else some document lacks the term → weight 0).
+        """
+        part_list: List[IntervalVector] = list(parts)
+        if not part_list:
+            raise DatasetError("IntervalVector.merge requires at least one part")
+        uni: Dict[int, float] = {}
+        for part in part_list:
+            for tid, w in part.union.items():
+                if w > uni.get(tid, 0.0):
+                    uni[tid] = w
+        inter: Dict[int, float] = {}
+        first = part_list[0]
+        for tid, w in first.intersection.items():
+            lo = w
+            ok = True
+            for part in part_list[1:]:
+                pw = part.intersection.get(tid)
+                if pw == 0.0:
+                    ok = False
+                    break
+                lo = min(lo, pw)
+            if ok:
+                inter[tid] = lo
+        total_docs = sum(p.doc_count for p in part_list)
+        return IntervalVector(SparseVector(inter), SparseVector(uni), total_docs)
+
+    # ------------------------------------------------------------------
+    # Consistency
+    # ------------------------------------------------------------------
+
+    def admits(self, document: SparseVector) -> bool:
+        """True when ``document`` is consistent with this summary.
+
+        Every intersection term must appear in the document with at least
+        the intersection weight, and every document term must appear in
+        the union with at most the union weight.
+        """
+        for tid, lo in self.intersection.items():
+            if document.get(tid) < lo:
+                return False
+        for tid, w in document.items():
+            hi = self.union.get(tid)
+            if hi < w:
+                return False
+        return True
+
+    def size_in_terms(self) -> int:
+        """Number of distinct terms stored (drives the page-size model)."""
+        return len(self.union) + len(self.intersection)

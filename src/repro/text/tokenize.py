@@ -1,0 +1,48 @@
+"""A small, dependency-free tokenizer for object descriptions.
+
+The datasets the paper uses (geographic names, POI descriptions) have
+short, keyword-ish documents, so the tokenizer is deliberately simple:
+lowercase, split on non-alphanumerics, drop pure punctuation and a tiny
+stopword list, and optionally drop very short tokens.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import FrozenSet, List
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+#: A minimal English stopword list; enough to keep pseudo-documents from
+#: being dominated by glue words in the synthetic corpora.
+DEFAULT_STOPWORDS: FrozenSet[str] = frozenset(
+    """a an and are as at be by for from has he in is it its of on or that the
+    to was were will with""".split()
+)
+
+
+def tokenize(
+    text: str,
+    min_length: int = 1,
+    stopwords: FrozenSet[str] = DEFAULT_STOPWORDS,
+) -> List[str]:
+    """Split ``text`` into normalized terms.
+
+    Args:
+        text: Raw description.
+        min_length: Drop tokens shorter than this many characters.
+        stopwords: Terms to drop after lowercasing.
+
+    Returns:
+        The list of terms, in order and with duplicates preserved (term
+        frequency matters to the weighting schemes).
+    """
+    out: List[str] = []
+    for match in _TOKEN_RE.finditer(text.lower()):
+        token = match.group(0)
+        if len(token) < min_length:
+            continue
+        if token in stopwords:
+            continue
+        out.append(token)
+    return out

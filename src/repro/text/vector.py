@@ -1,0 +1,215 @@
+"""Sparse weighted term vectors.
+
+A :class:`SparseVector` is an immutable mapping ``term_id -> weight > 0``
+stored as parallel sorted tuples, which makes dot products a linear merge
+and keeps hashing/equality cheap for tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+from ..errors import DatasetError
+
+
+class SparseVector:
+    """Immutable sparse vector over integer term ids.
+
+    Weights must be strictly positive — a zero weight is represented by
+    absence, which every bound derivation in :mod:`repro.text.similarity`
+    relies on.
+    """
+
+    __slots__ = ("_ids", "_weights", "_norm_sq")
+
+    def __init__(self, weights: Mapping[int, float]) -> None:
+        items = sorted(weights.items())
+        for tid, w in items:
+            if w <= 0.0:
+                raise DatasetError(
+                    f"SparseVector weights must be > 0; term {tid} has {w}"
+                )
+            if tid < 0:
+                raise DatasetError(f"term ids must be >= 0; got {tid}")
+        self._ids: Tuple[int, ...] = tuple(tid for tid, _ in items)
+        self._weights: Tuple[float, ...] = tuple(w for _, w in items)
+        self._norm_sq: float = sum(w * w for w in self._weights)
+
+    # ------------------------------------------------------------------
+    # Basics
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def empty() -> "SparseVector":
+        """The zero vector."""
+        return SparseVector({})
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __bool__(self) -> bool:
+        return bool(self._ids)
+
+    def __contains__(self, tid: int) -> bool:
+        return self.get(tid) > 0.0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SparseVector):
+            return NotImplemented
+        return self._ids == other._ids and self._weights == other._weights
+
+    def __hash__(self) -> int:
+        return hash((self._ids, self._weights))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{t}:{w:.3g}" for t, w in self.items())
+        return f"SparseVector({{{inner}}})"
+
+    def get(self, tid: int) -> float:
+        """Weight of ``tid`` (0 when absent); binary search."""
+        ids = self._ids
+        lo, hi = 0, len(ids)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if ids[mid] < tid:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(ids) and ids[lo] == tid:
+            return self._weights[lo]
+        return 0.0
+
+    def items(self) -> Iterator[Tuple[int, float]]:
+        """Iterate (term_id, weight) pairs in term order."""
+        return zip(self._ids, self._weights)
+
+    def term_ids(self) -> Tuple[int, ...]:
+        """The sorted term ids."""
+        return self._ids
+
+    def to_dict(self) -> Dict[int, float]:
+        """A plain {term_id: weight} copy."""
+        return dict(self.items())
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+
+    @property
+    def norm_squared(self) -> float:
+        """``|v|^2`` (precomputed)."""
+        return self._norm_sq
+
+    @property
+    def norm(self) -> float:
+        """``|v|`` (from the precomputed squared norm)."""
+        return math.sqrt(self._norm_sq)
+
+    def dot(self, other: "SparseVector") -> float:
+        """Sparse dot product by sorted merge."""
+        a_ids, a_w = self._ids, self._weights
+        b_ids, b_w = other._ids, other._weights
+        i = j = 0
+        total = 0.0
+        na, nb = len(a_ids), len(b_ids)
+        while i < na and j < nb:
+            ai, bj = a_ids[i], b_ids[j]
+            if ai == bj:
+                total += a_w[i] * b_w[j]
+                i += 1
+                j += 1
+            elif ai < bj:
+                i += 1
+            else:
+                j += 1
+        return total
+
+    def sum_min(self, other: "SparseVector") -> float:
+        """``Σ_t min(self[t], other[t])`` — only shared terms contribute."""
+        a_ids, a_w = self._ids, self._weights
+        b_ids, b_w = other._ids, other._weights
+        i = j = 0
+        total = 0.0
+        na, nb = len(a_ids), len(b_ids)
+        while i < na and j < nb:
+            ai, bj = a_ids[i], b_ids[j]
+            if ai == bj:
+                total += min(a_w[i], b_w[j])
+                i += 1
+                j += 1
+            elif ai < bj:
+                i += 1
+            else:
+                j += 1
+        return total
+
+    def sum_max(self, other: "SparseVector") -> float:
+        """``Σ_t max(self[t], other[t])`` over the union of terms."""
+        a_ids, a_w = self._ids, self._weights
+        b_ids, b_w = other._ids, other._weights
+        i = j = 0
+        total = 0.0
+        na, nb = len(a_ids), len(b_ids)
+        while i < na and j < nb:
+            ai, bj = a_ids[i], b_ids[j]
+            if ai == bj:
+                total += max(a_w[i], b_w[j])
+                i += 1
+                j += 1
+            elif ai < bj:
+                total += a_w[i]
+                i += 1
+            else:
+                total += b_w[j]
+                j += 1
+        total += sum(a_w[i:])
+        total += sum(b_w[j:])
+        return total
+
+    def weight_sum(self) -> float:
+        """``Σ_t self[t]``."""
+        return sum(self._weights)
+
+    def overlap_count(self, other: "SparseVector") -> int:
+        """Number of shared terms."""
+        a_ids, b_ids = self._ids, other._ids
+        i = j = 0
+        count = 0
+        na, nb = len(a_ids), len(b_ids)
+        while i < na and j < nb:
+            if a_ids[i] == b_ids[j]:
+                count += 1
+                i += 1
+                j += 1
+            elif a_ids[i] < b_ids[j]:
+                i += 1
+            else:
+                j += 1
+        return count
+
+    def normalized(self) -> "SparseVector":
+        """Unit-length copy (clustering uses cosine geometry)."""
+        n = self.norm
+        if n == 0.0:
+            return self
+        return SparseVector({t: w / n for t, w in self.items()})
+
+    def scaled(self, factor: float) -> "SparseVector":
+        """A copy with every weight multiplied by ``factor > 0``."""
+        if factor <= 0.0:
+            raise DatasetError(f"scale factor must be > 0, got {factor}")
+        return SparseVector({t: w * factor for t, w in self.items()})
+
+    @staticmethod
+    def mean(vectors: Iterable["SparseVector"]) -> "SparseVector":
+        """Arithmetic mean (used for k-means centroids)."""
+        acc: Dict[int, float] = {}
+        n = 0
+        for v in vectors:
+            n += 1
+            for t, w in v.items():
+                acc[t] = acc.get(t, 0.0) + w
+        if n == 0:
+            return SparseVector.empty()
+        return SparseVector({t: w / n for t, w in acc.items() if w > 0.0})

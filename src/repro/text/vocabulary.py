@@ -1,0 +1,101 @@
+"""Vocabulary: bidirectional term <-> id mapping with corpus statistics.
+
+All vectors in the library are keyed by integer term ids; the vocabulary
+owns the mapping plus the document frequencies and collection term counts
+that the weighting schemes need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..errors import DatasetError
+
+
+class Vocabulary:
+    """Mutable during corpus construction, then effectively frozen.
+
+    Attributes:
+        doc_count: Number of documents folded in via :meth:`add_document`.
+        total_term_count: Total token occurrences across the corpus (|C|
+            in language-model smoothing).
+    """
+
+    def __init__(self) -> None:
+        self._term_to_id: Dict[str, int] = {}
+        self._id_to_term: List[str] = []
+        self._doc_freq: List[int] = []
+        self._collection_freq: List[int] = []
+        self.doc_count: int = 0
+        self.total_term_count: int = 0
+
+    def __len__(self) -> int:
+        return len(self._id_to_term)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._term_to_id
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def intern(self, term: str) -> int:
+        """Return the id for ``term``, creating one if needed."""
+        tid = self._term_to_id.get(term)
+        if tid is None:
+            tid = len(self._id_to_term)
+            self._term_to_id[term] = tid
+            self._id_to_term.append(term)
+            self._doc_freq.append(0)
+            self._collection_freq.append(0)
+        return tid
+
+    def add_document(self, terms: Iterable[str]) -> Dict[int, int]:
+        """Fold one document into the statistics.
+
+        Returns:
+            The document's term-frequency map ``{term_id: tf}``.
+        """
+        tf: Dict[int, int] = {}
+        for term in terms:
+            tid = self.intern(term)
+            tf[tid] = tf.get(tid, 0) + 1
+            self._collection_freq[tid] += 1
+            self.total_term_count += 1
+        for tid in tf:
+            self._doc_freq[tid] += 1
+        self.doc_count += 1
+        return tf
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def id_of(self, term: str) -> Optional[int]:
+        """The id of ``term`` or ``None`` when unseen."""
+        return self._term_to_id.get(term)
+
+    def term_of(self, tid: int) -> str:
+        """The term string for a known id."""
+        try:
+            return self._id_to_term[tid]
+        except IndexError:
+            raise DatasetError(f"unknown term id {tid}") from None
+
+    def doc_frequency(self, tid: int) -> int:
+        """Number of documents containing the term."""
+        try:
+            return self._doc_freq[tid]
+        except IndexError:
+            raise DatasetError(f"unknown term id {tid}") from None
+
+    def collection_frequency(self, tid: int) -> int:
+        """Total occurrences of the term across the corpus."""
+        try:
+            return self._collection_freq[tid]
+        except IndexError:
+            raise DatasetError(f"unknown term id {tid}") from None
+
+    def terms(self) -> List[str]:
+        """All known terms, by id order."""
+        return list(self._id_to_term)

@@ -1,0 +1,154 @@
+"""Term weighting schemes: raw TF, TF-IDF, and a smoothed language model.
+
+A weighting scheme turns a raw term-frequency map into the weighted
+:class:`~repro.text.vector.SparseVector` that similarity measures consume.
+The paper's default corpus representation is TF-IDF with Extended Jaccard
+similarity; LM weighting is provided for the measure-ablation experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Mapping
+
+from ..errors import ConfigError
+from .vector import SparseVector
+from .vocabulary import Vocabulary
+
+
+class WeightingScheme(ABC):
+    """Strategy interface for converting term frequencies to weights."""
+
+    #: Short name used in configs and experiment logs.
+    name: str = "abstract"
+
+    @abstractmethod
+    def vector(self, tf: Mapping[int, int], vocab: Vocabulary) -> SparseVector:
+        """Build a weighted vector from a ``{term_id: tf}`` map."""
+
+    def weight(self, tid: int, tf: int, vocab: Vocabulary) -> float:
+        """Weight of a single term occurrence count (for inspection)."""
+        return self.vector({tid: tf}, vocab).get(tid)
+
+
+class TfWeighting(WeightingScheme):
+    """Raw term frequency."""
+
+    name = "tf"
+
+    def vector(self, tf: Mapping[int, int], vocab: Vocabulary) -> SparseVector:
+        return SparseVector({tid: float(count) for tid, count in tf.items() if count > 0})
+
+
+class TfIdfWeighting(WeightingScheme):
+    """``tf * log(N / df)`` with the standard add-nothing idf.
+
+    Terms occurring in every document get idf 0 and drop out of the
+    vector; that matches the intersection-vector convention that absent
+    terms carry weight 0.
+    """
+
+    name = "tfidf"
+
+    def vector(self, tf: Mapping[int, int], vocab: Vocabulary) -> SparseVector:
+        n_docs = max(vocab.doc_count, 1)
+        weights = {}
+        for tid, count in tf.items():
+            if count <= 0:
+                continue
+            df = vocab.doc_frequency(tid)
+            if df <= 0:
+                # Term known to the vocabulary but present in no finished
+                # document (e.g. a query-only term): treat as rare.
+                df = 1
+            idf = math.log(n_docs / df) if n_docs > df else 0.0
+            w = count * idf
+            if w > 0.0:
+                weights[tid] = w
+        return SparseVector(weights)
+
+
+class LanguageModelWeighting(WeightingScheme):
+    """Jelinek–Mercer smoothed unigram language model.
+
+    ``p(t | d) = (1 - lam) * tf / |d| + lam * cf(t) / |C|``
+
+    Only terms present in the document get a vector entry (the smoothing
+    mass of absent terms is a constant offset shared by all documents and
+    is irrelevant to relative ranking with sparse measures).
+    """
+
+    name = "lm"
+
+    def __init__(self, lam: float = 0.2) -> None:
+        if not 0.0 <= lam <= 1.0:
+            raise ConfigError(f"lm lambda must be in [0, 1], got {lam}")
+        self.lam = lam
+
+    def vector(self, tf: Mapping[int, int], vocab: Vocabulary) -> SparseVector:
+        doc_len = sum(c for c in tf.values() if c > 0)
+        if doc_len == 0:
+            return SparseVector.empty()
+        coll_len = max(vocab.total_term_count, 1)
+        weights = {}
+        for tid, count in tf.items():
+            if count <= 0:
+                continue
+            ml = count / doc_len
+            bg = vocab.collection_frequency(tid) / coll_len
+            w = (1.0 - self.lam) * ml + self.lam * bg
+            if w > 0.0:
+                weights[tid] = w
+        return SparseVector(weights)
+
+
+class BM25Weighting(WeightingScheme):
+    """Okapi BM25 term weights.
+
+    ``w(t, d) = idf(t) * tf * (k1 + 1) / (tf + k1 * (1 - b + b * |d|/avgdl))``
+
+    with the non-negative idf variant ``log(1 + (N - df + 0.5)/(df + 0.5))``
+    so weights stay positive (a :class:`SparseVector` requirement).
+    """
+
+    name = "bm25"
+
+    def __init__(self, k1: float = 1.2, b: float = 0.75) -> None:
+        if k1 < 0.0:
+            raise ConfigError(f"bm25 k1 must be >= 0, got {k1}")
+        if not 0.0 <= b <= 1.0:
+            raise ConfigError(f"bm25 b must be in [0, 1], got {b}")
+        self.k1 = k1
+        self.b = b
+
+    def vector(self, tf: Mapping[int, int], vocab: Vocabulary) -> SparseVector:
+        n_docs = max(vocab.doc_count, 1)
+        doc_len = sum(c for c in tf.values() if c > 0)
+        avg_len = vocab.total_term_count / n_docs if vocab.total_term_count else 1.0
+        if avg_len <= 0.0:
+            avg_len = 1.0
+        weights = {}
+        for tid, count in tf.items():
+            if count <= 0:
+                continue
+            df = max(vocab.doc_frequency(tid), 1)
+            idf = math.log(1.0 + (n_docs - df + 0.5) / (df + 0.5))
+            norm = count + self.k1 * (1.0 - self.b + self.b * doc_len / avg_len)
+            w = idf * count * (self.k1 + 1.0) / norm
+            if w > 0.0:
+                weights[tid] = w
+        return SparseVector(weights)
+
+
+def make_weighting(name: str, lm_lambda: float = 0.2) -> WeightingScheme:
+    """Factory mapping config names to scheme instances."""
+    if name == "tf":
+        return TfWeighting()
+    if name == "tfidf":
+        return TfIdfWeighting()
+    if name == "lm":
+        return LanguageModelWeighting(lm_lambda)
+    if name == "bm25":
+        return BM25Weighting()
+    raise ConfigError(f"unknown weighting scheme {name!r}")

@@ -1,0 +1,23 @@
+"""Workloads: synthetic dataset generators and query samplers.
+
+The paper evaluates on proprietary-access corpora (GeographicNames-style
+gazetteers, long-document collections, categorized POI sets).  These
+generators reproduce the *characteristics* that drive the algorithms'
+relative behaviour — spatial clusteredness, document length, vocabulary
+skew, topical structure — as documented in DESIGN.md §4.
+"""
+
+from .generator import WorkloadSpec, generate_corpus, generate_user_corpus
+from .datasets import gn_like, cd_like, shop_like, make_dataset
+from .queries import sample_queries
+
+__all__ = [
+    "WorkloadSpec",
+    "generate_corpus",
+    "generate_user_corpus",
+    "gn_like",
+    "cd_like",
+    "shop_like",
+    "make_dataset",
+    "sample_queries",
+]

@@ -1,0 +1,80 @@
+"""Named dataset builders emulating the paper's evaluation corpora.
+
+Sizes default to laptop scale; every builder takes ``n`` so the
+scalability experiment can sweep it.  See DESIGN.md §4 for the mapping
+from the originals to these analogs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import SimilarityConfig
+from ..model.dataset import STDataset
+from .generator import WorkloadSpec, generate_corpus
+
+
+def make_dataset(
+    spec: WorkloadSpec, config: Optional[SimilarityConfig] = None
+) -> STDataset:
+    """Generate a corpus from ``spec`` and weight it into a dataset."""
+    return STDataset.from_corpus(generate_corpus(spec), config)
+
+
+def gn_like(
+    n: int = 2000, seed: int = 42, config: Optional[SimilarityConfig] = None
+) -> STDataset:
+    """GeographicNames-style: many location clusters, short documents."""
+    spec = WorkloadSpec(
+        n_objects=n,
+        n_spatial_clusters=max(8, n // 250),
+        cluster_std=0.03,
+        uniform_fraction=0.15,
+        vocab_size=max(200, n // 2),
+        zipf_s=1.1,
+        doc_len_mean=4.0,
+        n_topics=10,
+        topic_affinity=0.65,
+        seed=seed,
+    )
+    return make_dataset(spec, config)
+
+
+def cd_like(
+    n: int = 1500, seed: int = 43, config: Optional[SimilarityConfig] = None
+) -> STDataset:
+    """Document-heavy collection: long texts, larger shared vocabulary."""
+    spec = WorkloadSpec(
+        n_objects=n,
+        n_spatial_clusters=5,
+        cluster_std=0.08,
+        uniform_fraction=0.3,
+        vocab_size=max(400, n),
+        zipf_s=1.0,
+        doc_len_mean=20.0,
+        doc_len_min=5,
+        n_topics=6,
+        topic_affinity=0.55,
+        seed=seed,
+    )
+    return make_dataset(spec, config)
+
+
+def shop_like(
+    n: int = 800, seed: int = 44, config: Optional[SimilarityConfig] = None
+) -> STDataset:
+    """Categorized POI set: strong text clusters (shop categories)."""
+    spec = WorkloadSpec(
+        n_objects=n,
+        n_spatial_clusters=12,
+        cluster_std=0.04,
+        uniform_fraction=0.1,
+        vocab_size=240,
+        zipf_s=1.05,
+        doc_len_mean=6.0,
+        doc_len_min=2,
+        n_topics=8,
+        topic_affinity=0.9,
+        seed=seed,
+    )
+    return make_dataset(spec, config)

@@ -1,0 +1,60 @@
+"""Query workload sampling.
+
+Queries are new objects "about to be placed" in the dataspace: the
+sampler perturbs the location of a random dataset object and composes a
+description from nearby objects' keywords — giving queries that are
+plausible (non-trivial result sets) without being dataset members.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..errors import QueryError
+from ..model.dataset import STDataset
+from ..model.objects import STObject
+from ..spatial import Point
+
+
+def sample_queries(
+    dataset: STDataset,
+    count: int,
+    seed: int = 7,
+    location_jitter: float = 0.02,
+    query_terms: int = 4,
+) -> List[STObject]:
+    """Sample ``count`` query objects for a dataset.
+
+    Args:
+        dataset: The corpus queries run against.
+        count: Number of queries.
+        seed: RNG seed.
+        location_jitter: Location noise, as a fraction of the region
+            diagonal.
+        query_terms: Terms per query description (sampled with
+            replacement from anchor objects' keyword pools).
+    """
+    if count < 1:
+        raise QueryError(f"count must be >= 1, got {count}")
+    if query_terms < 1:
+        raise QueryError(f"query_terms must be >= 1, got {query_terms}")
+    rng = random.Random(seed)
+    region = dataset.region
+    jitter = location_jitter * region.diagonal()
+    queries: List[STObject] = []
+    for qid in range(count):
+        anchor = dataset.objects[rng.randrange(len(dataset.objects))]
+        x = min(region.xhi, max(region.xlo, rng.gauss(anchor.point.x, jitter)))
+        y = min(region.yhi, max(region.ylo, rng.gauss(anchor.point.y, jitter)))
+        pool = list(anchor.keywords)
+        # Mix in a second object's vocabulary so queries straddle topics.
+        other = dataset.objects[rng.randrange(len(dataset.objects))]
+        pool.extend(other.keywords)
+        if not pool:
+            pool = ["query"]
+        terms = [pool[rng.randrange(len(pool))] for _ in range(query_terms)]
+        queries.append(
+            dataset.make_query(Point(x, y), " ".join(terms), oid=-(qid + 1))
+        )
+    return queries

@@ -1,0 +1,116 @@
+"""Analysis utilities: index quality, bound profiling, tree rendering."""
+
+import pytest
+
+from repro import CIURTree, IndexConfig, IURTree
+from repro.analysis import (
+    measure_index_quality,
+    profile_bounds,
+    render_tree,
+)
+from repro.bench import format_table
+from repro.workloads import shop_like
+
+
+@pytest.fixture(scope="module")
+def quality_setup():
+    dataset = shop_like(n=250, seed=71)
+    tree = CIURTree.build(dataset, IndexConfig(num_clusters=6))
+    return dataset, tree
+
+
+class TestIndexQuality:
+    def test_levels_cover_tree(self, quality_setup):
+        _, tree = quality_setup
+        quality = measure_index_quality(tree)
+        assert quality.height == tree.stats().height
+        assert sum(lq.nodes for lq in quality.levels) == quality.nodes
+        assert quality.objects == 250
+
+    def test_area_shrinks_with_depth(self, quality_setup):
+        _, tree = quality_setup
+        quality = measure_index_quality(tree)
+        fractions = [lq.mean_area_fraction for lq in quality.levels]
+        assert fractions == sorted(fractions, reverse=True)
+        assert fractions[0] == pytest.approx(1.0)  # the root covers all
+
+    def test_metrics_in_range(self, quality_setup):
+        _, tree = quality_setup
+        for lq in measure_index_quality(tree).levels:
+            assert 0.0 <= lq.mean_sibling_overlap <= 1.0
+            assert 0.0 <= lq.mean_entropy <= 1.0 + 1e-9
+            assert 0.0 <= lq.intersection_occupancy <= 1.0
+            assert lq.mean_fanout >= 1.0
+
+    def test_rows_render(self, quality_setup):
+        _, tree = quality_setup
+        quality = measure_index_quality(tree)
+        table = format_table(quality.HEADERS, quality.as_rows())
+        assert "level" in table
+
+    def test_single_cluster_tree_has_zero_entropy(self):
+        tree = IURTree.build(shop_like(n=80, seed=72))
+        for lq in measure_index_quality(tree).levels:
+            assert lq.mean_entropy == 0.0
+            assert lq.mean_clusters_per_node == 1.0
+
+
+class TestBoundProfile:
+    def test_bounds_sound_and_slack_nonnegative(self, quality_setup):
+        _, tree = quality_setup
+        profiles = profile_bounds(tree, sample_pairs=15)
+        assert profiles
+        for profile in profiles:
+            assert profile.mean_band_width >= 0.0
+            assert profile.mean_lower_slack >= -1e-9
+            assert profile.mean_upper_slack >= -1e-9
+
+    def test_bands_tighten_with_depth(self, quality_setup):
+        _, tree = quality_setup
+        profiles = profile_bounds(tree, sample_pairs=30, seed=5)
+        widths = [p.mean_band_width for p in profiles]
+        assert widths[-1] <= widths[0]  # leaf-level bands narrower than root
+
+    def test_deterministic_in_seed(self, quality_setup):
+        _, tree = quality_setup
+        a = profile_bounds(tree, sample_pairs=10, seed=3)
+        b = profile_bounds(tree, sample_pairs=10, seed=3)
+        assert a == b
+
+
+class TestTreeViz:
+    def test_renders_all_levels(self, quality_setup):
+        _, tree = quality_setup
+        text = render_tree(tree, max_depth=5)
+        assert f"node#{tree.rtree.root_id}" in text or "leaf#" in text
+        assert "objs" in text
+
+    def test_depth_limit_elides(self):
+        tree = IURTree.build(
+            shop_like(n=300, seed=73), IndexConfig(max_entries=4, min_entries=2)
+        )
+        text = render_tree(tree, max_depth=1)
+        assert "elided" in text
+
+    def test_show_objects_lists_keywords(self):
+        tree = IURTree.build(shop_like(n=20, seed=74), IndexConfig(max_entries=4, min_entries=1))
+        text = render_tree(tree, max_depth=6, show_objects=True)
+        assert "obj#" in text
+
+    def test_outliers_footer(self):
+        tree = CIURTree.build(
+            shop_like(n=100, seed=75),
+            IndexConfig(num_clusters=4, outlier_threshold=0.5),
+        )
+        assert tree.outliers
+        assert "OE outliers" in render_tree(tree)
+
+    def test_empty_tree(self):
+        tree = CIURTree.build(
+            shop_like(n=10, seed=76),
+            IndexConfig(num_clusters=2, outlier_threshold=1.0),
+        )
+        # Threshold 1.0 extracts (nearly) everything; the render must not
+        # crash either way.
+        text = render_tree(tree)
+        assert text

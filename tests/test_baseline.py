@@ -1,0 +1,95 @@
+"""Baselines: brute force self-consistency and threshold-baseline parity."""
+
+import pytest
+
+from repro import (
+    BruteForceRSTkNN,
+    IURTree,
+    QueryError,
+    ThresholdBaseline,
+)
+from repro.workloads import sample_queries
+
+
+class TestBruteForce:
+    def test_membership_definition(self, tiny_dataset):
+        brute = BruteForceRSTkNN(tiny_dataset)
+        q = tiny_dataset.make_query_from_object(tiny_dataset.get(0))
+        result = brute.search(q, 1)
+        # The query equals object 0, so object 0's top-1 is the query
+        # itself (or a tie) — 0 must be a member.
+        assert 0 in result
+
+    def test_k_grows_result_monotonically(self, small_dataset):
+        brute = BruteForceRSTkNN(small_dataset)
+        q = sample_queries(small_dataset, 1, seed=30)[0]
+        previous = set()
+        for k in (1, 2, 4, 8, 16):
+            current = set(brute.search(q, k))
+            assert previous <= current
+            previous = current
+
+    def test_huge_k_returns_all(self, small_dataset):
+        brute = BruteForceRSTkNN(small_dataset)
+        q = sample_queries(small_dataset, 1, seed=31)[0]
+        assert brute.search(q, len(small_dataset) + 1) == [
+            o.oid for o in small_dataset.objects
+        ]
+
+    def test_kth_neighbor_score_monotone(self, small_dataset):
+        brute = BruteForceRSTkNN(small_dataset)
+        obj = small_dataset.get(5)
+        scores = [brute.kth_neighbor_score(obj, k) for k in (1, 3, 9, 27)]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_kth_neighbor_insufficient(self, small_dataset):
+        brute = BruteForceRSTkNN(small_dataset)
+        assert brute.kth_neighbor_score(small_dataset.get(0), 10_000) == 0.0
+
+    def test_invalid_k(self, small_dataset):
+        brute = BruteForceRSTkNN(small_dataset)
+        with pytest.raises(QueryError):
+            brute.search(small_dataset.get(0), 0)
+        with pytest.raises(QueryError):
+            brute.kth_neighbor_score(small_dataset.get(0), 0)
+
+
+class TestThresholdBaseline:
+    def test_matches_brute_force(self, small_dataset):
+        tree = IURTree.build(small_dataset)
+        baseline = ThresholdBaseline(tree)
+        brute = BruteForceRSTkNN(small_dataset)
+        for q in sample_queries(small_dataset, 3, seed=32):
+            for k in (1, 4):
+                assert baseline.search(q, k) == brute.search(q, k)
+
+    def test_thresholds_match_brute(self, small_dataset):
+        tree = IURTree.build(small_dataset)
+        baseline = ThresholdBaseline(tree)
+        brute = BruteForceRSTkNN(small_dataset)
+        thresholds = baseline.thresholds(3)
+        assert set(thresholds) == {o.oid for o in small_dataset.objects}
+        for oid, value in list(thresholds.items())[:10]:
+            assert value == pytest.approx(
+                brute.kth_neighbor_score(small_dataset.get(oid), 3)
+            )
+
+    def test_invalid_k(self, small_dataset):
+        tree = IURTree.build(small_dataset)
+        with pytest.raises(QueryError):
+            ThresholdBaseline(tree).search(small_dataset.get(0), 0)
+
+    def test_io_is_heavy(self, medium_dataset):
+        """The baseline's defining property: per-object probing costs
+        far more I/O than a single group search."""
+        from repro import RSTkNNSearcher
+
+        tree = IURTree.build(medium_dataset)
+        q = sample_queries(medium_dataset, 1, seed=33)[0]
+        tree.reset_io(cold=True)
+        RSTkNNSearcher(tree).search(q, 3)
+        group_io = tree.io.reads + tree.io.buffer_hits
+        tree.reset_io(cold=True)
+        ThresholdBaseline(tree).search(q, 3)
+        baseline_io = tree.io.reads + tree.io.buffer_hits
+        assert baseline_io > group_io

@@ -1,0 +1,125 @@
+"""Bichromatic BRSTkNN: group search vs per-user probing vs brute force."""
+
+import pytest
+
+from repro import (
+    BichromaticRSTkNN,
+    IndexConfig,
+    IURTree,
+    CIURTree,
+    QueryError,
+    STDataset,
+    STScorer,
+)
+from repro.spatial import Point
+from repro.workloads import (
+    WorkloadSpec,
+    generate_corpus,
+    generate_user_corpus,
+    sample_queries,
+)
+
+
+@pytest.fixture(scope="module")
+def bichromatic_setup():
+    spec = WorkloadSpec(n_objects=150, vocab_size=60, seed=77)
+    objects = STDataset.from_corpus(generate_corpus(spec))
+    users = objects.derive(generate_user_corpus(spec, 60))
+    object_tree = IURTree.build(objects)
+    user_tree = IURTree.build(users)
+    return objects, users, object_tree, user_tree
+
+
+def brute_brstknn(objects, users, query, k):
+    """Oracle: count objects strictly more similar to each user than q."""
+    scorer = STScorer.for_dataset(objects)
+    out = []
+    for user in users.objects:
+        q_sim = scorer.score(query, user)
+        stronger = sum(
+            1 for obj in objects.objects if scorer.score(obj, user) > q_sim
+        )
+        if stronger <= k - 1:
+            out.append(user.oid)
+    return out
+
+
+class TestBichromatic:
+    def test_group_matches_brute(self, bichromatic_setup):
+        objects, users, object_tree, user_tree = bichromatic_setup
+        engine = BichromaticRSTkNN(user_tree, object_tree)
+        for seed, k in ((1, 1), (2, 3), (3, 8)):
+            query = sample_queries(objects, 1, seed=seed)[0]
+            expected = brute_brstknn(objects, users, query, k)
+            assert engine.search(query, k).user_ids == expected
+
+    def test_group_matches_per_user(self, bichromatic_setup):
+        objects, _, object_tree, user_tree = bichromatic_setup
+        engine = BichromaticRSTkNN(user_tree, object_tree)
+        for seed in (4, 5):
+            query = sample_queries(objects, 1, seed=seed)[0]
+            for k in (1, 5):
+                assert engine.search(query, k).user_ids == engine.search_per_user(
+                    query, k
+                )
+
+    def test_clustered_object_tree(self, bichromatic_setup):
+        objects, users, _, user_tree = bichromatic_setup
+        ciur = CIURTree.build(objects, IndexConfig(num_clusters=4))
+        engine = BichromaticRSTkNN(user_tree, ciur)
+        query = sample_queries(objects, 1, seed=6)[0]
+        assert engine.search(query, 3).user_ids == brute_brstknn(
+            objects, users, query, 3
+        )
+
+    def test_k_covers_all_objects(self, bichromatic_setup):
+        objects, users, object_tree, user_tree = bichromatic_setup
+        engine = BichromaticRSTkNN(user_tree, object_tree)
+        query = sample_queries(objects, 1, seed=7)[0]
+        result = engine.search(query, len(objects) + 1)
+        assert result.user_ids == [u.oid for u in users.objects]
+
+    def test_reach_monotone_in_k(self, bichromatic_setup):
+        objects, _, object_tree, user_tree = bichromatic_setup
+        engine = BichromaticRSTkNN(user_tree, object_tree)
+        query = sample_queries(objects, 1, seed=8)[0]
+        previous = set()
+        for k in (1, 2, 4, 8):
+            current = set(engine.search(query, k).user_ids)
+            assert previous <= current
+            previous = current
+
+    def test_invalid_k(self, bichromatic_setup):
+        objects, _, object_tree, user_tree = bichromatic_setup
+        engine = BichromaticRSTkNN(user_tree, object_tree)
+        with pytest.raises(QueryError):
+            engine.search(objects.get(0), 0)
+        with pytest.raises(QueryError):
+            engine.search_per_user(objects.get(0), 0)
+
+    def test_result_statistics(self, bichromatic_setup):
+        objects, _, object_tree, user_tree = bichromatic_setup
+        engine = BichromaticRSTkNN(user_tree, object_tree)
+        query = sample_queries(objects, 1, seed=9)[0]
+        result = engine.search(query, 3)
+        assert result.elapsed_seconds > 0
+        assert len(result) == len(result.user_ids)
+        assert "reads" in result.io
+        assert any(key.startswith("user.") for key in result.io)
+
+    def test_colliding_ids_handled(self):
+        """Users and objects share the 0-based id namespace by design;
+        this is the regression test for the bound-cache collision."""
+        spec = WorkloadSpec(n_objects=80, vocab_size=40, seed=13)
+        objects = STDataset.from_corpus(generate_corpus(spec))
+        # Users literally reuse object locations/descriptions: ids and
+        # contents collide maximally.
+        users = objects.derive(
+            [(o.point, " ".join(o.keywords)) for o in objects.objects[:40]]
+        )
+        engine = BichromaticRSTkNN(IURTree.build(users), IURTree.build(objects))
+        query = sample_queries(objects, 1, seed=14)[0]
+        for k in (1, 3):
+            assert engine.search(query, k).user_ids == brute_brstknn(
+                objects, users, query, k
+            )

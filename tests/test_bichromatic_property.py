@@ -1,0 +1,61 @@
+"""Property-based bichromatic test: group search == oracle on random
+user/object populations."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    BichromaticRSTkNN,
+    IndexConfig,
+    IURTree,
+    SimilarityConfig,
+    STDataset,
+    STScorer,
+)
+from repro.spatial import Point
+
+TERMS = ["alpha", "beta", "gamma", "delta"]
+
+coords = st.floats(min_value=0, max_value=10, allow_nan=False)
+texts = st.lists(st.sampled_from(TERMS), min_size=1, max_size=3).map(" ".join)
+object_sets = st.lists(st.tuples(coords, coords, texts), min_size=2, max_size=14)
+user_sets = st.lists(st.tuples(coords, coords, texts), min_size=1, max_size=10)
+
+
+def oracle(objects: STDataset, users: STDataset, query, k: int):
+    scorer = STScorer.for_dataset(objects)
+    out = []
+    for user in users.objects:
+        q_sim = scorer.score(query, user)
+        stronger = sum(
+            1 for obj in objects.objects if scorer.score(obj, user) > q_sim
+        )
+        if stronger <= k - 1:
+            out.append(user.oid)
+    return out
+
+
+@given(
+    object_sets,
+    user_sets,
+    st.tuples(coords, coords, texts),
+    st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=40, deadline=None)
+def test_bichromatic_matches_oracle(object_records, user_records, qspec, k):
+    objects = STDataset.from_corpus(
+        [(Point(x, y), t) for x, y, t in object_records],
+        SimilarityConfig(alpha=0.5, weighting="tf"),
+    )
+    users = objects.derive(
+        [(Point(x, y), t) for x, y, t in user_records]
+    )
+    engine = BichromaticRSTkNN(
+        IURTree.build(users, IndexConfig(max_entries=4, min_entries=2)),
+        IURTree.build(objects, IndexConfig(max_entries=4, min_entries=2)),
+    )
+    qx, qy, qtext = qspec
+    query = objects.make_query(Point(qx, qy), qtext)
+    expected = oracle(objects, users, query, k)
+    assert engine.search(query, k).user_ids == expected
+    assert engine.search_per_user(query, k) == expected

@@ -1,0 +1,130 @@
+"""LRU buffer pool: hits, eviction, pinning, page-budget accounting."""
+
+import pytest
+
+from repro import BufferPoolError
+from repro.storage import BufferPool, DiskManager
+
+
+def make_pool(capacity_pages=4, page_size=64):
+    disk = DiskManager(page_size=page_size)
+    return disk, BufferPool(disk, capacity_pages)
+
+
+class TestBufferPool:
+    def test_miss_then_hit(self):
+        disk, pool = make_pool()
+        rid = disk.allocate(b"a")
+        disk.stats.reset()
+        pool.get(rid)
+        assert disk.stats.reads == 1
+        pool.get(rid)
+        assert disk.stats.reads == 1  # served from cache
+        assert disk.stats.buffer_hits == 1
+
+    def test_lru_eviction_order(self):
+        disk, pool = make_pool(capacity_pages=2)
+        a = disk.allocate(b"a")
+        b = disk.allocate(b"b")
+        c = disk.allocate(b"c")
+        pool.get(a)
+        pool.get(b)
+        pool.get(a)  # refresh a; b is now LRU
+        pool.get(c)  # evicts b
+        assert pool.contains(a)
+        assert not pool.contains(b)
+        assert pool.contains(c)
+
+    def test_capacity_in_pages_not_records(self):
+        disk, pool = make_pool(capacity_pages=4)
+        fat = disk.allocate(b"x" * 200)  # 4 pages
+        thin = disk.allocate(b"y")
+        pool.get(thin)
+        pool.get(fat)  # needs all 4 pages -> evicts thin
+        assert not pool.contains(thin)
+        assert pool.pages_used == 4
+
+    def test_oversized_record_served_uncached(self):
+        disk, pool = make_pool(capacity_pages=2)
+        huge = disk.allocate(b"z" * 300)  # 5 pages > capacity
+        data = pool.get(huge)
+        assert data == b"z" * 300
+        assert not pool.contains(huge)
+        assert pool.pages_used == 0
+
+    def test_pinned_records_survive_eviction(self):
+        disk, pool = make_pool(capacity_pages=2)
+        a = disk.allocate(b"a")
+        b = disk.allocate(b"b")
+        c = disk.allocate(b"c")
+        pool.pin(a)
+        pool.get(b)
+        pool.get(c)  # must evict b, not pinned a
+        assert pool.contains(a)
+        assert not pool.contains(b)
+        pool.unpin(a)
+
+    def test_unpin_without_pin_rejected(self):
+        disk, pool = make_pool()
+        rid = disk.allocate(b"a")
+        pool.get(rid)
+        with pytest.raises(BufferPoolError):
+            pool.unpin(rid)
+
+    def test_nested_pins(self):
+        disk, pool = make_pool()
+        rid = disk.allocate(b"a")
+        pool.pin(rid)
+        pool.pin(rid)
+        pool.unpin(rid)
+        pool.unpin(rid)
+        with pytest.raises(BufferPoolError):
+            pool.unpin(rid)
+
+    def test_overcommitted_pins_raise(self):
+        disk, pool = make_pool(capacity_pages=2)
+        a = disk.allocate(b"a")
+        b = disk.allocate(b"b")
+        c = disk.allocate(b"c")
+        pool.pin(a)
+        pool.pin(b)
+        with pytest.raises(BufferPoolError):
+            pool.get(c)
+
+    def test_clear(self):
+        disk, pool = make_pool()
+        rid = disk.allocate(b"a")
+        pool.get(rid)
+        pool.clear()
+        assert pool.resident_records == 0
+        assert pool.pages_used == 0
+        disk.stats.reset()
+        pool.get(rid)
+        assert disk.stats.reads == 1  # cold again
+
+    def test_clear_with_pins_rejected(self):
+        disk, pool = make_pool()
+        rid = disk.allocate(b"a")
+        pool.pin(rid)
+        with pytest.raises(BufferPoolError):
+            pool.clear()
+
+    def test_invalidate(self):
+        disk, pool = make_pool()
+        rid = disk.allocate(b"a")
+        pool.get(rid)
+        disk.rewrite(rid, b"bb")
+        pool.invalidate(rid)
+        assert pool.get(rid) == b"bb"
+
+    def test_invalidate_pinned_rejected(self):
+        disk, pool = make_pool()
+        rid = disk.allocate(b"a")
+        pool.pin(rid)
+        with pytest.raises(BufferPoolError):
+            pool.invalidate(rid)
+
+    def test_zero_capacity_rejected(self):
+        disk = DiskManager(page_size=64)
+        with pytest.raises(BufferPoolError):
+            BufferPool(disk, 0)

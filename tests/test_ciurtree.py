@@ -1,0 +1,96 @@
+"""CIUR-tree: clustering, per-cluster summaries, outlier extraction."""
+
+import pytest
+
+from repro import IndexConfig
+from repro.index import CIURTree
+from repro.index.outliers import split_outliers
+from repro.errors import ConfigError
+from repro.text.clustering import SphericalKMeans
+
+
+class TestCIURTree:
+    def test_build_with_clusters(self, medium_dataset):
+        tree = CIURTree.build(medium_dataset, IndexConfig(num_clusters=4))
+        assert tree.kind == "ciur"
+        assert 1 <= tree.num_clusters() <= 4
+        tree.check_invariants()
+
+    def test_labels_cover_dataset(self, medium_dataset):
+        tree = CIURTree.build(medium_dataset, IndexConfig(num_clusters=4))
+        assert len(tree.labels) == len(medium_dataset)
+        assert sum(tree.cluster_sizes()) == len(medium_dataset)
+
+    def test_nodes_store_per_cluster_summaries(self, medium_dataset):
+        tree = CIURTree.build(medium_dataset, IndexConfig(num_clusters=4))
+        root = tree.root_entry()
+        assert root is not None
+        assert len(root.clusters) >= 2  # mixed corpus spans clusters
+        assert sum(iv.doc_count for iv in root.clusters.values()) == root.count
+
+    def test_outlier_extraction(self, medium_dataset):
+        tree = CIURTree.build(
+            medium_dataset, IndexConfig(num_clusters=4, outlier_threshold=0.6)
+        )
+        stats = tree.stats()
+        assert stats.outliers == len(tree.outliers)
+        assert stats.outliers + (
+            tree.root_entry().count if tree.root_entry() else 0
+        ) == len(medium_dataset)
+        assert len(tree.outlier_entries()) == stats.outliers
+
+    def test_outlier_entries_are_exact(self, medium_dataset):
+        tree = CIURTree.build(
+            medium_dataset, IndexConfig(num_clusters=4, outlier_threshold=0.6)
+        )
+        for entry in tree.outlier_entries():
+            assert entry.is_object
+            obj = medium_dataset.get(entry.ref)
+            assert entry.exact_vector() == obj.vector
+
+    def test_threshold_zero_extracts_nothing(self, small_dataset):
+        tree = CIURTree.build(
+            small_dataset, IndexConfig(num_clusters=4, outlier_threshold=0.0)
+        )
+        assert tree.stats().outliers == 0
+
+    def test_shared_clustering_reused(self, small_dataset):
+        kmeans = SphericalKMeans(4, seed=3)
+        fitted = kmeans.fit(small_dataset.vectors())
+        t1 = CIURTree.build(small_dataset, IndexConfig(num_clusters=4), clustering=fitted)
+        t2 = CIURTree.build(small_dataset, IndexConfig(num_clusters=4), clustering=fitted)
+        assert t1.labels == t2.labels
+
+    def test_deterministic_given_seed(self, small_dataset):
+        t1 = CIURTree.build(small_dataset, IndexConfig(num_clusters=4), seed=9)
+        t2 = CIURTree.build(small_dataset, IndexConfig(num_clusters=4), seed=9)
+        assert t1.labels == t2.labels
+
+
+class TestSplitOutliers:
+    def _clustering(self, cohesions):
+        from repro.text.clustering import ClusteringResult
+        from repro.text.vector import SparseVector
+
+        return ClusteringResult(
+            labels=[0] * len(cohesions),
+            centroids=[SparseVector({0: 1.0})],
+            cohesion=list(cohesions),
+        )
+
+    def test_partition(self):
+        clustering = self._clustering([0.9, 0.1, 0.5, 0.4])
+        core, outliers = split_outliers(clustering, 0.45)
+        assert core == [0, 2]
+        assert outliers == [1, 3]
+
+    def test_threshold_bounds(self):
+        clustering = self._clustering([0.5])
+        with pytest.raises(ConfigError):
+            split_outliers(clustering, 1.5)
+
+    def test_all_core_at_zero(self):
+        clustering = self._clustering([0.0, 0.3])
+        core, outliers = split_outliers(clustering, 0.0)
+        assert core == [0, 1]
+        assert outliers == []

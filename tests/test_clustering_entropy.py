@@ -1,0 +1,101 @@
+"""Spherical k-means and cluster entropy."""
+
+import math
+import random
+
+import pytest
+
+from repro import ConfigError, SparseVector
+from repro.text.clustering import SphericalKMeans
+from repro.text.entropy import cluster_entropy, normalized_cluster_entropy
+
+
+def topical_vectors(n_per_topic=20, topics=3, seed=1):
+    """Vectors drawn from disjoint vocabulary blocks — trivially separable."""
+    rng = random.Random(seed)
+    vectors = []
+    for t in range(topics):
+        base = t * 10
+        for _ in range(n_per_topic):
+            terms = {base + rng.randrange(5): 1.0 + rng.random() for _ in range(3)}
+            vectors.append(SparseVector(terms))
+    return vectors
+
+
+class TestSphericalKMeans:
+    def test_separable_topics_recovered(self):
+        vectors = topical_vectors()
+        result = SphericalKMeans(3, seed=5).fit(vectors)
+        # All members of a block must share a label (blocks are disjoint).
+        for t in range(3):
+            block = result.labels[t * 20 : (t + 1) * 20]
+            assert len(set(block)) == 1
+        assert len({result.labels[0], result.labels[20], result.labels[40]}) == 3
+
+    def test_k_one(self):
+        result = SphericalKMeans(1).fit(topical_vectors())
+        assert result.num_clusters == 1
+        assert set(result.labels) == {0}
+
+    def test_k_capped_at_n(self):
+        vectors = [SparseVector({1: 1.0}), SparseVector({2: 1.0})]
+        result = SphericalKMeans(10).fit(vectors)
+        assert result.num_clusters <= 2
+        assert len(result.labels) == 2
+
+    def test_empty_input(self):
+        result = SphericalKMeans(3).fit([])
+        assert result.labels == []
+        assert result.centroids == []
+
+    def test_cohesion_in_unit_range(self):
+        result = SphericalKMeans(3, seed=2).fit(topical_vectors())
+        assert all(-1e-9 <= c <= 1.0 + 1e-9 for c in result.cohesion)
+
+    def test_empty_documents_get_cohesion_one(self):
+        vectors = [SparseVector.empty(), SparseVector({1: 1.0})]
+        result = SphericalKMeans(2).fit(vectors)
+        assert result.cohesion[0] == 1.0
+
+    def test_members(self):
+        result = SphericalKMeans(3, seed=5).fit(topical_vectors())
+        all_members = sorted(
+            i for c in range(result.num_clusters) for i in result.members(c)
+        )
+        assert all_members == list(range(60))
+
+    def test_deterministic_in_seed(self):
+        vectors = topical_vectors()
+        a = SphericalKMeans(3, seed=11).fit(vectors)
+        b = SphericalKMeans(3, seed=11).fit(vectors)
+        assert a.labels == b.labels
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            SphericalKMeans(0)
+        with pytest.raises(ConfigError):
+            SphericalKMeans(2, max_iter=0)
+
+
+class TestEntropy:
+    def test_empty(self):
+        assert cluster_entropy({}) == 0.0
+        assert cluster_entropy({0: 0}) == 0.0
+
+    def test_single_cluster_zero(self):
+        assert cluster_entropy({0: 100}) == 0.0
+
+    def test_uniform_is_log_k(self):
+        assert cluster_entropy({0: 5, 1: 5, 2: 5}) == pytest.approx(math.log(3))
+
+    def test_skew_lowers_entropy(self):
+        assert cluster_entropy({0: 9, 1: 1}) < cluster_entropy({0: 5, 1: 5})
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_entropy({0: -1})
+
+    def test_normalized_range(self):
+        assert normalized_cluster_entropy({0: 5, 1: 5}, 2) == pytest.approx(1.0)
+        assert normalized_cluster_entropy({0: 10}, 2) == 0.0
+        assert normalized_cluster_entropy({0: 10}, 1) == 0.0

@@ -1,0 +1,101 @@
+"""Contribution lists and the weighted k-th-largest selection."""
+
+import pytest
+
+from repro import Point, Rect, SparseVector
+from repro.core.contributions import Contribution, ContributionList, _kth_largest
+from repro.index import Entry
+
+
+def make_entry(ref=0):
+    return Entry.for_object(ref, Rect.from_point(Point(0, 0)), SparseVector({1: 1.0}))
+
+
+def contrib(source_ref, lo, hi, count):
+    return Contribution((source_ref, False), make_entry(source_ref), lo, hi, count)
+
+
+class TestKthLargest:
+    def test_simple(self):
+        assert _kth_largest([(0.9, 1), (0.5, 1), (0.7, 1)], 2) == 0.7
+
+    def test_counts_expand(self):
+        assert _kth_largest([(0.9, 3), (0.5, 1)], 3) == 0.9
+        assert _kth_largest([(0.9, 3), (0.5, 1)], 4) == 0.5
+
+    def test_insufficient_returns_zero(self):
+        assert _kth_largest([(0.9, 2)], 3) == 0.0
+        assert _kth_largest([], 1) == 0.0
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            _kth_largest([(1.0, 1)], 0)
+
+    def test_exactly_k(self):
+        assert _kth_largest([(0.4, 2), (0.8, 2)], 4) == 0.4
+
+
+class TestContributionList:
+    def test_set_and_bounds(self):
+        clist = ContributionList()
+        clist.set(contrib(1, 0.2, 0.8, 2))
+        clist.set(contrib(2, 0.5, 0.6, 1))
+        assert clist.total_count() == 3
+        assert clist.knn_lower(1) == 0.5
+        assert clist.knn_lower(2) == 0.2
+        assert clist.knn_upper(1) == 0.8
+        assert clist.knn_upper(3) == 0.6
+
+    def test_replace_same_source(self):
+        clist = ContributionList()
+        clist.set(contrib(1, 0.2, 0.8, 2))
+        clist.set(contrib(1, 0.4, 0.6, 2))
+        assert clist.total_count() == 2
+        assert clist.knn_lower(1) == 0.4
+
+    def test_zero_count_removes(self):
+        clist = ContributionList()
+        clist.set(contrib(1, 0.2, 0.8, 2))
+        clist.set(contrib(1, 0.2, 0.8, 0))
+        assert len(clist) == 0
+
+    def test_remove(self):
+        clist = ContributionList()
+        clist.set(contrib(1, 0.2, 0.8, 2))
+        clist.remove((1, False))
+        assert (1, False) not in clist
+        assert clist.knn_lower(1) == 0.0
+
+    def test_tight_tracking(self):
+        clist = ContributionList()
+        clist.set(contrib(1, 0.2, 0.8, 2), tight=True)
+        assert clist.is_tight((1, False))
+        clist.set(contrib(1, 0.3, 0.7, 2))  # loose overwrite
+        assert not clist.is_tight((1, False))
+
+    def test_copy_resets_tightness(self):
+        clist = ContributionList()
+        clist.set(contrib(1, 0.2, 0.8, 2), tight=True)
+        heir = clist.copy()
+        assert heir.is_tight((1, False)) is False
+        assert (1, False) in heir
+        # Copies are independent.
+        heir.remove((1, False))
+        assert (1, False) in clist
+
+    def test_top_by_min_and_max(self):
+        clist = ContributionList()
+        clist.set(contrib(1, 0.1, 0.9, 1))
+        clist.set(contrib(2, 0.5, 0.6, 1))
+        clist.set(contrib(3, 0.3, 0.95, 1))
+        assert [c.source[0] for c in clist.top_by_min(2)] == [2, 3]
+        assert [c.source[0] for c in clist.top_by_max(2)] == [3, 1]
+
+    def test_knn_monotone_in_k(self):
+        clist = ContributionList()
+        for i, (lo, hi) in enumerate([(0.9, 0.95), (0.5, 0.7), (0.2, 0.4)]):
+            clist.set(contrib(i, lo, hi, 2))
+        lowers = [clist.knn_lower(k) for k in range(1, 8)]
+        assert lowers == sorted(lowers, reverse=True)
+        uppers = [clist.knn_upper(k) for k in range(1, 8)]
+        assert uppers == sorted(uppers, reverse=True)

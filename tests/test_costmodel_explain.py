@@ -1,0 +1,147 @@
+"""Cost model predictions and search explanation traces."""
+
+import pytest
+
+from repro import (
+    IURTree,
+    QueryError,
+    RSTkNNCostModel,
+    RSTkNNSearcher,
+    SearchTrace,
+    estimate_rstknn_io,
+)
+from repro.workloads import gn_like, sample_queries
+
+
+@pytest.fixture(scope="module")
+def setup():
+    dataset = gn_like(n=300, seed=31)
+    tree = IURTree.build(dataset)
+    queries = sample_queries(dataset, 4, seed=32)
+    return dataset, tree, queries
+
+
+class TestCostModel:
+    def test_estimate_within_tree_bounds(self, setup):
+        _, tree, queries = setup
+        est = estimate_rstknn_io(tree, queries[0], 5)
+        assert 0 <= est.node_visits <= est.total_nodes
+        assert est.page_ios >= est.node_visits  # node spans >= 1 page
+        assert 0.0 <= est.threshold <= 1.0
+
+    def test_estimate_tracks_measured_io(self, setup):
+        """The model should be within a small constant factor of truth,
+        averaged over a workload (it is a planner estimate, not an oracle)."""
+        _, tree, queries = setup
+        searcher = RSTkNNSearcher(tree)
+        measured, predicted = 0, 0
+        for q in queries:
+            tree.reset_io(cold=True)
+            searcher.search(q, 5)
+            measured += tree.io.reads
+            predicted += estimate_rstknn_io(tree, q, 5).page_ios
+        assert predicted > 0
+        ratio = predicted / max(measured, 1)
+        assert 0.2 <= ratio <= 5.0, f"estimate off by {ratio:.2f}x"
+
+    def test_threshold_monotone_in_k(self, setup):
+        _, tree, _ = setup
+        model = RSTkNNCostModel(tree)
+        thresholds = [model.estimate_threshold(k) for k in (1, 5, 20)]
+        assert thresholds == sorted(thresholds, reverse=True)
+
+    def test_deterministic_in_seed(self, setup):
+        _, tree, queries = setup
+        a = RSTkNNCostModel(tree, seed=5).estimate(queries[0], 5)
+        b = RSTkNNCostModel(tree, seed=5).estimate(queries[0], 5)
+        assert a == b
+
+    def test_invalid_params(self, setup):
+        _, tree, queries = setup
+        with pytest.raises(QueryError):
+            RSTkNNCostModel(tree, sample_size=1)
+        with pytest.raises(QueryError):
+            RSTkNNCostModel(tree).estimate_threshold(0)
+
+
+class TestSearchTrace:
+    def test_trace_matches_stats(self, setup):
+        _, tree, queries = setup
+        searcher = RSTkNNSearcher(tree)
+        trace = SearchTrace()
+        result = searcher.search(queries[0], 5, trace=trace)
+        counts = trace.counts()
+        assert counts.get("expand", 0) == result.stats.expansions
+        assert counts.get("prune", 0) == result.stats.pruned_entries
+        assert counts.get("accept", 0) == result.stats.accepted_entries
+        verify_events = counts.get("verify-in", 0) + counts.get("verify-out", 0)
+        assert verify_events == result.stats.verified_objects
+
+    def test_verify_in_events_are_results(self, setup):
+        _, tree, queries = setup
+        searcher = RSTkNNSearcher(tree)
+        trace = SearchTrace()
+        result = searcher.search(queries[1], 5, trace=trace)
+        for event in trace.events:
+            if event.action == "verify-in":
+                assert event.ref in result.ids
+            if event.action == "verify-out":
+                assert event.ref not in result.ids
+
+    def test_bounds_justify_decisions(self, setup):
+        _, tree, queries = setup
+        searcher = RSTkNNSearcher(tree)
+        trace = SearchTrace()
+        searcher.search(queries[2], 5, trace=trace)
+        for event in trace.events:
+            if event.action == "prune":
+                assert event.q_hi < event.knn_lower
+            elif event.action == "accept":
+                assert event.q_lo >= event.knn_upper
+
+    def test_render_and_helpers(self, setup):
+        _, tree, queries = setup
+        trace = SearchTrace()
+        RSTkNNSearcher(tree).search(queries[0], 3, trace=trace)
+        text = trace.render(limit=5)
+        assert "summary:" in text
+        assert "more events" in text or len(trace.events) <= 5
+        some_ref = trace.events[0].ref
+        assert trace.events_for(some_ref)
+
+    def test_max_events_cap(self, setup):
+        _, tree, queries = setup
+        trace = SearchTrace(max_events=3)
+        RSTkNNSearcher(tree).search(queries[0], 5, trace=trace)
+        assert len(trace.events) == 3
+
+
+class TestSearchRanked:
+    def test_ranks_match_brute_force(self, setup):
+        from repro import BruteForceRSTkNN, STScorer
+
+        dataset, tree, queries = setup
+        searcher = RSTkNNSearcher(tree)
+        scorer = STScorer.for_dataset(dataset)
+        q = queries[0]
+        ranked = searcher.search_ranked(q, 5)
+        assert sorted(oid for oid, _, _ in ranked) == BruteForceRSTkNN(
+            dataset
+        ).search(q, 5)
+        for oid, rank, sim in ranked:
+            obj = dataset.get(oid)
+            q_sim = scorer.score(q, obj)
+            stronger = sum(
+                1
+                for other in dataset.objects
+                if other.oid != oid and scorer.score(other, obj) > q_sim
+            )
+            assert rank == stronger + 1
+            assert rank <= 5
+            assert sim == pytest.approx(q_sim)
+
+    def test_sorted_by_rank(self, setup):
+        _, tree, queries = setup
+        ranked = RSTkNNSearcher(tree).search_ranked(queries[1], 5)
+        ranks = [r for _, r, _ in ranked]
+        assert ranks == sorted(ranks)

@@ -1,0 +1,145 @@
+"""CSV ingestion and the bundled sample corpus."""
+
+import pytest
+
+from repro import DatasetError, IURTree, RSTkNNSearcher, BruteForceRSTkNN
+from repro.data import (
+    CsvSchema,
+    load_csv_dataset,
+    sample_dataset,
+    sample_records,
+    write_csv,
+)
+from repro.spatial import Point
+
+
+def write_file(path, text):
+    path.write_text(text)
+    return path
+
+
+class TestCsvSchema:
+    def test_defaults(self):
+        schema = CsvSchema()
+        assert schema.x_column == "x"
+        assert schema.text_columns == ("text",)
+
+    def test_requires_text_columns(self):
+        with pytest.raises(DatasetError):
+            CsvSchema(text_columns=())
+
+    def test_single_char_delimiter(self):
+        with pytest.raises(DatasetError):
+            CsvSchema(delimiter=",,")
+
+
+class TestLoadCsv:
+    def test_basic_load(self, tmp_path):
+        path = write_file(
+            tmp_path / "pois.csv",
+            "x,y,text\n1.0,2.0,coffee shop\n3.5,4.5,book store\n",
+        )
+        dataset, report = load_csv_dataset(path)
+        assert len(dataset) == 2
+        assert report.rows_loaded == 2
+        assert report.rows_skipped == 0
+        assert dataset.get(0).point == Point(1.0, 2.0)
+        assert "coffee" in dataset.get(0).keywords
+
+    def test_custom_schema_and_multiple_text_columns(self, tmp_path):
+        path = write_file(
+            tmp_path / "pois.tsv",
+            "lon\tlat\tname\tcategory\n1\t2\tLuigi\tpizza pasta\n",
+        )
+        schema = CsvSchema(
+            x_column="lon",
+            y_column="lat",
+            text_columns=("name", "category"),
+            delimiter="\t",
+        )
+        dataset, _ = load_csv_dataset(path, schema)
+        kws = dataset.get(0).keywords
+        assert "luigi" in kws and "pizza" in kws
+
+    def test_skips_malformed_rows(self, tmp_path):
+        path = write_file(
+            tmp_path / "dirty.csv",
+            "x,y,text\n1,2,ok one\nnot-a-number,2,bad\n3,,missing y\n4,5,\n6,7,ok two\n",
+        )
+        dataset, report = load_csv_dataset(path)
+        assert len(dataset) == 2
+        assert report.rows_skipped == 3
+        assert len(report.skipped_reasons) == 3
+
+    def test_strict_mode_raises(self, tmp_path):
+        path = write_file(tmp_path / "dirty.csv", "x,y,text\nbad,2,hm\n")
+        with pytest.raises(DatasetError):
+            load_csv_dataset(path, strict=True)
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = write_file(tmp_path / "odd.csv", "a,b\n1,2\n")
+        with pytest.raises(DatasetError):
+            load_csv_dataset(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_csv_dataset(tmp_path / "absent.csv")
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = write_file(tmp_path / "empty.csv", "x,y,text\n")
+        with pytest.raises(DatasetError):
+            load_csv_dataset(path)
+
+    def test_max_rows(self, tmp_path):
+        rows = "\n".join(f"{i},{i},poi number{i}" for i in range(20))
+        path = write_file(tmp_path / "many.csv", "x,y,text\n" + rows + "\n")
+        dataset, report = load_csv_dataset(path, max_rows=5)
+        assert len(dataset) == 5
+        assert report.rows_read == 5
+
+    def test_non_finite_coordinates_skipped(self, tmp_path):
+        path = write_file(
+            tmp_path / "inf.csv", "x,y,text\ninf,1,weird\n1,nan,weird\n1,1,fine\n"
+        )
+        dataset, report = load_csv_dataset(path)
+        assert len(dataset) == 1
+        assert report.rows_skipped == 2
+
+
+class TestWriteCsvRoundtrip:
+    def test_roundtrip_locations_and_vocab(self, tmp_path):
+        original = sample_dataset()
+        path = tmp_path / "out.csv"
+        write_csv(original, path)
+        loaded, report = load_csv_dataset(path)
+        assert report.rows_loaded == len(original)
+        for a, b in zip(original.objects, loaded.objects):
+            assert a.point == b.point
+            assert set(a.keywords) == set(b.keywords)
+
+
+class TestSampleDataset:
+    def test_shape(self):
+        dataset = sample_dataset()
+        assert len(dataset) == 60
+        assert len(sample_records()) == 60
+        stats = dataset.stats()
+        assert stats["vocabulary"] > 100
+
+    def test_searchable_end_to_end(self):
+        dataset = sample_dataset()
+        tree = IURTree.build(dataset)
+        query = dataset.make_query(Point(1.5, 5.5), "seafood harbor restaurant")
+        result = RSTkNNSearcher(tree).search(query, 3)
+        assert result.ids == BruteForceRSTkNN(dataset).search(query, 3)
+        # Harbor seafood spots must be among the reverse neighbors.
+        harbor_seafood = {0, 1, 5}
+        assert harbor_seafood & set(result.ids)
+
+    def test_districts_are_spatially_coherent(self):
+        dataset = sample_dataset()
+        tree = IURTree.build(dataset)
+        # The 10 harbor POIs live in the first 10 ids and the west side.
+        for oid in range(10):
+            assert dataset.get(oid).point.x < 3.0
+        assert tree.stats().objects == 60

@@ -1,0 +1,114 @@
+"""Entries and nodes: summaries, counts, entropy, serialization."""
+
+import math
+
+import pytest
+
+from repro import IndexCorruptionError, Point, Rect, SparseVector
+from repro.index import Entry
+from repro.index.node import Node
+from repro.storage.serialize import NodeCodec
+
+
+def obj(oid, x, y, weights, cluster=0):
+    return Entry.for_object(
+        oid, Rect.from_point(Point(x, y)), SparseVector(weights), cluster
+    )
+
+
+class TestEntry:
+    def test_object_entry_basics(self):
+        e = obj(3, 1, 2, {1: 2.0})
+        assert e.is_object
+        assert e.count == 1
+        assert e.exact_vector() == SparseVector({1: 2.0})
+
+    def test_object_entry_with_empty_vector(self):
+        e = obj(0, 0, 0, {})
+        assert e.count == 1
+        assert len(e.exact_vector()) == 0
+
+    def test_subtree_summary_counts(self):
+        children = [obj(0, 0, 0, {1: 1.0}), obj(1, 2, 2, {1: 3.0, 2: 1.0})]
+        parent = Entry.for_subtree(9, Rect(0, 0, 2, 2), children)
+        assert not parent.is_object
+        assert parent.count == 2
+
+    def test_subtree_merges_same_cluster(self):
+        children = [obj(0, 0, 0, {1: 1.0}), obj(1, 2, 2, {1: 3.0})]
+        parent = Entry.for_subtree(9, Rect(0, 0, 2, 2), children)
+        iv = parent.clusters[0]
+        assert iv.union.get(1) == 3.0
+        assert iv.intersection.get(1) == 1.0
+
+    def test_subtree_keeps_clusters_separate(self):
+        children = [
+            obj(0, 0, 0, {1: 1.0}, cluster=0),
+            obj(1, 2, 2, {2: 1.0}, cluster=1),
+        ]
+        parent = Entry.for_subtree(9, Rect(0, 0, 2, 2), children)
+        assert set(parent.clusters) == {0, 1}
+        assert parent.clusters[0].doc_count == 1
+        assert parent.clusters[1].doc_count == 1
+
+    def test_subtree_empty_rejected(self):
+        with pytest.raises(IndexCorruptionError):
+            Entry.for_subtree(1, Rect(0, 0, 1, 1), [])
+
+    def test_exact_vector_on_directory_rejected(self):
+        parent = Entry.for_subtree(9, Rect(0, 0, 2, 2), [obj(0, 0, 0, {1: 1.0})])
+        with pytest.raises(IndexCorruptionError):
+            parent.exact_vector()
+
+    def test_merged_interval_blends_clusters(self):
+        children = [
+            obj(0, 0, 0, {1: 2.0}, cluster=0),
+            obj(1, 2, 2, {1: 5.0}, cluster=1),
+        ]
+        parent = Entry.for_subtree(9, Rect(0, 0, 2, 2), children)
+        merged = parent.merged_interval()
+        assert merged.union.get(1) == 5.0
+        assert merged.doc_count == 2
+
+    def test_entropy(self):
+        uniform = Entry.for_subtree(
+            9,
+            Rect(0, 0, 2, 2),
+            [obj(0, 0, 0, {1: 1.0}, 0), obj(1, 1, 1, {1: 1.0}, 1)],
+        )
+        pure = Entry.for_subtree(
+            8,
+            Rect(0, 0, 2, 2),
+            [obj(2, 0, 0, {1: 1.0}, 0), obj(3, 1, 1, {1: 1.0}, 0)],
+        )
+        assert uniform.entropy() == pytest.approx(math.log(2))
+        assert pure.entropy() == 0.0
+
+    def test_equality_by_identity_fields(self):
+        a = obj(1, 0, 0, {1: 1.0})
+        b = obj(1, 0, 0, {1: 999.0})  # same ref/mbr, different text
+        assert a == b  # identity is (ref, is_object, mbr)
+        assert hash(a) == hash(b)
+
+
+class TestNode:
+    def test_mbr_and_counts(self):
+        node = Node(node_id=0, is_leaf=True)
+        node.entries = [obj(0, 0, 0, {1: 1.0}), obj(1, 4, 3, {2: 1.0})]
+        assert node.mbr() == Rect(0, 0, 4, 3)
+        assert node.object_count() == 2
+        assert node.fanout == 2
+
+    def test_empty_node_mbr_rejected(self):
+        with pytest.raises(IndexCorruptionError):
+            Node(node_id=0, is_leaf=True).mbr()
+
+    def test_encode_decode_roundtrip(self):
+        node = Node(node_id=0, is_leaf=True)
+        node.entries = [obj(0, 0, 0, {1: 1.5}), obj(1, 4, 3, {2: 2.0, 5: 0.5})]
+        decoded = NodeCodec.decode(node.encode())
+        assert decoded.is_leaf
+        assert [e.ref for e in decoded.entries] == [0, 1]
+        assert decoded.entries[0].doc_count == 1
+        cluster = decoded.entries[0].clusters[0]
+        assert cluster.union[1] == pytest.approx(1.5)

@@ -1,0 +1,114 @@
+"""Exception hierarchy and remaining edge-case coverage."""
+
+import pytest
+
+from repro import (
+    BufferPoolError,
+    ConfigError,
+    DatasetError,
+    IndexConfig,
+    IndexCorruptionError,
+    IURTree,
+    PageFormatError,
+    QueryError,
+    ReproError,
+    RSTkNNSearcher,
+    SimilarityConfig,
+    STDataset,
+    StorageError,
+)
+from repro.spatial import Point
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigError,
+            DatasetError,
+            IndexCorruptionError,
+            StorageError,
+            PageFormatError,
+            BufferPoolError,
+            QueryError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_page_format_is_storage_error(self):
+        assert issubclass(PageFormatError, StorageError)
+        assert issubclass(BufferPoolError, StorageError)
+
+    def test_catching_library_errors_does_not_mask_bugs(self):
+        """TypeError must escape a ReproError handler."""
+        with pytest.raises(TypeError):
+            try:
+                raise TypeError("a genuine bug")
+            except ReproError:  # pragma: no cover - must not trigger
+                pass
+
+
+class TestTinyDatasets:
+    def test_two_identical_objects(self):
+        records = [(Point(1, 1), "same words"), (Point(1, 1), "same words")]
+        dataset = STDataset.from_corpus(records, SimilarityConfig(weighting="tf"))
+        tree = IURTree.build(dataset)
+        q = dataset.make_query(Point(1, 1), "same words")
+        # Both objects tie perfectly; both must be reverse neighbors.
+        assert RSTkNNSearcher(tree).search(q, 1).ids == [0, 1]
+
+    def test_all_objects_colocated(self):
+        records = [(Point(5, 5), f"term{i}") for i in range(6)]
+        dataset = STDataset.from_corpus(records, SimilarityConfig(weighting="tf"))
+        tree = IURTree.build(dataset)
+        from repro import BruteForceRSTkNN
+
+        q = dataset.make_query(Point(5, 5), "term0 term3")
+        assert RSTkNNSearcher(tree).search(q, 2).ids == BruteForceRSTkNN(
+            dataset
+        ).search(q, 2)
+
+    def test_objects_with_empty_text(self):
+        # Stopword-only descriptions weight to empty vectors.
+        records = [
+            (Point(0, 0), "the of and"),
+            (Point(1, 1), "sushi bar"),
+            (Point(2, 2), "the a an"),
+        ]
+        dataset = STDataset.from_corpus(records)
+        tree = IURTree.build(dataset)
+        from repro import BruteForceRSTkNN
+
+        q = dataset.make_query(Point(0.5, 0.5), "sushi")
+        assert RSTkNNSearcher(tree).search(q, 1).ids == BruteForceRSTkNN(
+            dataset
+        ).search(q, 1)
+
+    def test_extreme_fanout_two(self):
+        from repro.workloads import shop_like
+
+        dataset = shop_like(n=60, seed=99)
+        tree = IURTree.build(dataset, IndexConfig(max_entries=2, min_entries=1))
+        tree.check_invariants()
+        from repro import BruteForceRSTkNN
+        from repro.workloads import sample_queries
+
+        q = sample_queries(dataset, 1, seed=1)[0]
+        assert RSTkNNSearcher(tree).search(q, 3).ids == BruteForceRSTkNN(
+            dataset
+        ).search(q, 3)
+
+
+class TestConfigSurface:
+    def test_index_config_rejects_bad_combination(self):
+        with pytest.raises(ConfigError):
+            IndexConfig(max_entries=4, min_entries=3)
+
+    def test_similarity_config_is_hashable_and_frozen(self):
+        cfg = SimilarityConfig()
+        assert hash(cfg) == hash(SimilarityConfig())
+        with pytest.raises(Exception):
+            cfg.alpha = 0.9  # type: ignore[misc]

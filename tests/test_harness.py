@@ -1,0 +1,95 @@
+"""Bench harness: method registry, runners, and table formatting."""
+
+import pytest
+
+from repro import ConfigError, IndexConfig
+from repro.bench import (
+    METHODS,
+    build_tree,
+    format_table,
+    run_baseline_queries,
+    run_queries,
+)
+from repro.workloads import sample_queries, shop_like
+
+
+@pytest.fixture(scope="module")
+def bench_dataset():
+    return shop_like(n=120)
+
+
+class TestBuildTree:
+    def test_every_method_builds(self, bench_dataset):
+        for method in METHODS:
+            tree = build_tree(bench_dataset, method)
+            assert tree.stats().objects == len(bench_dataset)
+
+    def test_iur_has_single_cluster(self, bench_dataset):
+        assert build_tree(bench_dataset, "iur").num_clusters() == 1
+        assert build_tree(bench_dataset, "base").num_clusters() == 1
+
+    def test_ciur_clusters(self, bench_dataset):
+        tree = build_tree(bench_dataset, "ciur", IndexConfig(num_clusters=4))
+        assert tree.num_clusters() >= 2
+
+    def test_oe_extracts_outliers(self, bench_dataset):
+        tree = build_tree(bench_dataset, "ciur-oe")
+        assert tree.stats().outliers > 0
+
+    def test_te_flag_propagates(self, bench_dataset):
+        assert build_tree(bench_dataset, "ciur-te").config.use_entropy_priority
+        assert not build_tree(bench_dataset, "ciur").config.use_entropy_priority
+
+    def test_unknown_method_rejected(self, bench_dataset):
+        with pytest.raises(ConfigError):
+            build_tree(bench_dataset, "btree")
+
+
+class TestRunners:
+    def test_run_queries_aggregates(self, bench_dataset):
+        tree = build_tree(bench_dataset, "iur")
+        queries = sample_queries(bench_dataset, 3, seed=40)
+        run = run_queries(tree, queries, k=3, method="iur")
+        assert run.queries == 3
+        assert run.mean_ms > 0
+        assert run.mean_reads > 0
+        assert 0.0 <= run.group_decided_fraction <= 1.0
+        assert len(run.as_row()) == len(run.HEADERS)
+
+    def test_run_baseline(self, bench_dataset):
+        tree = build_tree(bench_dataset, "base")
+        queries = sample_queries(bench_dataset, 2, seed=41)
+        run = run_baseline_queries(tree, queries, k=3)
+        assert run.method == "base"
+        assert run.mean_reads > 0
+
+    def test_baseline_and_searcher_agree(self, bench_dataset):
+        from repro import RSTkNNSearcher, ThresholdBaseline
+
+        tree = build_tree(bench_dataset, "iur")
+        query = sample_queries(bench_dataset, 1, seed=42)[0]
+        assert (
+            RSTkNNSearcher(tree).search(query, 4).ids
+            == ThresholdBaseline(tree).search(query, 4)
+        )
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a  ")
+        assert "---" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        out = format_table(["x"], [["1"]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_non_string_cells_coerced(self):
+        out = format_table(["n"], [[42]])
+        assert "42" in out

@@ -1,0 +1,133 @@
+"""End-to-end integration scenario exercising every subsystem together.
+
+One continuous story: ingest a CSV, build and tune an index, answer the
+full query suite, persist everything, reload, apply live updates, and
+verify that every feature stays consistent with every other at each
+step.  This is the "does the whole product hang together" test.
+"""
+
+import pytest
+
+from repro import (
+    BruteForceRSTkNN,
+    CIURTree,
+    IndexConfig,
+    LocationSelector,
+    RSTkNNSearcher,
+    SearchTrace,
+    SimilarityConfig,
+    TopKSearcher,
+    estimate_rstknn_io,
+    load_dataset,
+    load_index,
+    save_dataset,
+    save_index,
+)
+from repro.analysis import measure_index_quality, profile_bounds, render_tree
+from repro.core.spatial_keyword import SpatialKeywordSearcher
+from repro.data import load_csv_dataset, sample_dataset, write_csv
+from repro.spatial import Point, Rect
+
+
+@pytest.fixture(scope="module")
+def story(tmp_path_factory):
+    """Ingest → build → return the shared fixtures of the scenario."""
+    tmp = tmp_path_factory.mktemp("scenario")
+    # 1. Export the bundled city and ingest it back through the CSV path,
+    #    like a user arriving with a POI file.
+    csv_path = tmp / "city.csv"
+    write_csv(sample_dataset(), csv_path)
+    dataset, report = load_csv_dataset(
+        csv_path, config=SimilarityConfig(alpha=0.4, weighting="tf")
+    )
+    assert report.rows_skipped == 0
+    # 2. Build a tuned clustered index.
+    tree = CIURTree.build(
+        dataset,
+        IndexConfig(num_clusters=5, outlier_threshold=0.05, buffer_pages=64),
+        method="text-str",
+    )
+    return tmp, dataset, tree
+
+
+class TestScenario:
+    def test_index_is_sound(self, story):
+        _, dataset, tree = story
+        tree.check_invariants()
+        quality = measure_index_quality(tree)
+        assert quality.objects == len(dataset)
+        profiles = profile_bounds(tree, sample_pairs=10)  # asserts soundness
+        assert profiles
+        assert "node#" in render_tree(tree, max_depth=1) or "leaf#" in render_tree(tree)
+
+    def test_query_suite_is_mutually_consistent(self, story):
+        _, dataset, tree = story
+        query = dataset.make_query(Point(5.0, 5.0), "wine restaurant italian")
+        k = 3
+
+        searcher = RSTkNNSearcher(tree)
+        brute = BruteForceRSTkNN(dataset)
+        trace = SearchTrace()
+        reverse = searcher.search(query, k, trace=trace)
+        assert reverse.ids == brute.search(query, k)
+        assert trace.counts()  # the trace observed the same run
+
+        # Ranked output agrees with the plain result set.
+        ranked = searcher.search_ranked(query, k)
+        assert sorted(oid for oid, _, _ in ranked) == reverse.ids
+
+        # Influence counting agrees with reverse search.
+        selector = LocationSelector(tree, k)
+        influence = selector.influence(query.point, "wine restaurant italian")
+        assert list(influence.influenced) == reverse.ids
+
+        # Top-k and reverse search cross-check: every reverse neighbor
+        # must have the query within its own top-k.
+        topk = TopKSearcher(tree)
+        from repro import STScorer
+
+        scorer = STScorer.for_dataset(dataset)
+        for oid in reverse.ids:
+            obj = dataset.get(oid)
+            threshold = topk.kth_score(obj, k, exclude_oid=oid)
+            assert scorer.score(query, obj) >= threshold - 1e-12
+
+        # The cost model stays within sane limits of the measured I/O.
+        estimate = estimate_rstknn_io(tree, query, k)
+        tree.reset_io(cold=True)
+        searcher.search(query, k)
+        assert 0 < estimate.page_ios <= tree.stats().pages
+
+    def test_spatial_keyword_consistency(self, story):
+        _, dataset, tree = story
+        sk = SpatialKeywordSearcher(tree)
+        region = Rect(0, 0, 10, 10)
+        conj = sk.boolean_range(region, ["japanese"])
+        knn_all = sk.boolean_knn(Point(5, 5), len(dataset), ["japanese"])
+        assert conj == sorted(oid for oid, _ in knn_all)
+
+    def test_persist_reload_update(self, story):
+        tmp, dataset, tree = story
+        ds_path, idx_path = tmp / "city.ds.json", tmp / "city.idx.json"
+        save_dataset(dataset, ds_path)
+        save_index(tree, idx_path)
+
+        loaded_ds = load_dataset(ds_path)
+        loaded = load_index(idx_path, loaded_ds)
+        query = loaded_ds.make_query(Point(8.0, 8.0), "coffee study books")
+        before = RSTkNNSearcher(loaded).search(query, 2)
+        reference = RSTkNNSearcher(tree).search(
+            dataset.make_query(Point(8.0, 8.0), "coffee study books"), 2
+        )
+        assert before.ids == reference.ids
+
+        # Live update on the reloaded tree, then re-verify vs brute force.
+        newcomer = loaded_ds.append_record(Point(8.0, 8.0), "coffee study books")
+        loaded.insert_object(newcomer)
+        after = RSTkNNSearcher(loaded).search(query, 2)
+        assert after.ids == BruteForceRSTkNN(loaded_ds).search(query, 2)
+        assert newcomer.oid in after.ids  # a co-located clone must appear
+
+        assert loaded.delete_object(newcomer.oid)
+        restored = RSTkNNSearcher(loaded).search(query, 2)
+        assert restored.ids == before.ids

@@ -1,0 +1,98 @@
+"""IntervalVector: merge semantics and document admission."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DatasetError, IntervalVector, SparseVector
+
+docs = st.dictionaries(
+    st.integers(min_value=0, max_value=15),
+    st.floats(min_value=1e-3, max_value=10, allow_nan=False),
+    max_size=6,
+)
+
+
+class TestIntervalVector:
+    def test_from_document_is_degenerate(self):
+        v = SparseVector({1: 2.0, 3: 1.0})
+        iv = IntervalVector.from_document(v)
+        assert iv.intersection == v
+        assert iv.union == v
+        assert iv.doc_count == 1
+
+    def test_doc_count_must_be_positive(self):
+        with pytest.raises(DatasetError):
+            IntervalVector(SparseVector.empty(), SparseVector.empty(), 0)
+
+    def test_intersection_cannot_exceed_union(self):
+        with pytest.raises(DatasetError):
+            IntervalVector(SparseVector({1: 5.0}), SparseVector({1: 2.0}), 1)
+
+    def test_merge_union_takes_max(self):
+        a = IntervalVector.from_document(SparseVector({1: 1.0, 2: 3.0}))
+        b = IntervalVector.from_document(SparseVector({1: 4.0}))
+        merged = IntervalVector.merge([a, b])
+        assert merged.union.get(1) == 4.0
+        assert merged.union.get(2) == 3.0
+        assert merged.doc_count == 2
+
+    def test_merge_intersection_requires_presence_in_all(self):
+        a = IntervalVector.from_document(SparseVector({1: 1.0, 2: 3.0}))
+        b = IntervalVector.from_document(SparseVector({1: 4.0}))
+        merged = IntervalVector.merge([a, b])
+        assert merged.intersection.get(1) == 1.0  # min of 1 and 4
+        assert merged.intersection.get(2) == 0.0  # absent from b
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(DatasetError):
+            IntervalVector.merge([])
+
+    def test_merge_single_is_identity(self):
+        iv = IntervalVector.from_document(SparseVector({1: 1.0}))
+        assert IntervalVector.merge([iv]) == iv
+
+    def test_admits(self):
+        docs_ = [SparseVector({1: 2.0, 2: 1.0}), SparseVector({1: 3.0})]
+        merged = IntervalVector.merge(
+            [IntervalVector.from_document(d) for d in docs_]
+        )
+        for d in docs_:
+            assert merged.admits(d)
+        # Missing the intersection term 1:
+        assert not merged.admits(SparseVector({2: 1.0}))
+        # Exceeding the union weight of term 1:
+        assert not merged.admits(SparseVector({1: 9.0}))
+
+    def test_size_in_terms(self):
+        iv = IntervalVector.merge(
+            [
+                IntervalVector.from_document(SparseVector({1: 1.0, 2: 1.0})),
+                IntervalVector.from_document(SparseVector({1: 1.0})),
+            ]
+        )
+        assert iv.size_in_terms() == 2 + 1
+
+
+class TestIntervalProperties:
+    @given(st.lists(docs, min_size=1, max_size=6))
+    @settings(max_examples=150)
+    def test_merge_admits_every_member(self, weight_maps):
+        vectors = [SparseVector(w) for w in weight_maps]
+        merged = IntervalVector.merge(
+            [IntervalVector.from_document(v) for v in vectors]
+        )
+        assert merged.doc_count == len(vectors)
+        for v in vectors:
+            assert merged.admits(v)
+
+    @given(st.lists(docs, min_size=2, max_size=6))
+    @settings(max_examples=150)
+    def test_merge_associative_ish(self, weight_maps):
+        """Merging all at once equals merging incrementally."""
+        ivs = [IntervalVector.from_document(SparseVector(w)) for w in weight_maps]
+        all_at_once = IntervalVector.merge(ivs)
+        left = ivs[0]
+        for iv in ivs[1:]:
+            left = IntervalVector.merge([left, iv])
+        assert left == all_at_once

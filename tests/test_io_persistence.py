@@ -1,0 +1,143 @@
+"""File persistence: datasets and indexes round-trip exactly."""
+
+import json
+
+import pytest
+
+from repro import (
+    CIURTree,
+    DatasetError,
+    IndexConfig,
+    IndexCorruptionError,
+    IURTree,
+    RSTkNNSearcher,
+    STScorer,
+    load_dataset,
+    load_index,
+    save_dataset,
+    save_index,
+)
+from repro.workloads import sample_queries, shop_like
+
+
+@pytest.fixture()
+def saved_pair(tmp_path):
+    dataset = shop_like(n=90, seed=21)
+    tree = CIURTree.build(
+        dataset, IndexConfig(num_clusters=4, outlier_threshold=0.3)
+    )
+    ds_path = tmp_path / "ds.json"
+    idx_path = tmp_path / "idx.json"
+    save_dataset(dataset, ds_path)
+    save_index(tree, idx_path)
+    return dataset, tree, ds_path, idx_path
+
+
+class TestDatasetRoundtrip:
+    def test_objects_identical(self, saved_pair):
+        dataset, _, ds_path, _ = saved_pair
+        loaded = load_dataset(ds_path)
+        assert len(loaded) == len(dataset)
+        for a, b in zip(dataset.objects, loaded.objects):
+            assert a.oid == b.oid
+            assert a.point == b.point
+            assert a.vector == b.vector
+            assert a.keywords == b.keywords
+
+    def test_scores_identical(self, saved_pair):
+        dataset, _, ds_path, _ = saved_pair
+        loaded = load_dataset(ds_path)
+        s1 = STScorer.for_dataset(dataset)
+        s2 = STScorer.for_dataset(loaded)
+        a, b = dataset.get(0), dataset.get(7)
+        assert s1.score(a, b) == s2.score(loaded.get(0), loaded.get(7))
+
+    def test_vocabulary_statistics_survive(self, saved_pair):
+        dataset, _, ds_path, _ = saved_pair
+        loaded = load_dataset(ds_path)
+        v1, v2 = dataset.vocabulary, loaded.vocabulary
+        assert len(v1) == len(v2)
+        assert v1.doc_count == v2.doc_count
+        assert v1.total_term_count == v2.total_term_count
+        for tid in range(len(v1)):
+            assert v1.doc_frequency(tid) == v2.doc_frequency(tid)
+
+    def test_queries_weight_identically(self, saved_pair):
+        dataset, _, ds_path, _ = saved_pair
+        loaded = load_dataset(ds_path)
+        q1 = dataset.make_query(dataset.get(0).point, "t0001 t0005")
+        q2 = loaded.make_query(loaded.get(0).point, "t0001 t0005")
+        assert q1.vector == q2.vector
+
+    def test_bad_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{not json")
+        with pytest.raises(DatasetError):
+            load_dataset(path)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(DatasetError):
+            load_dataset(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_dataset(tmp_path / "nope.json")
+
+
+class TestIndexRoundtrip:
+    def test_query_results_identical(self, saved_pair):
+        dataset, tree, ds_path, idx_path = saved_pair
+        loaded_ds = load_dataset(ds_path)
+        loaded = load_index(idx_path, loaded_ds)
+        for q_orig, q_new in zip(
+            sample_queries(dataset, 3, seed=22), sample_queries(loaded_ds, 3, seed=22)
+        ):
+            for k in (1, 4):
+                assert (
+                    RSTkNNSearcher(loaded).search(q_new, k).ids
+                    == RSTkNNSearcher(tree).search(q_orig, k).ids
+                )
+
+    def test_structure_preserved(self, saved_pair):
+        dataset, tree, ds_path, idx_path = saved_pair
+        loaded = load_index(idx_path, load_dataset(ds_path))
+        assert loaded.kind == tree.kind
+        s1, s2 = tree.stats(), loaded.stats()
+        assert s1.nodes == s2.nodes
+        assert s1.height == s2.height
+        assert s1.outliers == s2.outliers
+        loaded.check_invariants()
+
+    def test_loaded_tree_accepts_inserts(self, saved_pair):
+        dataset, _, ds_path, idx_path = saved_pair
+        loaded_ds = load_dataset(ds_path)
+        loaded = load_index(idx_path, loaded_ds)
+        obj = loaded_ds.append_record(loaded_ds.get(0).point, "t0003 t0004")
+        loaded.insert_object(obj)
+        loaded.check_invariants()
+
+    def test_wrong_dataset_rejected(self, saved_pair):
+        _, _, _, idx_path = saved_pair
+        other = shop_like(n=30, seed=99)
+        with pytest.raises(IndexCorruptionError):
+            load_index(idx_path, other)
+
+    def test_wrong_format_rejected(self, tmp_path, saved_pair):
+        dataset, _, _, _ = saved_pair
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "not-an-index"}))
+        with pytest.raises(IndexCorruptionError):
+            load_index(path, dataset)
+
+    def test_plain_iur_roundtrip(self, tmp_path):
+        dataset = shop_like(n=60, seed=23)
+        tree = IURTree.build(dataset)
+        ds_path = tmp_path / "d.json"
+        idx_path = tmp_path / "i.json"
+        save_dataset(dataset, ds_path)
+        save_index(tree, idx_path)
+        loaded = load_index(idx_path, load_dataset(ds_path))
+        assert loaded.kind == "iur"
+        assert loaded.num_clusters() == 1

@@ -1,0 +1,121 @@
+"""IUR-tree: construction, persistence, and I/O accounting."""
+
+import pytest
+
+from repro import IndexConfig, IndexCorruptionError, QueryError
+from repro.index import IURTree
+
+
+class TestBuild:
+    def test_str_build(self, medium_dataset):
+        tree = IURTree.build(medium_dataset)
+        assert tree.stats().objects == len(medium_dataset)
+        tree.check_invariants()
+
+    def test_insert_build(self, small_dataset):
+        tree = IURTree.build(small_dataset, method="insert")
+        tree.check_invariants(enforce_min_fill=True)
+        assert tree.stats().objects == len(small_dataset)
+
+    def test_unknown_method_rejected(self, small_dataset):
+        with pytest.raises(QueryError):
+            IURTree.build(small_dataset, method="foo")
+
+    def test_single_cluster(self, small_dataset):
+        tree = IURTree.build(small_dataset)
+        assert tree.num_clusters() == 1
+
+    def test_stats_shape(self, medium_dataset):
+        st = IURTree.build(medium_dataset).stats()
+        assert st.kind == "iur"
+        assert st.nodes >= st.leaves >= 1
+        assert st.height >= 2
+        assert st.pages >= st.nodes  # every node occupies >= 1 page
+        assert st.bytes > 0
+        assert st.build_seconds >= 0.0
+
+
+class TestTraversal:
+    def test_root_entry_covers_everything(self, medium_dataset):
+        tree = IURTree.build(medium_dataset)
+        root = tree.root_entry()
+        assert root is not None
+        assert root.count == len(medium_dataset)
+        for obj in medium_dataset.objects:
+            assert root.mbr.contains_point(obj.point)
+
+    def test_children_charges_io(self, medium_dataset):
+        tree = IURTree.build(medium_dataset)
+        root = tree.root_entry()
+        tree.reset_io()
+        tree.children(root)
+        assert tree.io.reads >= 1
+
+    def test_children_hits_buffer_second_time(self, medium_dataset):
+        tree = IURTree.build(medium_dataset)
+        root = tree.root_entry()
+        tree.reset_io()
+        tree.children(root)
+        reads = tree.io.reads
+        tree.children(root)
+        assert tree.io.reads == reads
+        assert tree.io.buffer_hits >= 1
+
+    def test_children_of_object_rejected(self, medium_dataset):
+        tree = IURTree.build(medium_dataset)
+        entry = tree.root_entry()
+        while not entry.is_object:
+            entry = tree.children(entry)[0]
+        with pytest.raises(IndexCorruptionError):
+            tree.children(entry)
+
+    def test_reachable_leaf_entries_are_objects(self, medium_dataset):
+        tree = IURTree.build(medium_dataset)
+        seen = []
+        stack = [tree.root_entry()]
+        while stack:
+            entry = stack.pop()
+            if entry.is_object:
+                seen.append(entry.ref)
+            else:
+                stack.extend(tree.children(entry))
+        assert sorted(seen) == [o.oid for o in medium_dataset.objects]
+
+    def test_reset_io_cold_clears_buffer(self, medium_dataset):
+        tree = IURTree.build(medium_dataset)
+        root = tree.root_entry()
+        tree.children(root)
+        tree.reset_io(cold=True)
+        tree.children(root)
+        assert tree.io.reads >= 1  # re-read after the cold reset
+
+    def test_reset_io_warm_keeps_buffer(self, medium_dataset):
+        tree = IURTree.build(medium_dataset)
+        root = tree.root_entry()
+        tree.children(root)
+        tree.reset_io(cold=False)
+        tree.children(root)
+        assert tree.io.reads == 0
+        assert tree.io.buffer_hits >= 1
+
+    def test_tag_accounting(self, medium_dataset):
+        tree = IURTree.build(medium_dataset)
+        tree.reset_io()
+        tree.children(tree.root_entry(), tag="probe")
+        assert tree.io.by_tag.get("probe", 0) >= 1
+
+
+class TestConfigInteraction:
+    def test_small_page_size_means_more_pages(self, medium_dataset):
+        small = IURTree.build(medium_dataset, IndexConfig(page_size=256))
+        large = IURTree.build(medium_dataset, IndexConfig(page_size=8192))
+        assert small.stats().pages > large.stats().pages
+
+    def test_fanout_affects_height(self, medium_dataset):
+        slim = IURTree.build(medium_dataset, IndexConfig(max_entries=4, min_entries=2))
+        wide = IURTree.build(medium_dataset, IndexConfig(max_entries=32, min_entries=8))
+        assert slim.stats().height >= wide.stats().height
+
+    def test_object_lookup(self, small_dataset):
+        tree = IURTree.build(small_dataset)
+        assert tree.object(3).oid == 3

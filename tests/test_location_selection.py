@@ -1,0 +1,129 @@
+"""Location selection: influence counting and best-site search."""
+
+import pytest
+
+from repro import (
+    CIURTree,
+    IndexConfig,
+    IURTree,
+    LocationSelector,
+    QueryError,
+    RSTkNNSearcher,
+)
+from repro.data import sample_dataset
+from repro.spatial import Point
+from repro.workloads import shop_like
+
+
+@pytest.fixture(scope="module")
+def selector_setup():
+    dataset = shop_like(n=200, seed=91)
+    tree = IURTree.build(dataset)
+    selector = LocationSelector(tree, k=3)
+    return dataset, tree, selector
+
+
+class TestInfluence:
+    def test_matches_rstknn_search(self, selector_setup):
+        dataset, tree, selector = selector_setup
+        searcher = RSTkNNSearcher(tree)
+        terms = " ".join(dataset.get(0).keywords[:3])
+        for point in (Point(20, 20), Point(50, 80), Point(95, 5)):
+            influence = selector.influence(point, terms)
+            query = dataset.make_query(point, terms)
+            assert list(influence.influenced) == searcher.search(query, 3).ids
+
+    def test_count_property(self, selector_setup):
+        dataset, _, selector = selector_setup
+        result = selector.influence(Point(50, 50), "t0001 t0002")
+        assert result.count == len(result.influenced)
+
+    def test_thresholds_match_brute(self, selector_setup):
+        from repro import BruteForceRSTkNN
+
+        dataset, _, selector = selector_setup
+        brute = BruteForceRSTkNN(dataset)
+        for oid in (0, 50, 123):
+            assert selector.threshold_of(oid) == pytest.approx(
+                brute.kth_neighbor_score(dataset.get(oid), 3)
+            )
+
+    def test_works_on_clustered_tree_with_outliers(self):
+        dataset = shop_like(n=150, seed=92)
+        tree = CIURTree.build(
+            dataset, IndexConfig(num_clusters=4, outlier_threshold=0.3)
+        )
+        selector = LocationSelector(tree, k=2)
+        searcher = RSTkNNSearcher(tree)
+        point = Point(40, 60)
+        terms = " ".join(dataset.get(5).keywords[:2])
+        query = dataset.make_query(point, terms)
+        assert (
+            list(selector.influence(point, terms).influenced)
+            == searcher.search(query, 2).ids
+        )
+
+    def test_invalid_k(self, selector_setup):
+        _, tree, _ = selector_setup
+        with pytest.raises(QueryError):
+            LocationSelector(tree, k=0)
+
+
+class TestSelectBest:
+    def test_picks_maximum_influence(self, selector_setup):
+        dataset, _, selector = selector_setup
+        candidates = [Point(10, 10), Point(50, 50), Point(90, 90)]
+        terms = " ".join(dataset.get(0).keywords[:3])
+        report = selector.select_best(candidates, terms)
+        assert report.best.count == max(r.count for r in report.all_results)
+        assert len(report.all_results) == 3
+
+    def test_tie_breaks_to_first_candidate(self, selector_setup):
+        dataset, _, selector = selector_setup
+        point = Point(33, 44)
+        report = selector.select_best([point, point], "t0001")
+        assert report.best is report.all_results[0]
+
+    def test_empty_candidates_rejected(self, selector_setup):
+        _, _, selector = selector_setup
+        with pytest.raises(QueryError):
+            selector.select_best([], "t0001")
+
+    def test_report_metadata(self, selector_setup):
+        dataset, _, selector = selector_setup
+        report = selector.select_best([Point(10, 10)], "t0001")
+        assert report.search_seconds >= 0.0
+        assert report.preprocess_seconds > 0.0
+        assert "reads" in report.io
+
+    def test_city_scenario(self):
+        """The campus corner beats the harbor for a ramen shop."""
+        city = sample_dataset()
+        tree = IURTree.build(city)
+        selector = LocationSelector(tree, k=2)
+        campus, harbor = Point(8.1, 8.1), Point(1.0, 5.5)
+        report = selector.select_best(
+            [harbor, campus], "ramen noodles japanese quick"
+        )
+        by_point = {r.location: r.count for r in report.all_results}
+        assert by_point[campus] >= by_point[harbor]
+
+
+class TestSharedPreprocessingIsCheaper:
+    def test_candidate_traversal_cheaper_than_full_search(self, selector_setup):
+        """One influence count must read fewer pages than one full RSTkNN
+        search — the whole point of precomputed thresholds."""
+        dataset, tree, selector = selector_setup
+        terms = " ".join(dataset.get(7).keywords[:3])
+        point = Point(60, 30)
+        query = dataset.make_query(point, terms)
+
+        tree.reset_io(cold=True)
+        selector.influence(point, terms)
+        influence_reads = tree.io.reads
+
+        tree.reset_io(cold=True)
+        RSTkNNSearcher(tree).search(query, 3)
+        search_reads = tree.io.reads
+
+        assert influence_reads <= search_reads

@@ -1,0 +1,136 @@
+"""Member-query variant plus extra property tests for the query suite."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    BruteForceRSTkNN,
+    IndexConfig,
+    IURTree,
+    LocationSelector,
+    RSTkNNSearcher,
+    SimilarityConfig,
+    STDataset,
+    STScorer,
+    TopKSearcher,
+)
+from repro.core.spatial_keyword import SpatialKeywordSearcher
+from repro.spatial import Point, Rect
+
+TERMS = ["alpha", "beta", "gamma", "delta"]
+
+coords = st.floats(min_value=0, max_value=10, allow_nan=False)
+texts = st.lists(st.sampled_from(TERMS), min_size=1, max_size=3).map(" ".join)
+corpora = st.lists(
+    st.tuples(coords, coords, texts), min_size=3, max_size=20
+)
+
+
+def build(records):
+    dataset = STDataset.from_corpus(
+        [(Point(x, y), t) for x, y, t in records],
+        SimilarityConfig(alpha=0.5, weighting="tf"),
+    )
+    tree = IURTree.build(dataset, IndexConfig(max_entries=4, min_entries=2))
+    return dataset, tree
+
+
+class TestSearchForMember:
+    def test_excludes_self_and_matches_brute(self):
+        from repro.workloads import shop_like
+
+        dataset = shop_like(n=120, seed=95)
+        tree = IURTree.build(dataset)
+        searcher = RSTkNNSearcher(tree)
+        scorer = STScorer.for_dataset(dataset)
+        for oid in (3, 57, 111):
+            result = searcher.search_for_member(oid, 3)
+            assert oid not in result.ids
+            member = dataset.get(oid)
+            # Oracle: o is a reverse neighbor iff < 3 objects of D\{o}
+            # are strictly more similar to o than the member is.
+            expected = []
+            for o in dataset.objects:
+                if o.oid == oid:
+                    continue
+                m_sim = scorer.score(member, o)
+                stronger = sum(
+                    1
+                    for other in dataset.objects
+                    if other.oid != o.oid and scorer.score(other, o) > m_sim
+                )
+                if stronger <= 2:
+                    expected.append(o.oid)
+            assert result.ids == sorted(expected)
+
+    def test_result_count_updated(self):
+        from repro.workloads import shop_like
+
+        dataset = shop_like(n=60, seed=96)
+        tree = IURTree.build(dataset)
+        result = RSTkNNSearcher(tree).search_for_member(0, 2)
+        assert result.stats.result_count == len(result.ids)
+
+
+class TestTopKProperty:
+    @given(corpora, st.tuples(coords, coords, texts), st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_topk_matches_brute(self, records, qspec, k):
+        dataset, tree = build(records)
+        qx, qy, qtext = qspec
+        query = dataset.make_query(Point(qx, qy), qtext)
+        mine = TopKSearcher(tree).top_k(query, k)
+        theirs = BruteForceRSTkNN(dataset).top_k(query, k)
+        assert [o for o, _ in mine] == [o for o, _ in theirs]
+
+
+class TestSpatialKeywordProperty:
+    @given(
+        corpora,
+        st.tuples(coords, coords, coords, coords),
+        st.lists(st.sampled_from(TERMS), min_size=1, max_size=2, unique=True),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_boolean_range_matches_brute(self, records, box, terms):
+        dataset, tree = build(records)
+        x1, x2 = sorted(box[:2])
+        y1, y2 = sorted(box[2:])
+        region = Rect(x1, y1, x2, y2)
+        term_ids = [dataset.vocabulary.id_of(t) for t in terms]
+        expected = sorted(
+            o.oid
+            for o in dataset.objects
+            if region.contains_point(o.point)
+            and all(tid is not None and tid in o.vector for tid in term_ids)
+        )
+        got = SpatialKeywordSearcher(tree).boolean_range(region, terms)
+        assert got == expected
+
+
+class TestInfluenceProperty:
+    @given(corpora, st.tuples(coords, coords, texts), st.integers(1, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_influence_equals_reverse_search(self, records, qspec, k):
+        dataset, tree = build(records)
+        selector = LocationSelector(tree, k)
+        qx, qy, qtext = qspec
+        influence = selector.influence(Point(qx, qy), qtext)
+        query = dataset.make_query(Point(qx, qy), qtext)
+        assert list(influence.influenced) == RSTkNNSearcher(tree).search(
+            query, k
+        ).ids
+
+
+class TestRankedProperty:
+    @given(corpora, st.tuples(coords, coords, texts))
+    @settings(max_examples=25, deadline=None)
+    def test_ranked_ids_equal_plain_search(self, records, qspec):
+        dataset, tree = build(records)
+        qx, qy, qtext = qspec
+        query = dataset.make_query(Point(qx, qy), qtext)
+        searcher = RSTkNNSearcher(tree)
+        ranked = searcher.search_ranked(query, 3)
+        assert sorted(oid for oid, _, _ in ranked) == searcher.search(query, 3).ids
+        for _, rank, _ in ranked:
+            assert 1 <= rank <= 3

@@ -1,0 +1,139 @@
+"""Unit tests for point and rectangle geometry."""
+
+import math
+
+import pytest
+
+from repro import ConfigError, Point, Rect
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_squared_distance(self):
+        assert Point(1, 1).squared_distance_to(Point(4, 5)) == 25.0
+
+    def test_manhattan(self):
+        assert Point(0, 0).manhattan_distance_to(Point(3, -4)) == 7.0
+
+    def test_translated(self):
+        assert Point(1, 2).translated(2, -1) == Point(3, 1)
+
+    def test_midpoint(self):
+        assert Point.midpoint(Point(0, 0), Point(4, 2)) == Point(2, 1)
+
+    def test_ordering_is_lexicographic(self):
+        assert Point(1, 5) < Point(2, 0)
+        assert Point(1, 1) < Point(1, 2)
+
+    def test_iter_and_tuple(self):
+        assert tuple(Point(3, 7)) == (3, 7)
+        assert Point(3, 7).as_tuple() == (3, 7)
+
+
+class TestRectConstruction:
+    def test_malformed_rejected(self):
+        with pytest.raises(ConfigError):
+            Rect(1, 0, 0, 1)
+        with pytest.raises(ConfigError):
+            Rect(0, 1, 1, 0)
+
+    def test_from_point_is_degenerate(self):
+        r = Rect.from_point(Point(2, 3))
+        assert r.is_point()
+        assert r.area() == 0.0
+
+    def test_from_points(self):
+        r = Rect.from_points([Point(1, 5), Point(3, 2), Point(2, 4)])
+        assert r.as_tuple() == (1, 2, 3, 5)
+
+    def test_from_points_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            Rect.from_points([])
+
+    def test_union_all(self):
+        r = Rect.union_all([Rect(0, 0, 1, 1), Rect(2, -1, 3, 0.5)])
+        assert r.as_tuple() == (0, -1, 3, 1)
+
+    def test_union_all_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            Rect.union_all([])
+
+
+class TestRectMeasures:
+    def test_area_margin_diagonal(self):
+        r = Rect(0, 0, 3, 4)
+        assert r.area() == 12.0
+        assert r.margin() == 7.0
+        assert r.diagonal() == 5.0
+
+    def test_center_and_corners(self):
+        r = Rect(0, 0, 2, 4)
+        assert r.center() == Point(1, 2)
+        assert len(r.corners()) == 4
+
+    def test_containment(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_point(Point(5, 5))
+        assert outer.contains_point(Point(0, 0))  # boundary inclusive
+        assert not outer.contains_point(Point(11, 5))
+        assert outer.contains_rect(Rect(1, 1, 9, 9))
+        assert not outer.contains_rect(Rect(1, 1, 11, 9))
+
+    def test_intersection(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(1, 1, 3, 3)
+        assert a.intersects(b)
+        assert a.intersection_area(b) == 1.0
+        c = Rect(5, 5, 6, 6)
+        assert not a.intersects(c)
+        assert a.intersection_area(c) == 0.0
+
+    def test_touching_rects_intersect(self):
+        assert Rect(0, 0, 1, 1).intersects(Rect(1, 1, 2, 2))
+
+    def test_enlargement(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.enlargement(Rect(1, 1, 2, 2)) == 0.0
+        assert a.enlargement(Rect(0, 0, 4, 2)) == 4.0
+
+
+class TestRectDistances:
+    def test_min_dist_point_inside_is_zero(self):
+        assert Rect(0, 0, 4, 4).min_dist_point(Point(2, 2)) == 0.0
+
+    def test_min_dist_point_outside(self):
+        assert Rect(0, 0, 1, 1).min_dist_point(Point(4, 5)) == 5.0
+
+    def test_max_dist_point(self):
+        assert Rect(0, 0, 1, 1).max_dist_point(Point(2, 2)) == math.hypot(2, 2)
+
+    def test_min_dist_overlapping_rects_is_zero(self):
+        assert Rect(0, 0, 2, 2).min_dist(Rect(1, 1, 3, 3)) == 0.0
+
+    def test_min_dist_disjoint(self):
+        assert Rect(0, 0, 1, 1).min_dist(Rect(4, 1, 5, 2)) == 3.0
+        assert Rect(0, 0, 1, 1).min_dist(Rect(4, 5, 6, 7)) == 5.0
+
+    def test_max_dist_same_rect_is_diagonal(self):
+        r = Rect(0, 0, 3, 4)
+        assert r.max_dist(r) == 5.0
+
+    def test_max_dist_disjoint(self):
+        assert Rect(0, 0, 1, 1).max_dist(Rect(4, 0, 5, 1)) == math.hypot(5, 1)
+
+    def test_distances_symmetric(self):
+        a = Rect(0, 0, 2, 3)
+        b = Rect(5, 1, 7, 9)
+        assert a.min_dist(b) == b.min_dist(a)
+        assert a.max_dist(b) == b.max_dist(a)
+
+    def test_min_max_dist_bounds_center_reach(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(5, 5, 7, 7)
+        mm = a.min_max_dist(b)
+        # From the center of a, every point of b is within mm.
+        center = a.center()
+        for corner in b.corners():
+            assert center.distance_to(corner) <= mm + 1e-12

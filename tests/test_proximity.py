@@ -1,0 +1,56 @@
+"""Spatial proximity normalization."""
+
+import pytest
+
+from repro import ConfigError, Point, Rect, SpatialProximity
+
+
+class TestSpatialProximity:
+    def test_zero_distance_is_one(self):
+        prox = SpatialProximity(10.0)
+        assert prox.from_distance(0.0) == 1.0
+
+    def test_max_distance_is_zero(self):
+        prox = SpatialProximity(10.0)
+        assert prox.from_distance(10.0) == 0.0
+
+    def test_linear_in_between(self):
+        prox = SpatialProximity(10.0)
+        assert prox.from_distance(2.5) == pytest.approx(0.75)
+
+    def test_clamps_beyond_max(self):
+        prox = SpatialProximity(10.0)
+        assert prox.from_distance(15.0) == 0.0
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ConfigError):
+            SpatialProximity(10.0).from_distance(-1.0)
+
+    def test_non_positive_diameter_rejected(self):
+        with pytest.raises(ConfigError):
+            SpatialProximity(0.0)
+        with pytest.raises(ConfigError):
+            SpatialProximity(-2.0)
+
+    def test_for_region_uses_diagonal(self):
+        prox = SpatialProximity.for_region(Rect(0, 0, 3, 4))
+        assert prox.max_distance == 5.0
+
+    def test_for_degenerate_region_falls_back_to_unit(self):
+        prox = SpatialProximity.for_region(Rect(2, 2, 2, 2))
+        assert prox.max_distance == 1.0
+
+    def test_between_points(self):
+        prox = SpatialProximity(10.0)
+        assert prox.between(Point(0, 0), Point(3, 4)) == pytest.approx(0.5)
+
+    def test_bounds_order(self):
+        prox = SpatialProximity(100.0)
+        a = Rect(0, 0, 2, 2)
+        b = Rect(5, 5, 8, 9)
+        assert prox.lower_bound(a, b) <= prox.upper_bound(a, b)
+
+    def test_upper_bound_of_overlapping_is_one(self):
+        prox = SpatialProximity(100.0)
+        a = Rect(0, 0, 5, 5)
+        assert prox.upper_bound(a, Rect(1, 1, 2, 2)) == 1.0

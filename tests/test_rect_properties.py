@@ -1,0 +1,103 @@
+"""Property-based tests: the rectangle distance algebra is exact.
+
+``min_dist`` / ``max_dist`` claim to bound the distance between *any*
+point pair of two rectangles — here hypothesis samples interior points
+and checks the claim, plus tightness at the extremes.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Point, Rect
+
+coords = st.floats(
+    min_value=-1000, max_value=1000, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def rects(draw):
+    x1, x2 = sorted((draw(coords), draw(coords)))
+    y1, y2 = sorted((draw(coords), draw(coords)))
+    return Rect(x1, y1, x2, y2)
+
+
+@st.composite
+def rect_with_point(draw):
+    r = draw(rects())
+    fx = draw(st.floats(min_value=0, max_value=1))
+    fy = draw(st.floats(min_value=0, max_value=1))
+    # Clamp: float rounding of lo + f*width can land a hair outside.
+    px = min(max(r.xlo + fx * r.width, r.xlo), r.xhi)
+    py = min(max(r.ylo + fy * r.height, r.ylo), r.yhi)
+    return r, Point(px, py)
+
+
+@given(rect_with_point(), rect_with_point())
+@settings(max_examples=200)
+def test_point_pair_distance_within_bounds(ap, bp):
+    ra, pa = ap
+    rb, pb = bp
+    d = pa.distance_to(pb)
+    assert ra.min_dist(rb) <= d + 1e-9
+    assert d <= ra.max_dist(rb) + 1e-9
+
+
+@given(rects(), rects())
+@settings(max_examples=200)
+def test_min_dist_le_max_dist(a, b):
+    assert a.min_dist(b) <= a.max_dist(b) + 1e-9
+
+
+@given(rects(), rects())
+@settings(max_examples=200)
+def test_min_dist_tight_at_corners_or_zero(a, b):
+    """min_dist is realized by some pair of boundary points."""
+    md = a.min_dist(b)
+    if a.intersects(b):
+        assert md == 0.0
+    else:
+        # min_dist must be realized: project a point of a onto b's span,
+        # then clamp into b — the resulting pair attains the bound.
+        px = min(max(a.xlo, b.xlo), a.xhi)
+        py = min(max(a.ylo, b.ylo), a.yhi)
+        qx = min(max(b.xlo, px), b.xhi)
+        qy = min(max(b.ylo, py), b.yhi)
+        assert abs(Point(px, py).distance_to(Point(qx, qy)) - md) <= 1e-6
+
+
+@given(rects(), rects())
+@settings(max_examples=200)
+def test_max_dist_realized_by_corners(a, b):
+    best = max(
+        ca.distance_to(cb) for ca in a.corners() for cb in b.corners()
+    )
+    assert abs(best - a.max_dist(b)) <= 1e-9
+
+
+@given(rects())
+@settings(max_examples=100)
+def test_self_max_dist_is_diagonal(r):
+    assert abs(r.max_dist(r) - r.diagonal()) <= 1e-9
+
+
+@given(rects(), rects())
+@settings(max_examples=200)
+def test_union_contains_both(a, b):
+    u = a.union(b)
+    assert u.contains_rect(a)
+    assert u.contains_rect(b)
+
+
+@given(rects(), rects())
+@settings(max_examples=200)
+def test_enlargement_non_negative(a, b):
+    assert a.enlargement(b) >= -1e-9
+
+
+@given(rect_with_point())
+@settings(max_examples=200)
+def test_contained_point_distances(rp):
+    r, p = rp
+    assert r.min_dist_point(p) == 0.0
+    assert r.max_dist_point(p) <= r.diagonal() + 1e-9

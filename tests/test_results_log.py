@@ -1,0 +1,79 @@
+"""Experiment result journaling and the CLI run/show integration."""
+
+import json
+
+import pytest
+
+from repro.bench.results import ResultLog
+from repro.cli import main
+from repro.errors import ConfigError
+
+
+class TestResultLog:
+    def test_append_and_read(self, tmp_path):
+        log = ResultLog(tmp_path / "runs.jsonl")
+        log.append("E4", ["a", "b"], [["1", "2"]], params={"n": 100}, stamp="t0")
+        log.append("E4", ["a", "b"], [["3", "4"]], stamp="t1")
+        records = list(log.records())
+        assert len(records) == 2
+        assert records[0]["params"] == {"n": 100}
+        assert records[1]["rows"] == [["3", "4"]]
+
+    def test_latest_picks_newest(self, tmp_path):
+        log = ResultLog(tmp_path / "runs.jsonl")
+        log.append("E4", ["a"], [["old"]])
+        log.append("E5", ["a"], [["other"]])
+        log.append("E4", ["a"], [["new"]])
+        assert log.latest("E4")["rows"] == [["new"]]
+        assert log.latest("E9") is None
+
+    def test_experiments_listing(self, tmp_path):
+        log = ResultLog(tmp_path / "runs.jsonl")
+        log.append("E2", ["a"], [["x"]])
+        log.append("E1", ["a"], [["y"]])
+        assert log.experiments() == ["E1", "E2"]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        log = ResultLog(tmp_path / "absent.jsonl")
+        assert list(log.records()) == []
+        assert log.experiments() == []
+
+    def test_corrupt_line_rejected(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        path.write_text('{"experiment": "E1"}\n{broken\n')
+        with pytest.raises(ConfigError):
+            list(ResultLog(path).records())
+
+    def test_render(self, tmp_path):
+        log = ResultLog(tmp_path / "runs.jsonl")
+        log.append("E4", ["metric", "value"], [["io", "42"]])
+        out = log.render("E4")
+        assert "E4 (stored)" in out
+        assert "42" in out
+        with pytest.raises(ConfigError):
+            log.render("E9")
+
+    def test_non_string_cells_coerced(self, tmp_path):
+        log = ResultLog(tmp_path / "runs.jsonl")
+        log.append("E1", ["n"], [[42]])
+        assert list(log.records())[0]["rows"] == [["42"]]
+
+
+class TestCliIntegration:
+    def test_run_with_out_then_show(self, tmp_path, capsys):
+        log_path = str(tmp_path / "runs.jsonl")
+        assert main(["run", "E12", "--scale", "150", "--out", log_path]) == 0
+        capsys.readouterr()
+        assert main(["show", log_path]) == 0
+        assert "E12" in capsys.readouterr().out
+        assert main(["show", log_path, "E12"]) == 0
+        assert "(stored)" in capsys.readouterr().out
+        # The JSONL on disk is well-formed.
+        with open(log_path) as fh:
+            record = json.loads(fh.readline())
+        assert record["experiment"] == "E12"
+        assert record["stamp"]
+
+    def test_show_empty_log(self, tmp_path, capsys):
+        assert main(["show", str(tmp_path / "nothing.jsonl")]) == 0
+        assert "no runs stored" in capsys.readouterr().out

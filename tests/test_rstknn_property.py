@@ -1,0 +1,82 @@
+"""Property-based headline test: the searcher equals brute force on
+randomly generated datasets, queries, and parameters.
+
+This is the invariant the whole reproduction stands on (DESIGN.md §7.1).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    BruteForceRSTkNN,
+    CIURTree,
+    IndexConfig,
+    IURTree,
+    RSTkNNSearcher,
+    SimilarityConfig,
+    STDataset,
+)
+from repro.spatial import Point
+
+TERMS = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"]
+
+
+@st.composite
+def corpora(draw):
+    n = draw(st.integers(min_value=2, max_value=28))
+    records = []
+    for _ in range(n):
+        x = draw(st.floats(min_value=0, max_value=10, allow_nan=False))
+        y = draw(st.floats(min_value=0, max_value=10, allow_nan=False))
+        count = draw(st.integers(min_value=0, max_value=4))
+        words = [draw(st.sampled_from(TERMS)) for _ in range(count)]
+        records.append((Point(x, y), " ".join(words)))
+    return records
+
+
+@st.composite
+def query_specs(draw):
+    x = draw(st.floats(min_value=-2, max_value=12, allow_nan=False))
+    y = draw(st.floats(min_value=-2, max_value=12, allow_nan=False))
+    count = draw(st.integers(min_value=0, max_value=4))
+    words = " ".join(draw(st.sampled_from(TERMS)) for _ in range(count))
+    return x, y, words
+
+
+@given(
+    corpora(),
+    query_specs(),
+    st.integers(min_value=1, max_value=6),
+    st.sampled_from([0.0, 0.3, 0.7, 1.0]),
+)
+@settings(max_examples=60, deadline=None)
+def test_iur_search_equals_brute_force(records, qspec, k, alpha):
+    config = SimilarityConfig(alpha=alpha)
+    dataset = STDataset.from_corpus(records, config)
+    tree = IURTree.build(dataset, IndexConfig(max_entries=4, min_entries=2))
+    qx, qy, qwords = qspec
+    query = dataset.make_query(Point(qx, qy), qwords)
+    expected = BruteForceRSTkNN(dataset).search(query, k)
+    assert RSTkNNSearcher(tree).search(query, k).ids == expected
+
+
+@given(
+    corpora(),
+    query_specs(),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=2, max_value=5),
+    st.sampled_from([None, 0.5]),
+)
+@settings(max_examples=40, deadline=None)
+def test_ciur_search_equals_brute_force(records, qspec, k, nc, oe):
+    dataset = STDataset.from_corpus(records)
+    tree = CIURTree.build(
+        dataset,
+        IndexConfig(
+            max_entries=4, min_entries=2, num_clusters=nc, outlier_threshold=oe
+        ),
+    )
+    qx, qy, qwords = qspec
+    query = dataset.make_query(Point(qx, qy), qwords)
+    expected = BruteForceRSTkNN(dataset).search(query, k)
+    assert RSTkNNSearcher(tree).search(query, k).ids == expected

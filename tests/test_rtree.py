@@ -1,0 +1,158 @@
+"""Structural R-tree: construction invariants and spatial queries."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import IndexCorruptionError, Point, Rect, SparseVector
+from repro.index import Entry, RTree
+
+
+def object_entry(oid: int, x: float, y: float) -> Entry:
+    return Entry.for_object(oid, Rect.from_point(Point(x, y)), SparseVector({oid % 7: 1.0}))
+
+
+def random_entries(n: int, seed: int):
+    rng = random.Random(seed)
+    return [
+        object_entry(i, rng.uniform(0, 100), rng.uniform(0, 100)) for i in range(n)
+    ]
+
+
+class TestBulkLoad:
+    def test_empty(self):
+        tree = RTree.bulk_load([])
+        assert tree.root_id is None
+        assert tree.height() == 0
+        assert tree.range_search(Rect(0, 0, 100, 100)) == []
+
+    def test_single_object(self):
+        tree = RTree.bulk_load([object_entry(0, 5, 5)])
+        assert tree.height() == 1
+        assert tree.object_count() == 1
+
+    def test_all_objects_present(self):
+        entries = random_entries(137, seed=1)
+        tree = RTree.bulk_load(entries, max_entries=8, min_entries=2)
+        found = tree.range_search(Rect(0, 0, 100, 100))
+        assert found == sorted(e.ref for e in entries)
+
+    def test_invariants_hold(self):
+        tree = RTree.bulk_load(random_entries(200, seed=2), max_entries=8, min_entries=2)
+        tree.check_invariants(enforce_min_fill=False)
+
+    def test_height_grows_logarithmically(self):
+        tree = RTree.bulk_load(random_entries(300, seed=3), max_entries=4, min_entries=2)
+        assert 4 <= tree.height() <= 7
+
+
+class TestInsert:
+    def test_incremental_matches_bulk_results(self):
+        entries = random_entries(120, seed=4)
+        bulk = RTree.bulk_load(entries, max_entries=8, min_entries=2)
+        inc = RTree(max_entries=8, min_entries=2)
+        for e in entries:
+            inc.insert(e)
+        probe = Rect(20, 20, 60, 70)
+        assert bulk.range_search(probe) == inc.range_search(probe)
+
+    def test_insert_invariants_with_min_fill(self):
+        tree = RTree(max_entries=8, min_entries=2)
+        for e in random_entries(150, seed=5):
+            tree.insert(e)
+        tree.check_invariants(enforce_min_fill=True)
+
+    def test_insert_rejects_directory_entry(self):
+        tree = RTree(max_entries=4, min_entries=1)
+        tree.insert(object_entry(0, 1, 1))
+        root_entry = Entry.for_subtree(0, Rect(0, 0, 1, 1), [object_entry(1, 0, 0)])
+        with pytest.raises(IndexCorruptionError):
+            tree.insert(root_entry)
+
+    def test_duplicate_positions_allowed(self):
+        tree = RTree(max_entries=4, min_entries=1)
+        for i in range(20):
+            tree.insert(object_entry(i, 5.0, 5.0))
+        assert len(tree.range_search(Rect(5, 5, 5, 5))) == 20
+        tree.check_invariants()
+
+
+class TestQueries:
+    @pytest.fixture(scope="class")
+    def tree_and_entries(self):
+        entries = random_entries(150, seed=6)
+        return RTree.bulk_load(entries, max_entries=8, min_entries=2), entries
+
+    def test_range_matches_brute_force(self, tree_and_entries):
+        tree, entries = tree_and_entries
+        probe = Rect(10, 30, 55, 80)
+        brute = sorted(
+            e.ref for e in entries if probe.contains_point(e.mbr.center())
+        )
+        assert tree.range_search(probe) == brute
+
+    def test_empty_range(self, tree_and_entries):
+        tree, _ = tree_and_entries
+        assert tree.range_search(Rect(200, 200, 300, 300)) == []
+
+    def test_knn_matches_brute_force(self, tree_and_entries):
+        tree, entries = tree_and_entries
+        q = Point(42.0, 58.0)
+        brute = sorted(
+            ((e.mbr.center().distance_to(q), e.ref) for e in entries)
+        )[:10]
+        result = tree.nearest(q, 10)
+        assert [oid for oid, _ in result] == [oid for _, oid in brute]
+        for (oid, d), (bd, boid) in zip(result, brute):
+            assert d == pytest.approx(bd)
+
+    def test_knn_k_larger_than_n(self):
+        tree = RTree.bulk_load(random_entries(5, seed=7))
+        assert len(tree.nearest(Point(0, 0), 50)) == 5
+
+    def test_knn_empty_tree(self):
+        assert RTree.bulk_load([]).nearest(Point(0, 0), 3) == []
+
+
+class TestInvariantDetection:
+    def test_detects_bad_parent_mbr(self):
+        tree = RTree.bulk_load(random_entries(60, seed=8), max_entries=4, min_entries=1)
+        root = tree.root
+        assert not root.is_leaf
+        # Corrupt: shrink the first child entry's MBR to a point.
+        bad = root.entries[0]
+        child = tree.node(bad.ref)
+        corrupt = Entry.for_subtree(bad.ref, Rect(0, 0, 0, 0), child.entries)
+        object.__setattr__(corrupt, "mbr", Rect(0, 0, 0, 0))
+        root.entries[0] = corrupt
+        with pytest.raises(IndexCorruptionError):
+            tree.check_invariants(enforce_min_fill=False)
+
+
+@given(st.lists(st.tuples(st.floats(0, 100), st.floats(0, 100)), min_size=1, max_size=80))
+@settings(max_examples=60, deadline=None)
+def test_property_every_point_findable(coords):
+    entries = [object_entry(i, x, y) for i, (x, y) in enumerate(coords)]
+    tree = RTree.bulk_load(entries, max_entries=4, min_entries=2)
+    tree.check_invariants(enforce_min_fill=False)
+    for i, (x, y) in enumerate(coords):
+        found = tree.range_search(Rect(x, y, x, y))
+        assert i in found
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(0, 100), st.floats(0, 100)), min_size=1, max_size=60
+    ),
+    st.tuples(st.floats(0, 100), st.floats(0, 100)),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_nearest_is_truly_nearest(coords, qxy):
+    entries = [object_entry(i, x, y) for i, (x, y) in enumerate(coords)]
+    tree = RTree.bulk_load(entries, max_entries=4, min_entries=2)
+    q = Point(*qxy)
+    (oid, dist), = tree.nearest(q, 1)
+    best = min(Point(x, y).distance_to(q) for x, y in coords)
+    assert dist == pytest.approx(best)

@@ -1,0 +1,153 @@
+"""Node codec: format pinning and round-trip properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PageFormatError
+from repro.storage.serialize import (
+    NodeCodec,
+    SerializedCluster,
+    SerializedEntry,
+    SerializedNode,
+)
+
+
+def roundtrip(node: SerializedNode) -> SerializedNode:
+    return NodeCodec.decode(NodeCodec.encode(node))
+
+
+class TestNodeCodec:
+    def test_empty_node(self):
+        node = SerializedNode(is_leaf=True)
+        out = roundtrip(node)
+        assert out.is_leaf is True
+        assert out.entries == []
+
+    def test_single_entry(self):
+        node = SerializedNode(
+            is_leaf=False,
+            entries=[
+                SerializedEntry(
+                    ref=7,
+                    mbr=(0.0, 1.0, 2.0, 3.0),
+                    doc_count=5,
+                    clusters=[
+                        SerializedCluster(0, 5, {1: 0.5}, {1: 2.0, 3: 1.0})
+                    ],
+                )
+            ],
+        )
+        out = roundtrip(node)
+        entry = out.entries[0]
+        assert entry.ref == 7
+        assert entry.mbr == (0.0, 1.0, 2.0, 3.0)
+        assert entry.doc_count == 5
+        cluster = entry.clusters[0]
+        assert cluster.cluster_id == 0
+        assert cluster.count == 5
+        assert cluster.intersection == pytest.approx({1: 0.5})
+        assert set(cluster.union) == {1, 3}
+
+    def test_negative_refs_supported(self):
+        node = SerializedNode(
+            is_leaf=True,
+            entries=[SerializedEntry(ref=-3, mbr=(0, 0, 0, 0), doc_count=1)],
+        )
+        assert roundtrip(node).entries[0].ref == -3
+
+    def test_truncated_record_rejected(self):
+        data = NodeCodec.encode(
+            SerializedNode(
+                is_leaf=True,
+                entries=[SerializedEntry(ref=1, mbr=(0, 0, 1, 1), doc_count=1)],
+            )
+        )
+        with pytest.raises(PageFormatError):
+            NodeCodec.decode(data[:-4])
+
+    def test_trailing_garbage_rejected(self):
+        data = NodeCodec.encode(SerializedNode(is_leaf=True))
+        with pytest.raises(PageFormatError):
+            NodeCodec.decode(data + b"\x00")
+
+    def test_size_grows_with_terms(self):
+        small = SerializedNode(
+            is_leaf=True,
+            entries=[
+                SerializedEntry(
+                    ref=1,
+                    mbr=(0, 0, 1, 1),
+                    doc_count=1,
+                    clusters=[SerializedCluster(0, 1, {}, {1: 1.0})],
+                )
+            ],
+        )
+        big = SerializedNode(
+            is_leaf=True,
+            entries=[
+                SerializedEntry(
+                    ref=1,
+                    mbr=(0, 0, 1, 1),
+                    doc_count=1,
+                    clusters=[
+                        SerializedCluster(
+                            0, 1, {}, {t: 1.0 for t in range(50)}
+                        )
+                    ],
+                )
+            ],
+        )
+        assert len(NodeCodec.encode(big)) > len(NodeCodec.encode(small))
+
+
+vec = st.dictionaries(
+    st.integers(min_value=0, max_value=1000),
+    st.floats(min_value=0.0, max_value=100, allow_nan=False, width=32),
+    max_size=8,
+)
+
+
+@st.composite
+def nodes(draw):
+    entries = []
+    for _ in range(draw(st.integers(min_value=0, max_value=6))):
+        x1, x2 = sorted((draw(st.floats(-100, 100)), draw(st.floats(-100, 100))))
+        y1, y2 = sorted((draw(st.floats(-100, 100)), draw(st.floats(-100, 100))))
+        clusters = [
+            SerializedCluster(
+                cluster_id=draw(st.integers(min_value=0, max_value=30)),
+                count=draw(st.integers(min_value=1, max_value=100)),
+                intersection=draw(vec),
+                union=draw(vec),
+            )
+            for _ in range(draw(st.integers(min_value=0, max_value=3)))
+        ]
+        entries.append(
+            SerializedEntry(
+                ref=draw(st.integers(min_value=-(2**40), max_value=2**40)),
+                mbr=(x1, y1, x2, y2),
+                doc_count=draw(st.integers(min_value=0, max_value=10**6)),
+                clusters=clusters,
+            )
+        )
+    return SerializedNode(is_leaf=draw(st.booleans()), entries=entries)
+
+
+@given(nodes())
+@settings(max_examples=150, deadline=None)
+def test_roundtrip_preserves_structure(node):
+    out = roundtrip(node)
+    assert out.is_leaf == node.is_leaf
+    assert len(out.entries) == len(node.entries)
+    for before, after in zip(node.entries, out.entries):
+        assert after.ref == before.ref
+        assert after.doc_count == before.doc_count
+        assert after.mbr == pytest.approx(before.mbr)
+        assert len(after.clusters) == len(before.clusters)
+        for cb, ca in zip(before.clusters, after.clusters):
+            assert ca.cluster_id == cb.cluster_id
+            assert ca.count == cb.count
+            # f32 quantization: compare with float32 tolerance.
+            for t, w in cb.union.items():
+                assert ca.union[t] == pytest.approx(w, rel=1e-6, abs=1e-6)

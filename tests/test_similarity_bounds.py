@@ -1,0 +1,99 @@
+"""The headline textual invariant: interval bounds contain every pair.
+
+For random sets of documents A and B, summarized into interval vectors,
+every measure must satisfy
+
+    min_similarity(A, B) <= similarity(a, b) <= max_similarity(A, B)
+
+for every document pair, and the bounds must be *exact* on degenerate
+single-document summaries (the searcher relies on that to treat
+object-object bounds as exact scores).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import IntervalVector, SparseVector
+from repro.text.similarity import (
+    CosineMeasure,
+    DiceMeasure,
+    ExtendedJaccard,
+    OverlapMeasure,
+    WeightedJaccard,
+)
+
+MEASURES = [
+    ExtendedJaccard(),
+    CosineMeasure(),
+    OverlapMeasure(),
+    DiceMeasure(),
+    WeightedJaccard(),
+]
+
+doc = st.dictionaries(
+    st.integers(min_value=0, max_value=12),
+    st.floats(min_value=1e-3, max_value=10, allow_nan=False),
+    max_size=6,
+)
+doc_set = st.lists(doc, min_size=1, max_size=5)
+
+
+def summarize(weight_maps):
+    vectors = [SparseVector(w) for w in weight_maps]
+    iv = IntervalVector.merge([IntervalVector.from_document(v) for v in vectors])
+    return vectors, iv
+
+
+@pytest.mark.parametrize("measure", MEASURES, ids=lambda m: m.name)
+@given(doc_set, doc_set)
+@settings(max_examples=200, deadline=None)
+def test_bounds_contain_all_pairs(measure, set_a, set_b):
+    docs_a, iv_a = summarize(set_a)
+    docs_b, iv_b = summarize(set_b)
+    lo = measure.min_similarity(iv_a, iv_b)
+    hi = measure.max_similarity(iv_a, iv_b)
+    assert lo <= hi + 1e-9
+    for da in docs_a:
+        for db in docs_b:
+            sim = measure.similarity(da, db)
+            assert lo <= sim + 1e-9, f"{measure.name}: lower bound violated"
+            assert sim <= hi + 1e-9, f"{measure.name}: upper bound violated"
+
+
+@pytest.mark.parametrize("measure", MEASURES, ids=lambda m: m.name)
+@given(doc, doc)
+@settings(max_examples=200, deadline=None)
+def test_bounds_exact_on_degenerate_summaries(measure, wa, wb):
+    a, b = SparseVector(wa), SparseVector(wb)
+    iv_a, iv_b = IntervalVector.from_document(a), IntervalVector.from_document(b)
+    sim = measure.similarity(a, b)
+    assert measure.min_similarity(iv_a, iv_b) == pytest.approx(sim, abs=1e-12)
+    assert measure.max_similarity(iv_a, iv_b) == pytest.approx(sim, abs=1e-12)
+
+
+@pytest.mark.parametrize("measure", MEASURES, ids=lambda m: m.name)
+@given(doc_set, doc_set)
+@settings(max_examples=100, deadline=None)
+def test_bounds_stay_in_unit_interval(measure, set_a, set_b):
+    _, iv_a = summarize(set_a)
+    _, iv_b = summarize(set_b)
+    assert 0.0 <= measure.min_similarity(iv_a, iv_b) <= 1.0 + 1e-12
+    assert 0.0 <= measure.max_similarity(iv_a, iv_b) <= 1.0 + 1e-12
+
+
+@pytest.mark.parametrize("measure", MEASURES, ids=lambda m: m.name)
+@given(doc_set, doc_set, doc_set)
+@settings(max_examples=100, deadline=None)
+def test_merging_only_loosens_bounds(measure, set_a, set_b, set_c):
+    """A coarser summary (A ∪ C) must bracket the finer summary's range."""
+    _, iv_a = summarize(set_a)
+    _, iv_b = summarize(set_b)
+    _, iv_c = summarize(set_c)
+    coarse = IntervalVector.merge([iv_a, iv_c])
+    assert measure.min_similarity(coarse, iv_b) <= (
+        measure.min_similarity(iv_a, iv_b) + 1e-9
+    )
+    assert measure.max_similarity(coarse, iv_b) >= (
+        measure.max_similarity(iv_a, iv_b) - 1e-9
+    )

@@ -1,0 +1,163 @@
+"""Exact text similarity values and basic measure algebra."""
+
+import pytest
+
+from repro import ConfigError, SparseVector, make_measure
+from repro.text.similarity import (
+    CosineMeasure,
+    DiceMeasure,
+    ExtendedJaccard,
+    OverlapMeasure,
+    WeightedJaccard,
+)
+
+
+class TestExtendedJaccard:
+    m = ExtendedJaccard()
+
+    def test_identical_vectors_score_one(self):
+        v = SparseVector({1: 2.0, 2: 1.0})
+        assert self.m.similarity(v, v) == pytest.approx(1.0)
+
+    def test_disjoint_vectors_score_zero(self):
+        assert self.m.similarity(SparseVector({1: 1.0}), SparseVector({2: 1.0})) == 0.0
+
+    def test_empty_vs_anything_is_zero(self):
+        assert self.m.similarity(SparseVector.empty(), SparseVector({1: 1.0})) == 0.0
+        assert self.m.similarity(SparseVector.empty(), SparseVector.empty()) == 0.0
+
+    def test_known_value(self):
+        a = SparseVector({1: 1.0})
+        b = SparseVector({1: 1.0, 2: 1.0})
+        # dot=1, |a|^2=1, |b|^2=2 -> 1/(3-1)=0.5
+        assert self.m.similarity(a, b) == pytest.approx(0.5)
+
+    def test_symmetric(self):
+        a = SparseVector({1: 2.0, 3: 0.5})
+        b = SparseVector({1: 1.0, 2: 4.0})
+        assert self.m.similarity(a, b) == self.m.similarity(b, a)
+
+    def test_range(self):
+        a = SparseVector({1: 5.0, 2: 0.1})
+        b = SparseVector({1: 0.2, 2: 9.0})
+        assert 0.0 <= self.m.similarity(a, b) <= 1.0
+
+
+class TestCosine:
+    m = CosineMeasure()
+
+    def test_identical_direction_scores_one(self):
+        a = SparseVector({1: 1.0, 2: 2.0})
+        b = SparseVector({1: 2.0, 2: 4.0})
+        assert self.m.similarity(a, b) == pytest.approx(1.0)
+
+    def test_orthogonal_scores_zero(self):
+        assert self.m.similarity(SparseVector({1: 1.0}), SparseVector({2: 1.0})) == 0.0
+
+    def test_known_value(self):
+        a = SparseVector({1: 1.0})
+        b = SparseVector({1: 1.0, 2: 1.0})
+        assert self.m.similarity(a, b) == pytest.approx(1.0 / (2**0.5))
+
+
+class TestOverlap:
+    m = OverlapMeasure()
+
+    def test_set_jaccard(self):
+        a = SparseVector({1: 9.0, 2: 1.0})
+        b = SparseVector({2: 2.0, 3: 2.0})
+        assert self.m.similarity(a, b) == pytest.approx(1 / 3)
+
+    def test_weights_ignored(self):
+        a1 = SparseVector({1: 1.0, 2: 1.0})
+        a2 = SparseVector({1: 100.0, 2: 0.5})
+        b = SparseVector({2: 2.0})
+        assert self.m.similarity(a1, b) == self.m.similarity(a2, b)
+
+    def test_identical_sets_score_one(self):
+        a = SparseVector({1: 1.0, 2: 2.0})
+        b = SparseVector({1: 5.0, 2: 0.1})
+        assert self.m.similarity(a, b) == 1.0
+
+
+class TestDice:
+    m = DiceMeasure()
+
+    def test_identical_vectors_score_one(self):
+        v = SparseVector({1: 2.0, 2: 1.0})
+        assert self.m.similarity(v, v) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        a = SparseVector({1: 1.0})
+        b = SparseVector({1: 1.0, 2: 1.0})
+        # 2*1 / (1 + 2) = 2/3
+        assert self.m.similarity(a, b) == pytest.approx(2 / 3)
+
+    def test_dice_dominates_extended_jaccard(self):
+        """Dice >= EJ always (2d/S vs d/(S-d) with S >= 2d)."""
+        ej = ExtendedJaccard()
+        a = SparseVector({1: 2.0, 3: 0.5})
+        b = SparseVector({1: 1.0, 2: 4.0})
+        assert self.m.similarity(a, b) >= ej.similarity(a, b)
+
+    def test_disjoint_is_zero(self):
+        assert self.m.similarity(SparseVector({1: 1.0}), SparseVector({2: 1.0})) == 0.0
+
+
+class TestWeightedJaccard:
+    m = WeightedJaccard()
+
+    def test_identical_vectors_score_one(self):
+        v = SparseVector({1: 2.0, 2: 1.0})
+        assert self.m.similarity(v, v) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        a = SparseVector({1: 2.0, 2: 1.0})
+        b = SparseVector({1: 1.0, 3: 1.0})
+        # min: 1 (term 1); max: 2 + 1 + 1 = 4
+        assert self.m.similarity(a, b) == pytest.approx(0.25)
+
+    def test_equals_set_jaccard_on_binary_weights(self):
+        a = SparseVector({1: 1.0, 2: 1.0, 3: 1.0})
+        b = SparseVector({2: 1.0, 3: 1.0, 4: 1.0})
+        assert self.m.similarity(a, b) == pytest.approx(2 / 4)
+
+    def test_disjoint_is_zero(self):
+        assert self.m.similarity(SparseVector({1: 1.0}), SparseVector({2: 1.0})) == 0.0
+
+
+class TestSumMinMaxHelpers:
+    def test_sum_min(self):
+        a = SparseVector({1: 2.0, 2: 1.0})
+        b = SparseVector({1: 1.5, 3: 9.0})
+        assert a.sum_min(b) == pytest.approx(1.5)
+
+    def test_sum_max(self):
+        a = SparseVector({1: 2.0, 2: 1.0})
+        b = SparseVector({1: 1.5, 3: 9.0})
+        assert a.sum_max(b) == pytest.approx(2.0 + 1.0 + 9.0)
+
+    def test_weight_sum(self):
+        assert SparseVector({1: 2.0, 2: 0.5}).weight_sum() == pytest.approx(2.5)
+
+    def test_symmetry(self):
+        a = SparseVector({1: 2.0, 5: 3.0})
+        b = SparseVector({1: 4.0, 2: 1.0})
+        assert a.sum_min(b) == b.sum_min(a)
+        assert a.sum_max(b) == b.sum_max(a)
+
+
+class TestFactory:
+    def test_known_measures(self):
+        for name in (
+            "extended_jaccard",
+            "cosine",
+            "overlap",
+            "dice",
+            "weighted_jaccard",
+        ):
+            assert make_measure(name).name == name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            make_measure("tanimoto-edit")

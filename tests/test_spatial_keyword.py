@@ -1,0 +1,172 @@
+"""Boolean spatial-keyword queries vs brute force."""
+
+import pytest
+
+from repro import CIURTree, IndexConfig, IURTree, QueryError, SimilarityConfig
+from repro.core.spatial_keyword import SpatialKeywordSearcher
+from repro.spatial import Point, Rect
+from repro.workloads import shop_like
+
+
+@pytest.fixture(scope="module")
+def setup():
+    # tf weighting keeps every keyword searchable (no idf zeroing).
+    dataset = shop_like(n=250, seed=61, config=SimilarityConfig(weighting="tf"))
+    tree = IURTree.build(dataset)
+    return dataset, tree, SpatialKeywordSearcher(tree)
+
+
+def brute_all(dataset, region, term_ids):
+    out = []
+    for obj in dataset.objects:
+        if not region.contains_point(obj.point):
+            continue
+        if all(tid in obj.vector for tid in term_ids):
+            out.append(obj.oid)
+    return sorted(out)
+
+
+def brute_any(dataset, region, term_ids):
+    out = []
+    for obj in dataset.objects:
+        if region.contains_point(obj.point):
+            if any(tid in obj.vector for tid in term_ids):
+                out.append(obj.oid)
+    return sorted(out)
+
+
+def common_terms(dataset, count=2):
+    vocab = dataset.vocabulary
+    by_df = sorted(
+        range(len(vocab)), key=lambda tid: -vocab.doc_frequency(tid)
+    )
+    return [vocab.term_of(t) for t in by_df[:count]]
+
+
+class TestBooleanRange:
+    def test_matches_brute_force(self, setup):
+        dataset, _, searcher = setup
+        terms = common_terms(dataset, 1)
+        term_ids = [dataset.vocabulary.id_of(t) for t in terms]
+        region = Rect(10, 10, 80, 80)
+        assert searcher.boolean_range(region, terms) == brute_all(
+            dataset, region, term_ids
+        )
+
+    def test_conjunction_of_two_terms(self, setup):
+        dataset, _, searcher = setup
+        terms = common_terms(dataset, 2)
+        term_ids = [dataset.vocabulary.id_of(t) for t in terms]
+        region = Rect(0, 0, 100, 100)
+        got = searcher.boolean_range(region, terms)
+        assert got == brute_all(dataset, region, term_ids)
+        # Conjunction is a subset of each single-term result.
+        single = searcher.boolean_range(region, terms[:1])
+        assert set(got) <= set(single)
+
+    def test_no_terms_is_spatial_range(self, setup):
+        dataset, _, searcher = setup
+        region = Rect(20, 20, 60, 60)
+        expected = sorted(
+            o.oid for o in dataset.objects if region.contains_point(o.point)
+        )
+        assert searcher.boolean_range(region, []) == expected
+
+    def test_unknown_term_matches_nothing(self, setup):
+        _, _, searcher = setup
+        assert searcher.boolean_range(Rect(0, 0, 100, 100), ["zzznope"]) == []
+
+    def test_empty_region(self, setup):
+        dataset, _, searcher = setup
+        terms = common_terms(dataset, 1)
+        assert searcher.boolean_range(Rect(500, 500, 600, 600), terms) == []
+
+    def test_charges_io(self, setup):
+        dataset, tree, searcher = setup
+        tree.reset_io()
+        searcher.boolean_range(Rect(0, 0, 100, 100), common_terms(dataset, 1))
+        assert tree.io.reads > 0
+
+
+class TestAnyTermRange:
+    def test_matches_brute_force(self, setup):
+        dataset, _, searcher = setup
+        terms = common_terms(dataset, 3)
+        term_ids = [dataset.vocabulary.id_of(t) for t in terms]
+        region = Rect(10, 10, 90, 90)
+        assert searcher.any_term_range(region, terms) == brute_any(
+            dataset, region, term_ids
+        )
+
+    def test_superset_of_conjunction(self, setup):
+        dataset, _, searcher = setup
+        terms = common_terms(dataset, 2)
+        region = Rect(0, 0, 100, 100)
+        assert set(searcher.boolean_range(region, terms)) <= set(
+            searcher.any_term_range(region, terms)
+        )
+
+    def test_all_unknown_terms(self, setup):
+        _, _, searcher = setup
+        assert searcher.any_term_range(Rect(0, 0, 100, 100), ["zzz", "yyy"]) == []
+
+
+class TestBooleanKnn:
+    def test_matches_brute_force(self, setup):
+        dataset, _, searcher = setup
+        terms = common_terms(dataset, 1)
+        tid = dataset.vocabulary.id_of(terms[0])
+        q = Point(50, 50)
+        got = searcher.boolean_knn(q, 5, terms)
+        brute = sorted(
+            (
+                (obj.point.distance_to(q), obj.oid)
+                for obj in dataset.objects
+                if tid in obj.vector
+            ),
+        )[:5]
+        assert [oid for oid, _ in got] == [oid for _, oid in brute]
+        for (_, d_got), (d_want, _) in zip(got, brute):
+            assert d_got == pytest.approx(d_want)
+
+    def test_k_exceeds_matches(self, setup):
+        dataset, _, searcher = setup
+        terms = common_terms(dataset, 2)
+        tids = [dataset.vocabulary.id_of(t) for t in terms]
+        matching = sum(
+            1 for o in dataset.objects if all(t in o.vector for t in tids)
+        )
+        got = searcher.boolean_knn(Point(0, 0), matching + 50, terms)
+        assert len(got) == matching
+
+    def test_invalid_k(self, setup):
+        _, _, searcher = setup
+        with pytest.raises(QueryError):
+            searcher.boolean_knn(Point(0, 0), 0, [])
+
+    def test_unknown_term(self, setup):
+        _, _, searcher = setup
+        assert searcher.boolean_knn(Point(0, 0), 3, ["zzznope"]) == []
+
+    def test_distances_ascending(self, setup):
+        dataset, _, searcher = setup
+        got = searcher.boolean_knn(Point(30, 70), 10, common_terms(dataset, 1))
+        dists = [d for _, d in got]
+        assert dists == sorted(dists)
+
+
+class TestOnClusteredTreeWithOutliers:
+    def test_results_independent_of_index_variant(self, setup):
+        dataset, _, searcher = setup
+        ciur = CIURTree.build(
+            dataset, IndexConfig(num_clusters=4, outlier_threshold=0.3)
+        )
+        other = SpatialKeywordSearcher(ciur)
+        terms = common_terms(dataset, 2)
+        region = Rect(5, 5, 95, 95)
+        assert other.boolean_range(region, terms) == searcher.boolean_range(
+            region, terms
+        )
+        assert [o for o, _ in other.boolean_knn(Point(40, 40), 7, terms)] == [
+            o for o, _ in searcher.boolean_knn(Point(40, 40), 7, terms)
+        ]

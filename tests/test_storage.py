@@ -1,0 +1,111 @@
+"""Pages, the simulated disk, and I/O accounting."""
+
+import pytest
+
+from repro import PageFormatError, StorageError
+from repro.storage import DiskManager, IOStats, Page
+
+
+class TestIOStats:
+    def test_counters(self):
+        io = IOStats()
+        io.record_read(3, tag="node")
+        io.record_read(1)
+        io.record_write(2)
+        io.record_hit(4)
+        assert io.reads == 4
+        assert io.writes == 2
+        assert io.buffer_hits == 4
+        assert io.by_tag == {"node": 3}
+
+    def test_reset(self):
+        io = IOStats()
+        io.record_read(5, tag="x")
+        io.reset()
+        assert io.reads == 0
+        assert io.by_tag == {}
+
+    def test_snapshot(self):
+        io = IOStats()
+        io.record_read(2, tag="verify")
+        snap = io.snapshot()
+        assert snap["reads"] == 2
+        assert snap["reads.verify"] == 2
+        io.record_read(1)
+        assert snap["reads"] == 2  # snapshot is a copy
+
+
+class TestPage:
+    def test_payload_fits(self):
+        p = Page(0, capacity=16)
+        p.write(b"x" * 16)
+        assert p.dirty
+        assert p.free_space == 0
+
+    def test_payload_overflow_rejected(self):
+        p = Page(0, capacity=16)
+        with pytest.raises(StorageError):
+            p.write(b"x" * 17)
+        with pytest.raises(StorageError):
+            Page(0, capacity=4, data=b"12345")
+
+    def test_negative_page_id_rejected(self):
+        with pytest.raises(StorageError):
+            Page(-1)
+
+
+class TestDiskManager:
+    def test_allocate_and_read(self):
+        disk = DiskManager(page_size=64)
+        rid = disk.allocate(b"hello")
+        assert disk.read(rid) == b"hello"
+        assert disk.stats.reads == 1
+        assert disk.stats.writes == 1
+
+    def test_multi_page_record_charges_span(self):
+        disk = DiskManager(page_size=64)
+        rid = disk.allocate(b"x" * 200)  # 4 pages
+        assert disk.record_pages(rid) == 4
+        disk.stats.reset()
+        disk.read(rid)
+        assert disk.stats.reads == 4
+
+    def test_empty_record_occupies_one_page(self):
+        disk = DiskManager(page_size=64)
+        rid = disk.allocate(b"")
+        assert disk.record_pages(rid) == 1
+
+    def test_unknown_record_rejected(self):
+        disk = DiskManager(page_size=64)
+        with pytest.raises(StorageError):
+            disk.read(99)
+        with pytest.raises(StorageError):
+            disk.record_pages(99)
+        with pytest.raises(StorageError):
+            disk.rewrite(99, b"")
+
+    def test_rewrite_changes_span(self):
+        disk = DiskManager(page_size=64)
+        rid = disk.allocate(b"a")
+        disk.rewrite(rid, b"b" * 130)
+        assert disk.record_pages(rid) == 3
+        assert disk.read(rid) == b"b" * 130
+
+    def test_footprint_accounting(self):
+        disk = DiskManager(page_size=64)
+        disk.allocate(b"a" * 64)
+        disk.allocate(b"b" * 65)
+        assert disk.record_count == 2
+        assert disk.total_pages == 3
+        assert disk.total_bytes == 129
+        assert disk.record_ids() == [0, 1]
+
+    def test_read_tags_flow_to_stats(self):
+        disk = DiskManager(page_size=64)
+        rid = disk.allocate(b"x")
+        disk.read(rid, tag="topk")
+        assert disk.stats.by_tag["topk"] == 1
+
+    def test_tiny_page_size_rejected(self):
+        with pytest.raises(StorageError):
+            DiskManager(page_size=32)

@@ -1,0 +1,143 @@
+"""Tokenizer, vocabulary, and weighting schemes."""
+
+import math
+
+import pytest
+
+from repro import ConfigError, DatasetError, Vocabulary
+from repro.text import make_weighting, tokenize
+from repro.text.weighting import (
+    LanguageModelWeighting,
+    TfIdfWeighting,
+    TfWeighting,
+)
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Sushi, RAMEN!") == ["sushi", "ramen"]
+
+    def test_drops_stopwords(self):
+        assert tokenize("the sushi and the wine") == ["sushi", "wine"]
+
+    def test_keeps_duplicates(self):
+        assert tokenize("fish fish fish") == ["fish", "fish", "fish"]
+
+    def test_min_length(self):
+        assert tokenize("a bb ccc", min_length=3, stopwords=frozenset()) == ["ccc"]
+
+    def test_numbers_kept(self):
+        assert tokenize("route 66") == ["route", "66"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize("  ,;! ") == []
+
+
+class TestVocabulary:
+    def test_intern_is_idempotent(self):
+        v = Vocabulary()
+        assert v.intern("sushi") == v.intern("sushi")
+        assert len(v) == 1
+
+    def test_add_document_counts(self):
+        v = Vocabulary()
+        tf = v.add_document(["a", "b", "a"])
+        assert tf == {v.id_of("a"): 2, v.id_of("b"): 1}
+        assert v.doc_count == 1
+        assert v.total_term_count == 3
+        assert v.doc_frequency(v.id_of("a")) == 1
+        assert v.collection_frequency(v.id_of("a")) == 2
+
+    def test_document_frequency_across_documents(self):
+        v = Vocabulary()
+        v.add_document(["a", "b"])
+        v.add_document(["a", "c"])
+        assert v.doc_frequency(v.id_of("a")) == 2
+        assert v.doc_frequency(v.id_of("b")) == 1
+
+    def test_term_roundtrip(self):
+        v = Vocabulary()
+        tid = v.intern("grill")
+        assert v.term_of(tid) == "grill"
+        assert "grill" in v
+        assert "oven" not in v
+
+    def test_unknown_id_raises(self):
+        v = Vocabulary()
+        with pytest.raises(DatasetError):
+            v.term_of(5)
+        with pytest.raises(DatasetError):
+            v.doc_frequency(5)
+
+
+class TestWeighting:
+    def _vocab(self):
+        v = Vocabulary()
+        maps = [
+            v.add_document(["a", "a", "b"]),
+            v.add_document(["a", "c"]),
+            v.add_document(["b", "c", "c"]),
+        ]
+        return v, maps
+
+    def test_tf_weights_are_counts(self):
+        v, maps = self._vocab()
+        vec = TfWeighting().vector(maps[0], v)
+        assert vec.get(v.id_of("a")) == 2.0
+        assert vec.get(v.id_of("b")) == 1.0
+
+    def test_tfidf_rare_term_outweighs_common(self):
+        v, maps = self._vocab()
+        vec = TfIdfWeighting().vector({v.id_of("a"): 1, v.id_of("b"): 1}, v)
+        # 'a' occurs in 2 docs, 'b' in 2 docs here; craft rarer term:
+        v2 = Vocabulary()
+        m1 = v2.add_document(["common", "rare"])
+        v2.add_document(["common"])
+        v2.add_document(["common"])
+        vec2 = TfIdfWeighting().vector(m1, v2)
+        assert vec2.get(v2.id_of("rare")) > vec2.get(v2.id_of("common"))
+        assert vec is not None
+
+    def test_tfidf_everywhere_term_drops_out(self):
+        v = Vocabulary()
+        m = v.add_document(["x"])
+        v.add_document(["x"])
+        vec = TfIdfWeighting().vector(m, v)
+        assert vec.get(v.id_of("x")) == 0.0  # idf == 0 -> absent
+
+    def test_tfidf_matches_formula(self):
+        v = Vocabulary()
+        m1 = v.add_document(["t", "t", "u"])
+        v.add_document(["u"])
+        vec = TfIdfWeighting().vector(m1, v)
+        expected = 2 * math.log(2 / 1)
+        assert vec.get(v.id_of("t")) == pytest.approx(expected)
+
+    def test_lm_weights_sum_close_to_doc_mass(self):
+        v, maps = self._vocab()
+        lm = LanguageModelWeighting(lam=0.2)
+        vec = lm.vector(maps[0], v)
+        # (1-lam) * (tf/|d|) summed over present terms == (1-lam).
+        ml_mass = sum(
+            0.8 * tf / 3 for tf in maps[0].values()
+        )
+        assert ml_mass == pytest.approx(0.8)
+        assert sum(w for _, w in vec.items()) >= ml_mass
+
+    def test_lm_lambda_validated(self):
+        with pytest.raises(ConfigError):
+            LanguageModelWeighting(lam=2.0)
+
+    def test_factory(self):
+        assert make_weighting("tf").name == "tf"
+        assert make_weighting("tfidf").name == "tfidf"
+        assert make_weighting("lm", 0.3).name == "lm"
+        assert make_weighting("bm25").name == "bm25"
+        with pytest.raises(ConfigError):
+            make_weighting("pivoted-length")
+
+    def test_empty_document(self):
+        v, _ = self._vocab()
+        for scheme in (TfWeighting(), TfIdfWeighting(), LanguageModelWeighting()):
+            assert len(scheme.vector({}, v)) == 0

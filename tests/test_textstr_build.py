@@ -1,0 +1,77 @@
+"""The DIR/CIR-style 'text-str' construction mode."""
+
+import pytest
+
+from repro import (
+    BruteForceRSTkNN,
+    CIURTree,
+    IndexConfig,
+    IURTree,
+    QueryError,
+    RSTkNNSearcher,
+)
+from repro.workloads import sample_queries, shop_like
+
+
+@pytest.fixture(scope="module")
+def clustered_dataset():
+    return shop_like(n=200, seed=41)
+
+
+class TestTextStrBuild:
+    def test_builds_and_holds_invariants(self, clustered_dataset):
+        tree = CIURTree.build(
+            clustered_dataset, IndexConfig(num_clusters=6), method="text-str"
+        )
+        tree.rtree.check_invariants(enforce_min_fill=False)
+        assert tree.stats().objects == len(clustered_dataset)
+
+    def test_query_results_identical_to_str(self, clustered_dataset):
+        cfg = IndexConfig(num_clusters=6)
+        a = CIURTree.build(clustered_dataset, cfg, method="str")
+        b = CIURTree.build(clustered_dataset, cfg, method="text-str")
+        brute = BruteForceRSTkNN(clustered_dataset)
+        for q in sample_queries(clustered_dataset, 3, seed=42):
+            expected = brute.search(q, 5)
+            assert RSTkNNSearcher(a).search(q, 5).ids == expected
+            assert RSTkNNSearcher(b).search(q, 5).ids == expected
+
+    def test_leaves_are_textually_purer(self, clustered_dataset):
+        """text-str packs same-cluster objects together: the average
+        number of distinct clusters per leaf must not increase."""
+        cfg = IndexConfig(num_clusters=6)
+        plain = CIURTree.build(clustered_dataset, cfg, method="str")
+        textual = CIURTree.build(clustered_dataset, cfg, method="text-str")
+
+        def mean_leaf_clusters(tree):
+            leaves = [n for n in tree.rtree.nodes.values() if n.is_leaf]
+            total = 0
+            for leaf in leaves:
+                labels = set()
+                for entry in leaf.entries:
+                    labels.update(entry.clusters.keys())
+                total += len(labels)
+            return total / len(leaves)
+
+        assert mean_leaf_clusters(textual) <= mean_leaf_clusters(plain)
+
+    def test_works_for_plain_iur(self, clustered_dataset):
+        tree = IURTree.build(clustered_dataset, method="text-str")
+        brute = BruteForceRSTkNN(clustered_dataset)
+        q = sample_queries(clustered_dataset, 1, seed=43)[0]
+        assert RSTkNNSearcher(tree).search(q, 4).ids == brute.search(q, 4)
+
+    def test_supports_updates_afterwards(self, clustered_dataset):
+        tree = CIURTree.build(
+            clustered_dataset, IndexConfig(num_clusters=6), method="text-str"
+        )
+        obj = clustered_dataset.append_record(
+            clustered_dataset.get(0).point, "t0001 t0002"
+        )
+        tree.insert_object(obj)
+        tree.check_invariants()
+        assert tree.delete_object(obj.oid)
+
+    def test_unknown_method_still_rejected(self, clustered_dataset):
+        with pytest.raises(QueryError):
+            IURTree.build(clustered_dataset, method="zorder")

@@ -1,0 +1,94 @@
+"""Best-first top-k search: parity with brute force, ties, exclusion."""
+
+import pytest
+
+from repro import (
+    BruteForceRSTkNN,
+    CIURTree,
+    IndexConfig,
+    IURTree,
+    QueryError,
+    TopKSearcher,
+)
+from repro.workloads import sample_queries
+
+
+class TestTopK:
+    def test_matches_brute_force(self, medium_dataset):
+        tree = IURTree.build(medium_dataset)
+        searcher = TopKSearcher(tree)
+        brute = BruteForceRSTkNN(medium_dataset)
+        for q in sample_queries(medium_dataset, 5, seed=20):
+            mine = searcher.top_k(q, 10)
+            theirs = brute.top_k(q, 10)
+            assert [oid for oid, _ in mine] == [oid for oid, _ in theirs]
+            for (_, s1), (_, s2) in zip(mine, theirs):
+                assert s1 == pytest.approx(s2)
+
+    def test_matches_brute_force_on_ciur(self, medium_dataset):
+        tree = CIURTree.build(medium_dataset, IndexConfig(num_clusters=4))
+        searcher = TopKSearcher(tree)
+        brute = BruteForceRSTkNN(medium_dataset)
+        q = sample_queries(medium_dataset, 1, seed=21)[0]
+        assert [o for o, _ in searcher.top_k(q, 8)] == [
+            o for o, _ in brute.top_k(q, 8)
+        ]
+
+    def test_scores_descending(self, medium_dataset):
+        tree = IURTree.build(medium_dataset)
+        q = sample_queries(medium_dataset, 1, seed=22)[0]
+        scores = [s for _, s in TopKSearcher(tree).top_k(q, 20)]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_k_larger_than_dataset(self, small_dataset):
+        tree = IURTree.build(small_dataset)
+        q = sample_queries(small_dataset, 1, seed=23)[0]
+        result = TopKSearcher(tree).top_k(q, len(small_dataset) + 10)
+        assert len(result) == len(small_dataset)
+
+    def test_k_must_be_positive(self, small_dataset):
+        tree = IURTree.build(small_dataset)
+        with pytest.raises(QueryError):
+            TopKSearcher(tree).top_k(small_dataset.get(0), 0)
+
+    def test_exclude_oid(self, small_dataset):
+        tree = IURTree.build(small_dataset)
+        obj = small_dataset.get(0)
+        with_self = TopKSearcher(tree).top_k(obj, 3)
+        without = TopKSearcher(tree).top_k(obj, 3, exclude_oid=0)
+        assert with_self[0][0] == 0  # self similarity 1.0 ranks first
+        assert all(oid != 0 for oid, _ in without)
+
+    def test_kth_score(self, small_dataset):
+        tree = IURTree.build(small_dataset)
+        brute = BruteForceRSTkNN(small_dataset)
+        obj = small_dataset.get(3)
+        mine = TopKSearcher(tree).kth_score(obj, 4, exclude_oid=3)
+        theirs = brute.kth_neighbor_score(obj, 4)
+        assert mine == pytest.approx(theirs)
+
+    def test_kth_score_insufficient_neighbors(self, small_dataset):
+        tree = IURTree.build(small_dataset)
+        obj = small_dataset.get(0)
+        assert TopKSearcher(tree).kth_score(obj, 10_000) == 0.0
+
+    def test_io_charged_and_bounded(self, medium_dataset):
+        tree = IURTree.build(medium_dataset)
+        q = sample_queries(medium_dataset, 1, seed=24)[0]
+        tree.reset_io()
+        TopKSearcher(tree).top_k(q, 5)
+        assert 0 < tree.io.reads <= tree.stats().pages
+
+    def test_batch_shares_buffer(self, medium_dataset):
+        tree = IURTree.build(medium_dataset)
+        searcher = TopKSearcher(tree)
+        queries = sample_queries(medium_dataset, 10, seed=25)
+        cold = 0
+        for q in queries:
+            tree.reset_io(cold=True)
+            searcher.top_k(q, 5)
+            cold += tree.io.reads
+        tree.reset_io(cold=True)
+        results = searcher.batch_topk(queries, 5)
+        assert len(results) == 10
+        assert tree.io.reads < cold

@@ -1,0 +1,170 @@
+"""Dynamic maintenance: inserts, deletes, and persistence flushing."""
+
+import random
+
+import pytest
+
+from repro import (
+    BruteForceRSTkNN,
+    CIURTree,
+    IndexConfig,
+    IndexCorruptionError,
+    IURTree,
+    RSTkNNSearcher,
+)
+from repro.spatial import Point, Rect
+from repro.workloads import sample_queries, shop_like
+
+
+def fresh_dataset(n=120, seed=1):
+    return shop_like(n=n, seed=seed)
+
+
+class TestRTreeDelete:
+    def test_delete_removes_object(self):
+        ds = fresh_dataset()
+        tree = IURTree.build(ds)
+        victim = ds.objects[10]
+        assert tree.rtree.delete(victim.oid, victim.mbr())
+        found = tree.rtree.range_search(Rect(0, 0, 1000, 1000))
+        assert victim.oid not in found
+        assert len(found) == 119
+
+    def test_delete_unknown_returns_false(self):
+        ds = fresh_dataset()
+        tree = IURTree.build(ds)
+        assert not tree.rtree.delete(9999, Rect(1, 1, 1, 1))
+
+    def test_delete_everything(self):
+        ds = fresh_dataset(n=40)
+        tree = IURTree.build(ds, IndexConfig(max_entries=4, min_entries=2))
+        for obj in list(ds.objects):
+            assert tree.rtree.delete(obj.oid, obj.mbr())
+        assert tree.rtree.root_id is None
+        assert tree.rtree.range_search(Rect(0, 0, 1000, 1000)) == []
+
+    def test_invariants_after_heavy_deletion(self):
+        ds = fresh_dataset(n=200, seed=3)
+        tree = IURTree.build(ds, IndexConfig(max_entries=8, min_entries=3))
+        rng = random.Random(5)
+        victims = rng.sample(list(ds.objects), 150)
+        for obj in victims:
+            assert tree.rtree.delete(obj.oid, obj.mbr())
+        tree.rtree.check_invariants(enforce_min_fill=False)
+        remaining = tree.rtree.range_search(Rect(0, 0, 1000, 1000))
+        assert len(remaining) == 50
+
+
+class TestIURTreeUpdates:
+    def test_insert_then_query(self):
+        ds = fresh_dataset()
+        tree = IURTree.build(ds)
+        obj = ds.append_record(Point(50, 50), "t0001 t0002 t0003")
+        tree.insert_object(obj)
+        tree.check_invariants()
+        brute = BruteForceRSTkNN(ds)
+        searcher = RSTkNNSearcher(tree)
+        for q in sample_queries(ds, 2, seed=4):
+            assert searcher.search(q, 3).ids == brute.search(q, 3)
+
+    def test_insert_requires_dataset_membership(self):
+        ds = fresh_dataset()
+        other = fresh_dataset(seed=2)
+        tree = IURTree.build(ds)
+        with pytest.raises(IndexCorruptionError):
+            tree.insert_object(other.objects[0])
+
+    def test_delete_then_query(self):
+        ds = fresh_dataset()
+        tree = IURTree.build(ds)
+        assert tree.delete_object(ds.objects[5].oid)
+        brute = BruteForceRSTkNN(ds)
+        searcher = RSTkNNSearcher(tree)
+        for q in sample_queries(ds, 2, seed=5):
+            assert searcher.search(q, 3).ids == brute.search(q, 3)
+
+    def test_delete_unknown(self):
+        ds = fresh_dataset()
+        tree = IURTree.build(ds)
+        assert not tree.delete_object(98765)
+
+    def test_interleaved_updates_stay_correct(self):
+        ds = fresh_dataset(n=100, seed=7)
+        tree = IURTree.build(ds)
+        rng = random.Random(11)
+        terms = ds.vocabulary.terms()[:30]
+        for _ in range(30):
+            if rng.random() < 0.5 and len(ds) > 40:
+                victim = ds.objects[rng.randrange(len(ds))].oid
+                assert tree.delete_object(victim)
+            else:
+                obj = ds.append_record(
+                    Point(rng.uniform(0, 100), rng.uniform(0, 100)),
+                    " ".join(rng.sample(terms, 3)),
+                )
+                tree.insert_object(obj)
+        tree.check_invariants()
+        brute = BruteForceRSTkNN(ds)
+        searcher = RSTkNNSearcher(tree)
+        for q in sample_queries(ds, 3, seed=8):
+            for k in (1, 4):
+                assert searcher.search(q, k).ids == brute.search(q, k)
+
+    def test_updates_re_persist_nodes(self):
+        ds = fresh_dataset()
+        tree = IURTree.build(ds)
+        writes_before = tree.io.writes
+        obj = ds.append_record(Point(10, 10), "t0001")
+        tree.insert_object(obj)
+        assert tree.io.writes > writes_before  # flush rewrote node pages
+
+    def test_children_reflect_updates(self):
+        ds = fresh_dataset()
+        tree = IURTree.build(ds)
+        obj = ds.append_record(Point(1, 1), "t0002")
+        tree.insert_object(obj)
+        seen = []
+        stack = [tree.root_entry()]
+        while stack:
+            entry = stack.pop()
+            if entry.is_object:
+                seen.append(entry.ref)
+            else:
+                stack.extend(tree.children(entry))
+        assert obj.oid in seen
+
+
+class TestClusteredUpdates:
+    def test_insert_assigns_nearest_cluster(self):
+        ds = fresh_dataset(n=100, seed=9)
+        tree = CIURTree.build(ds, IndexConfig(num_clusters=4))
+        anchor = ds.objects[0]
+        clone = ds.append_record(anchor.point, " ".join(anchor.keywords))
+        tree.insert_object(clone)
+        labels = dict(zip([o.oid for o in ds.objects], tree.labels))
+        assert labels[clone.oid] == labels[anchor.oid]
+
+    def test_oe_insert_routes_outliers_aside(self):
+        ds = fresh_dataset(n=100, seed=10)
+        tree = CIURTree.build(
+            ds, IndexConfig(num_clusters=4, outlier_threshold=0.9)
+        )
+        before = len(tree.outliers)
+        # An all-new vocabulary item has ~zero cohesion to any centroid.
+        obj = ds.append_record(Point(3, 3), "zzunseen zzalien")
+        tree.insert_object(obj)
+        assert len(tree.outliers) == before + 1
+
+    def test_delete_outlier(self):
+        ds = fresh_dataset(n=100, seed=12)
+        tree = CIURTree.build(
+            ds, IndexConfig(num_clusters=4, outlier_threshold=0.5)
+        )
+        assert tree.outliers, "fixture needs at least one outlier"
+        victim = tree.outliers[0]
+        assert tree.delete_object(victim.oid)
+        assert all(o.oid != victim.oid for o in tree.outliers)
+        brute = BruteForceRSTkNN(ds)
+        searcher = RSTkNNSearcher(tree)
+        q = sample_queries(ds, 1, seed=13)[0]
+        assert searcher.search(q, 3).ids == brute.search(q, 3)

@@ -1,0 +1,120 @@
+"""SparseVector: unit and property-based tests."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DatasetError, SparseVector
+
+weights_dicts = st.dictionaries(
+    st.integers(min_value=0, max_value=50),
+    st.floats(min_value=1e-3, max_value=100, allow_nan=False),
+    max_size=12,
+)
+
+
+class TestSparseVectorBasics:
+    def test_empty(self):
+        v = SparseVector.empty()
+        assert len(v) == 0
+        assert not v
+        assert v.norm == 0.0
+        assert v.get(3) == 0.0
+
+    def test_rejects_non_positive_weights(self):
+        with pytest.raises(DatasetError):
+            SparseVector({1: 0.0})
+        with pytest.raises(DatasetError):
+            SparseVector({1: -2.0})
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(DatasetError):
+            SparseVector({-1: 1.0})
+
+    def test_get_binary_search(self):
+        v = SparseVector({1: 1.0, 5: 2.0, 9: 3.0})
+        assert v.get(1) == 1.0
+        assert v.get(5) == 2.0
+        assert v.get(9) == 3.0
+        assert v.get(0) == 0.0
+        assert v.get(6) == 0.0
+        assert v.get(10) == 0.0
+
+    def test_contains(self):
+        v = SparseVector({2: 1.5})
+        assert 2 in v
+        assert 3 not in v
+
+    def test_equality_and_hash(self):
+        a = SparseVector({1: 1.0, 2: 2.0})
+        b = SparseVector({2: 2.0, 1: 1.0})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != SparseVector({1: 1.0})
+
+    def test_dot_known_value(self):
+        a = SparseVector({1: 2.0, 3: 1.0})
+        b = SparseVector({1: 0.5, 2: 9.0})
+        assert a.dot(b) == 1.0
+
+    def test_overlap_count(self):
+        a = SparseVector({1: 1.0, 2: 1.0, 3: 1.0})
+        b = SparseVector({2: 5.0, 3: 5.0, 4: 5.0})
+        assert a.overlap_count(b) == 2
+
+    def test_normalized_unit_length(self):
+        v = SparseVector({1: 3.0, 2: 4.0}).normalized()
+        assert v.norm == pytest.approx(1.0)
+
+    def test_normalized_empty_is_noop(self):
+        assert SparseVector.empty().normalized() == SparseVector.empty()
+
+    def test_scaled(self):
+        v = SparseVector({1: 2.0}).scaled(2.5)
+        assert v.get(1) == 5.0
+        with pytest.raises(DatasetError):
+            v.scaled(0.0)
+
+    def test_mean(self):
+        m = SparseVector.mean([SparseVector({1: 2.0}), SparseVector({1: 4.0, 2: 2.0})])
+        assert m.get(1) == 3.0
+        assert m.get(2) == 1.0
+
+    def test_mean_empty_iterable(self):
+        assert SparseVector.mean([]) == SparseVector.empty()
+
+
+class TestSparseVectorProperties:
+    @given(weights_dicts, weights_dicts)
+    @settings(max_examples=150)
+    def test_dot_symmetric(self, wa, wb):
+        a, b = SparseVector(wa), SparseVector(wb)
+        assert a.dot(b) == pytest.approx(b.dot(a))
+
+    @given(weights_dicts)
+    @settings(max_examples=150)
+    def test_dot_self_is_norm_squared(self, w):
+        v = SparseVector(w)
+        assert v.dot(v) == pytest.approx(v.norm_squared)
+
+    @given(weights_dicts, weights_dicts)
+    @settings(max_examples=150)
+    def test_cauchy_schwarz(self, wa, wb):
+        a, b = SparseVector(wa), SparseVector(wb)
+        assert a.dot(b) <= a.norm * b.norm + 1e-9
+
+    @given(weights_dicts)
+    @settings(max_examples=150)
+    def test_dot_matches_reference(self, w):
+        v = SparseVector(w)
+        other = SparseVector({t: 2.0 for t in w})
+        expected = sum(2.0 * x for x in w.values())
+        assert v.dot(other) == pytest.approx(expected)
+
+    @given(weights_dicts)
+    @settings(max_examples=150)
+    def test_roundtrip_to_dict(self, w):
+        v = SparseVector(w)
+        assert SparseVector(v.to_dict()) == v

@@ -1,0 +1,175 @@
+"""BM25 weighting and the intersection-vector (IR-tree) ablation flag."""
+
+import pytest
+
+from repro import (
+    BruteForceRSTkNN,
+    CIURTree,
+    ConfigError,
+    IndexConfig,
+    IURTree,
+    RSTkNNSearcher,
+    SimilarityConfig,
+    STDataset,
+)
+from repro.text import Vocabulary, make_weighting
+from repro.text.weighting import BM25Weighting
+from repro.workloads import (
+    WorkloadSpec,
+    generate_corpus,
+    gn_like,
+    sample_queries,
+)
+
+
+class TestBM25:
+    def _vocab(self):
+        v = Vocabulary()
+        maps = [
+            v.add_document(["common", "rare", "rare"]),
+            v.add_document(["common"]),
+            v.add_document(["common", "other"]),
+        ]
+        return v, maps
+
+    def test_weights_positive(self):
+        v, maps = self._vocab()
+        vec = BM25Weighting().vector(maps[0], v)
+        assert all(w > 0 for _, w in vec.items())
+
+    def test_rare_term_outweighs_common(self):
+        v, maps = self._vocab()
+        vec = BM25Weighting().vector(maps[0], v)
+        assert vec.get(v.id_of("rare")) > vec.get(v.id_of("common"))
+
+    def test_tf_saturates(self):
+        """BM25's defining property: doubling tf less than doubles weight."""
+        v, _ = self._vocab()
+        bm = BM25Weighting()
+        tid = v.id_of("rare")
+        w1 = bm.vector({tid: 1}, v).get(tid)
+        w2 = bm.vector({tid: 2}, v).get(tid)
+        w4 = bm.vector({tid: 4}, v).get(tid)
+        assert w1 < w2 < w4
+        assert (w4 - w2) < (w2 - w1)
+
+    def test_param_validation(self):
+        with pytest.raises(ConfigError):
+            BM25Weighting(k1=-1)
+        with pytest.raises(ConfigError):
+            BM25Weighting(b=2.0)
+
+    def test_factory_and_config(self):
+        assert make_weighting("bm25").name == "bm25"
+        cfg = SimilarityConfig(weighting="bm25")
+        assert cfg.weighting == "bm25"
+
+    def test_end_to_end_search_parity(self):
+        dataset = gn_like(n=80, config=SimilarityConfig(weighting="bm25"))
+        tree = IURTree.build(dataset)
+        brute = BruteForceRSTkNN(dataset)
+        q = sample_queries(dataset, 1, seed=51)[0]
+        assert RSTkNNSearcher(tree).search(q, 4).ids == brute.search(q, 4)
+
+    def test_empty_document(self):
+        v, _ = self._vocab()
+        assert len(BM25Weighting().vector({}, v)) == 0
+
+
+class TestIntersectionAblation:
+    @pytest.fixture(scope="class")
+    def marker_dataset(self):
+        spec = WorkloadSpec(
+            n_objects=200,
+            n_topics=4,
+            topic_marker=True,
+            topic_affinity=0.95,
+            doc_len_mean=2.0,
+            vocab_size=60,
+            seed=7,
+        )
+        return STDataset.from_corpus(
+            generate_corpus(spec),
+            SimilarityConfig(alpha=0.0, weighting="tf", text_measure="overlap"),
+        )
+
+    def test_stripped_directory_entries_have_no_intersections(self, marker_dataset):
+        tree = CIURTree.build(
+            marker_dataset,
+            IndexConfig(num_clusters=4, store_intersections=False),
+        )
+        for node in tree.rtree.nodes.values():
+            if node.is_leaf:
+                continue
+            for entry in node.entries:
+                for iv in entry.clusters.values():
+                    assert len(iv.intersection) == 0
+
+    def test_leaf_objects_stay_exact(self, marker_dataset):
+        tree = CIURTree.build(
+            marker_dataset,
+            IndexConfig(num_clusters=4, store_intersections=False),
+        )
+        for node in tree.rtree.nodes.values():
+            if not node.is_leaf:
+                continue
+            for entry in node.entries:
+                obj = marker_dataset.get(entry.ref)
+                assert entry.exact_vector() == obj.vector
+
+    def test_results_identical_with_and_without(self, marker_dataset):
+        brute = BruteForceRSTkNN(marker_dataset)
+        for store in (True, False):
+            tree = CIURTree.build(
+                marker_dataset,
+                IndexConfig(num_clusters=4, store_intersections=store),
+                method="text-str",
+            )
+            searcher = RSTkNNSearcher(tree)
+            for q in sample_queries(marker_dataset, 2, seed=52):
+                assert searcher.search(q, 3).ids == brute.search(q, 3)
+
+    def test_intersections_never_hurt(self, marker_dataset):
+        stats = {}
+        for store in (True, False):
+            tree = CIURTree.build(
+                marker_dataset,
+                IndexConfig(num_clusters=4, store_intersections=store),
+                method="text-str",
+            )
+            searcher = RSTkNNSearcher(tree)
+            expansions = 0
+            for q in sample_queries(marker_dataset, 3, seed=53):
+                tree.reset_io(cold=True)
+                expansions += searcher.search(q, 3).stats.expansions
+            stats[store] = expansions
+        assert stats[True] <= stats[False]
+
+    def test_updates_keep_stripping(self, marker_dataset):
+        from repro.spatial import Point
+
+        tree = CIURTree.build(
+            marker_dataset,
+            IndexConfig(num_clusters=4, store_intersections=False),
+        )
+        obj = marker_dataset.append_record(Point(50, 50), "topic00 t0001")
+        tree.insert_object(obj)
+        for node in tree.rtree.nodes.values():
+            if node.is_leaf:
+                continue
+            for entry in node.entries:
+                for iv in entry.clusters.values():
+                    assert len(iv.intersection) == 0
+        assert tree.delete_object(obj.oid)
+
+
+class TestTopicMarkerWorkload:
+    def test_marker_on_every_document(self):
+        spec = WorkloadSpec(n_objects=50, n_topics=3, topic_marker=True, seed=3)
+        for _, text in generate_corpus(spec):
+            assert any(t.startswith("topic") for t in text.split())
+
+    def test_no_marker_by_default(self):
+        spec = WorkloadSpec(n_objects=50, n_topics=3, seed=3)
+        for _, text in generate_corpus(spec):
+            assert not any(t.startswith("topic") for t in text.split())

@@ -1,0 +1,105 @@
+"""Workload statistics and the run-all-experiments driver."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import measure_workload
+from repro.bench import format_table
+from repro.data import sample_dataset
+from repro.model.dataset import STDataset
+from repro.spatial import Point
+from repro.workloads import WorkloadSpec, gn_like, make_dataset
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+class TestWorkloadStats:
+    def test_basic_shape(self):
+        stats = measure_workload(gn_like(n=300))
+        assert stats.objects == 300
+        assert stats.vocabulary > 0
+        assert stats.max_doc_terms >= stats.mean_doc_terms
+        assert 0.0 <= stats.top10_term_mass <= 1.0
+        assert stats.spatial_clustering > 0.0
+
+    def test_zipf_fit_tracks_generator_skew(self):
+        flat = make_dataset(
+            WorkloadSpec(n_objects=400, zipf_s=0.2, topic_affinity=0.0, seed=1)
+        )
+        skewed = make_dataset(
+            WorkloadSpec(n_objects=400, zipf_s=1.4, topic_affinity=0.0, seed=1)
+        )
+        assert (
+            measure_workload(skewed).zipf_exponent
+            > measure_workload(flat).zipf_exponent
+        )
+
+    def test_clustering_detects_structure(self):
+        clustered = make_dataset(
+            WorkloadSpec(
+                n_objects=300,
+                n_spatial_clusters=4,
+                cluster_std=0.01,
+                uniform_fraction=0.0,
+                seed=2,
+            )
+        )
+        uniform = make_dataset(
+            WorkloadSpec(n_objects=300, uniform_fraction=1.0, seed=2)
+        )
+        r_clustered = measure_workload(clustered).spatial_clustering
+        r_uniform = measure_workload(uniform).spatial_clustering
+        assert r_clustered < r_uniform
+        assert r_uniform > 0.6  # near-random placement is near 1
+
+    def test_tiny_dataset(self):
+        dataset = STDataset.from_corpus([(Point(0, 0), "only one")])
+        stats = measure_workload(dataset)
+        assert stats.objects == 1
+        assert stats.spatial_clustering == 1.0
+
+    def test_rows_render(self):
+        stats = measure_workload(sample_dataset())
+        table = format_table(stats.HEADERS, stats.as_rows())
+        assert "zipf" in table
+
+
+class TestRunAllExperimentsTool:
+    def test_subset_run(self, tmp_path):
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(REPO / "tools" / "run_all_experiments.py"),
+                str(tmp_path),
+                "--only",
+                "E12",
+                "--scale",
+                "150",
+            ],
+            capture_output=True,
+            text=True,
+            cwd=REPO,
+        )
+        assert result.returncode == 0, result.stderr
+        raw = (tmp_path / "EXPERIMENTS_RAW.md").read_text()
+        assert "## E12" in raw
+        assert (tmp_path / "runs.jsonl").exists()
+
+    def test_unknown_experiment_counts_as_failure(self, tmp_path):
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(REPO / "tools" / "run_all_experiments.py"),
+                str(tmp_path),
+                "--only",
+                "E99",
+            ],
+            capture_output=True,
+            text=True,
+            cwd=REPO,
+        )
+        assert result.returncode == 1
+        assert "FAILED" in result.stdout

@@ -1,0 +1,141 @@
+"""Workload generators and query samplers."""
+
+import pytest
+
+from repro import ConfigError, QueryError
+from repro.workloads import (
+    WorkloadSpec,
+    cd_like,
+    generate_corpus,
+    generate_user_corpus,
+    gn_like,
+    make_dataset,
+    sample_queries,
+    shop_like,
+)
+
+
+class TestWorkloadSpec:
+    def test_defaults_valid(self):
+        spec = WorkloadSpec()
+        assert spec.n_objects >= 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_objects": 0},
+            {"vocab_size": 0},
+            {"doc_len_min": 0},
+            {"uniform_fraction": 1.5},
+            {"topic_affinity": -0.1},
+            {"n_topics": 0},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            WorkloadSpec(**kwargs)
+
+
+class TestGenerateCorpus:
+    def test_size_and_region(self):
+        spec = WorkloadSpec(n_objects=50, region_size=10.0, seed=1)
+        records = generate_corpus(spec)
+        assert len(records) == 50
+        for point, text in records:
+            assert 0.0 <= point.x <= 10.0
+            assert 0.0 <= point.y <= 10.0
+            assert text  # every document non-empty (doc_len_min >= 1)
+
+    def test_deterministic_in_seed(self):
+        spec = WorkloadSpec(n_objects=30, seed=5)
+        assert generate_corpus(spec) == generate_corpus(spec)
+
+    def test_different_seeds_differ(self):
+        a = generate_corpus(WorkloadSpec(n_objects=30, seed=5))
+        b = generate_corpus(WorkloadSpec(n_objects=30, seed=6))
+        assert a != b
+
+    def test_doc_len_min_respected(self):
+        spec = WorkloadSpec(n_objects=40, doc_len_min=3, doc_len_mean=3.0, seed=2)
+        for _, text in generate_corpus(spec):
+            assert len(text.split()) >= 3
+
+    def test_vocabulary_bounded(self):
+        spec = WorkloadSpec(n_objects=60, vocab_size=20, seed=3)
+        terms = {
+            t for _, text in generate_corpus(spec) for t in text.split()
+        }
+        assert len(terms) <= 20
+
+    def test_zipf_skew_concentrates_mass(self):
+        spec = WorkloadSpec(
+            n_objects=300, vocab_size=100, zipf_s=1.3, topic_affinity=0.0, seed=4
+        )
+        counts = {}
+        for _, text in generate_corpus(spec):
+            for t in text.split():
+                counts[t] = counts.get(t, 0) + 1
+        total = sum(counts.values())
+        top5 = sum(sorted(counts.values(), reverse=True)[:5])
+        assert top5 / total > 0.2  # the head carries real mass
+
+    def test_user_corpus_same_region(self):
+        spec = WorkloadSpec(n_objects=40, region_size=50.0, seed=7)
+        users = generate_user_corpus(spec, 25)
+        assert len(users) == 25
+        for point, _ in users:
+            assert 0.0 <= point.x <= 50.0
+
+
+class TestNamedDatasets:
+    def test_gn_like(self):
+        ds = gn_like(n=120)
+        assert len(ds) == 120
+        assert ds.stats()["avg_terms_per_object"] < 10
+
+    def test_cd_like_has_long_documents(self):
+        short = gn_like(n=100)
+        long_ = cd_like(n=100)
+        assert (
+            long_.stats()["avg_terms_per_object"]
+            > short.stats()["avg_terms_per_object"]
+        )
+
+    def test_shop_like(self):
+        ds = shop_like(n=80)
+        assert len(ds) == 80
+
+    def test_make_dataset_respects_config(self):
+        from repro import SimilarityConfig
+
+        cfg = SimilarityConfig(alpha=0.9)
+        ds = make_dataset(WorkloadSpec(n_objects=20, seed=1), cfg)
+        assert ds.config.alpha == 0.9
+
+
+class TestSampleQueries:
+    def test_count_and_ids(self, small_dataset):
+        queries = sample_queries(small_dataset, 7, seed=1)
+        assert len(queries) == 7
+        assert [q.oid for q in queries] == [-1, -2, -3, -4, -5, -6, -7]
+
+    def test_queries_inside_region(self, small_dataset):
+        for q in sample_queries(small_dataset, 20, seed=2):
+            assert small_dataset.region.contains_point(q.point)
+
+    def test_query_terms_parameter(self, small_dataset):
+        for q in sample_queries(small_dataset, 5, seed=3, query_terms=2):
+            assert 1 <= len(q.keywords) <= 2
+
+    def test_deterministic(self, small_dataset):
+        a = sample_queries(small_dataset, 4, seed=9)
+        b = sample_queries(small_dataset, 4, seed=9)
+        assert [(q.point, q.keywords) for q in a] == [
+            (q.point, q.keywords) for q in b
+        ]
+
+    def test_invalid_params(self, small_dataset):
+        with pytest.raises(QueryError):
+            sample_queries(small_dataset, 0)
+        with pytest.raises(QueryError):
+            sample_queries(small_dataset, 1, query_terms=0)

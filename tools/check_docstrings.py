@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Docstring coverage gate: every public item must document itself.
+
+Walks ``repro``'s modules and reports every public module, class,
+function, and method without a docstring.  Exits non-zero when coverage
+is incomplete, so CI (and ``tests/test_tools.py``) can hold the line.
+
+    python tools/check_docstrings.py [--verbose]
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+import sys
+from typing import List
+
+import repro
+
+#: Methods whose meaning is conventional enough to not require a docstring.
+_EXEMPT_METHODS = {
+    "__init__",  # documented at the class level by convention here
+}
+
+
+def iter_module_names() -> List[str]:
+    names = [repro.__name__]
+    for module_info in pkgutil.walk_packages(repro.__path__, repro.__name__ + "."):
+        names.append(module_info.name)
+    return sorted(names)
+
+
+def missing_in_module(module) -> List[str]:
+    """Fully qualified names of undocumented public items."""
+    missing: List[str] = []
+    if not (module.__doc__ or "").strip():
+        missing.append(module.__name__)
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue
+        qualified = f"{module.__name__}.{name}"
+        if inspect.isfunction(obj):
+            if not (obj.__doc__ or "").strip():
+                missing.append(qualified)
+        elif inspect.isclass(obj):
+            if not (obj.__doc__ or "").strip():
+                missing.append(qualified)
+            for mname, member in vars(obj).items():
+                if mname.startswith("_") or mname in _EXEMPT_METHODS:
+                    continue
+                fn = None
+                if inspect.isfunction(member):
+                    fn = member
+                elif isinstance(member, (staticmethod, classmethod)):
+                    fn = member.__func__
+                elif isinstance(member, property):
+                    fn = member.fget
+                if fn is None or (fn.__doc__ or "").strip():
+                    continue
+                if _inherits_doc(obj, mname):
+                    continue  # the base class documents the contract
+                missing.append(f"{qualified}.{mname}")
+    return missing
+
+
+def _inherits_doc(cls, method_name: str) -> bool:
+    """True when some base class documents ``method_name``."""
+    for base in cls.__mro__[1:]:
+        member = base.__dict__.get(method_name)
+        if member is None:
+            continue
+        fn = member
+        if isinstance(member, (staticmethod, classmethod)):
+            fn = member.__func__
+        elif isinstance(member, property):
+            fn = member.fget
+        if fn is not None and (getattr(fn, "__doc__", "") or "").strip():
+            return True
+    return False
+
+
+def check() -> List[str]:
+    """All undocumented public items across the package."""
+    missing: List[str] = []
+    for name in iter_module_names():
+        module = importlib.import_module(name)
+        missing.extend(missing_in_module(module))
+    return missing
+
+
+def main() -> int:
+    verbose = "--verbose" in sys.argv
+    missing = check()
+    total_modules = len(iter_module_names())
+    if missing:
+        print(f"{len(missing)} undocumented public items "
+              f"(across {total_modules} modules):")
+        for item in missing:
+            print(f"  - {item}")
+        return 1
+    print(f"docstring coverage complete across {total_modules} modules")
+    if verbose:
+        for name in iter_module_names():
+            print(f"  ok {name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

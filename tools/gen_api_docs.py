@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Generate docs/API.md from the package's docstrings.
+
+Walks ``repro`` and its subpackages, extracting module, class, and
+function docstring summaries plus public signatures into one markdown
+reference.  Stdlib-only so it runs anywhere the library does:
+
+    python tools/gen_api_docs.py [output.md]
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+import sys
+from pathlib import Path
+from typing import List
+
+import repro
+
+
+def first_paragraph(doc: str) -> str:
+    """The docstring's lead paragraph, joined onto one line."""
+    lines: List[str] = []
+    for line in (doc or "").strip().splitlines():
+        stripped = line.strip()
+        if not stripped:
+            break
+        lines.append(stripped)
+    return " ".join(lines)
+
+
+def signature_of(obj) -> str:
+    try:
+        return str(inspect.signature(obj))
+    except (TypeError, ValueError):
+        return "(...)"
+
+
+def public_members(module):
+    """(classes, functions) defined in the module, in source order."""
+    classes, functions = [], []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue
+        if inspect.isclass(obj):
+            classes.append((name, obj))
+        elif inspect.isfunction(obj):
+            functions.append((name, obj))
+
+    def order(pair):
+        try:
+            return inspect.getsourcelines(pair[1])[1]
+        except (OSError, TypeError):
+            return 1 << 30
+
+    return sorted(classes, key=order), sorted(functions, key=order)
+
+
+def document_class(name: str, cls, out: List[str]) -> None:
+    out.append(f"### class `{name}{signature_of(cls)}`\n")
+    summary = first_paragraph(cls.__doc__ or "")
+    if summary:
+        out.append(summary + "\n")
+    methods = []
+    for mname, method in vars(cls).items():
+        if mname.startswith("_"):
+            continue
+        if inspect.isfunction(method):
+            methods.append((mname, method, ""))
+        elif isinstance(method, staticmethod):
+            methods.append((mname, method.__func__, "static "))
+        elif isinstance(method, classmethod):
+            methods.append((mname, method.__func__, "classmethod "))
+        elif isinstance(method, property):
+            doc = first_paragraph(method.fget.__doc__ or "") if method.fget else ""
+            methods.append((mname, None, f"property — {doc}"))
+    for mname, method, kind in methods:
+        if method is None:
+            out.append(f"- `{mname}` ({kind.rstrip(' —')})")
+            continue
+        doc = first_paragraph(method.__doc__ or "")
+        sig = signature_of(method)
+        line = f"- {kind}`{mname}{sig}`"
+        if doc:
+            line += f" — {doc}"
+        out.append(line)
+    out.append("")
+
+
+def document_module(module, out: List[str]) -> None:
+    out.append(f"## `{module.__name__}`\n")
+    summary = first_paragraph(module.__doc__ or "")
+    if summary:
+        out.append(summary + "\n")
+    classes, functions = public_members(module)
+    for name, cls in classes:
+        document_class(name, cls, out)
+    for name, fn in functions:
+        doc = first_paragraph(fn.__doc__ or "")
+        out.append(f"### `{name}{signature_of(fn)}`\n")
+        if doc:
+            out.append(doc + "\n")
+
+
+def generate(output: Path) -> int:
+    """Write the API reference; returns the number of modules covered."""
+    out: List[str] = [
+        "# API reference\n",
+        "_Generated from docstrings by `tools/gen_api_docs.py`;"
+        " regenerate after changing public signatures._\n",
+    ]
+    seen = 0
+    names = [repro.__name__]
+    for module_info in pkgutil.walk_packages(repro.__path__, repro.__name__ + "."):
+        names.append(module_info.name)
+    for name in sorted(names):
+        module = importlib.import_module(name)
+        document_module(module, out)
+        seen += 1
+    output.write_text("\n".join(out) + "\n")
+    return seen
+
+
+def main() -> int:
+    target = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("docs/API.md")
+    target.parent.mkdir(parents=True, exist_ok=True)
+    count = generate(target)
+    print(f"documented {count} modules -> {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
