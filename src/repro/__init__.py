@@ -23,6 +23,7 @@ Quickstart::
 from .config import (
     DEFAULT_CONFIG,
     IndexConfig,
+    PerfConfig,
     ReproConfig,
     SimilarityConfig,
 )
@@ -63,6 +64,7 @@ from .core import (
 )
 from .index.costmodel import CostEstimate, RSTkNNCostModel, estimate_rstknn_io
 from .io import load_dataset, load_index, save_dataset, save_index
+from .perf import BatchResult, BatchSearcher, BatchStats, BoundCache, CacheStats
 
 __version__ = "1.0.0"
 
@@ -71,6 +73,7 @@ __all__ = [
     # config
     "DEFAULT_CONFIG",
     "IndexConfig",
+    "PerfConfig",
     "ReproConfig",
     "SimilarityConfig",
     # errors
@@ -125,4 +128,10 @@ __all__ = [
     "load_index",
     "save_dataset",
     "save_index",
+    # perf
+    "BatchResult",
+    "BatchSearcher",
+    "BatchStats",
+    "BoundCache",
+    "CacheStats",
 ]

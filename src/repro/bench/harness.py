@@ -29,6 +29,7 @@ from ..index.ciurtree import CIURTree
 from ..index.iurtree import IURTree
 from ..model.dataset import STDataset
 from ..model.objects import STObject
+from ..perf.cache import BoundCache
 
 METHODS = ("base", "iur", "ciur", "ciur-oe", "ciur-te", "ciur-oe-te")
 
@@ -115,9 +116,11 @@ def build_tree(
     return CIURTree.build(dataset, clustered, seed=seed)
 
 
-def make_searcher(tree: IURTree) -> RSTkNNSearcher:
+def make_searcher(
+    tree: IURTree, bound_cache: Optional[BoundCache] = None
+) -> RSTkNNSearcher:
     """Searcher wired to the tree's own configuration."""
-    return RSTkNNSearcher(tree)
+    return RSTkNNSearcher(tree, bound_cache=bound_cache)
 
 
 def run_queries(
@@ -126,15 +129,23 @@ def run_queries(
     k: int,
     method: str = "iur",
     cold: bool = True,
+    bound_cache: Optional[BoundCache] = None,
 ) -> QueryRun:
-    """Run the branch-and-bound searcher over a workload and aggregate."""
-    searcher = make_searcher(tree)
+    """Run the branch-and-bound searcher over a workload and aggregate.
+
+    Passing a ``bound_cache`` shares tree-pair bounds across the whole
+    workload (and across calls, if the same cache is reused); the run's
+    cache counters land in :attr:`QueryRun.extra`.
+    """
+    searcher = make_searcher(tree, bound_cache=bound_cache)
     total_ms = 0.0
     total_reads = 0
     total_results = 0
     total_expansions = 0
     total_verified = 0
     total_group = 0
+    total_hits = 0
+    total_misses = 0
     n_objects = max(len(tree.dataset), 1)
     for query in queries:
         tree.reset_io(cold=cold)
@@ -146,7 +157,16 @@ def run_queries(
         total_expansions += result.stats.expansions
         total_verified += result.stats.verified_objects
         total_group += result.stats.group_decided_objects()
+        total_hits += result.stats.cache_hits
+        total_misses += result.stats.cache_misses
     n = max(len(queries), 1)
+    extra: Dict[str, float] = {
+        "cache_hits": float(total_hits),
+        "cache_misses": float(total_misses),
+    }
+    if bound_cache is not None:
+        for key, value in bound_cache.stats().as_dict().items():
+            extra[f"shared_{key}"] = float(value)
     return QueryRun(
         method=method,
         queries=len(queries),
@@ -156,6 +176,46 @@ def run_queries(
         mean_expansions=total_expansions / n,
         mean_verified=total_verified / n,
         group_decided_fraction=total_group / (n * n_objects),
+        extra=extra,
+    )
+
+
+def run_batch_queries(
+    tree: IURTree,
+    queries: Sequence[STObject],
+    k: int,
+    method: str = "iur",
+    workers: int = 1,
+    cache_entries: Optional[int] = None,
+) -> QueryRun:
+    """Run a workload through :class:`repro.perf.BatchSearcher`.
+
+    Unlike :func:`run_queries` this measures *throughput* (warm buffer
+    pool, shared bound cache, optional process fan-out), so I/O and
+    per-query decision statistics are not reported.
+    """
+    from ..perf import BatchSearcher
+    from ..perf.cache import DEFAULT_BOUND_CACHE_ENTRIES
+
+    engine = BatchSearcher(
+        tree,
+        workers=workers,
+        cache_entries=(
+            cache_entries
+            if cache_entries is not None
+            else DEFAULT_BOUND_CACHE_ENTRIES
+        ),
+    )
+    batch = engine.run(queries, k)
+    stats = batch.stats
+    n = max(stats.queries, 1)
+    return QueryRun(
+        method=f"{method}-batch" + (f"-w{workers}" if workers > 1 else ""),
+        queries=stats.queries,
+        mean_ms=stats.mean_ms,
+        mean_reads=0.0,
+        mean_result_size=stats.total_result_ids / n,
+        extra=stats.as_dict(),
     )
 
 

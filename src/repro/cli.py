@@ -90,6 +90,44 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from .bench.harness import build_tree
+    from .perf import BatchSearcher
+
+    dataset = gn_like(n=args.n)
+    tree = build_tree(dataset, args.method)
+    queries = sample_queries(dataset, args.queries)
+    engine = BatchSearcher(
+        tree, workers=args.workers, cache_entries=args.cache
+    )
+    batch = engine.run(queries, args.k)
+    stats = batch.stats
+    rows = [
+        ["queries", stats.queries],
+        ["workers", stats.workers],
+        ["elapsed (s)", f"{stats.elapsed_seconds:.3f}"],
+        ["throughput (q/s)", f"{stats.queries_per_second:.1f}"],
+        ["mean latency (ms)", f"{stats.mean_ms:.2f}"],
+        ["result ids (total)", stats.total_result_ids],
+    ]
+    if stats.cache:
+        rows.append(["cache hits", int(stats.cache["hits"])])
+        rows.append(["cache misses", int(stats.cache["misses"])])
+        rows.append(["cache hit rate", f"{stats.cache['hit_rate']:.3f}"])
+        rows.append(["cache evictions", int(stats.cache["evictions"])])
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=(
+                f"batch — {args.method} |D|={args.n}, "
+                f"{stats.queries} queries, k={args.k}"
+            ),
+        )
+    )
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     dataset = gn_like(n=args.n)
     tree = IURTree.build(dataset)
@@ -142,6 +180,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-base", action="store_true", help="skip the slow baseline row"
     )
     p_bench.set_defaults(fn=_cmd_bench)
+
+    p_batch = sub.add_parser(
+        "batch", help="run a query workload through the batch engine"
+    )
+    p_batch.add_argument("--n", type=int, default=800)
+    p_batch.add_argument("--k", type=int, default=5)
+    p_batch.add_argument("--queries", type=int, default=20)
+    p_batch.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process fan-out; 1 = sequential with the shared bound cache",
+    )
+    p_batch.add_argument(
+        "--cache",
+        type=int,
+        default=262144,
+        help="shared pair-bound cache capacity (entries)",
+    )
+    p_batch.add_argument(
+        "--method", choices=("iur", "ciur"), default="iur", help="index variant"
+    )
+    p_batch.set_defaults(fn=_cmd_batch)
 
     p_demo = sub.add_parser("demo", help="build an index and run a few queries")
     p_demo.add_argument("--n", type=int, default=800)

@@ -26,6 +26,10 @@ TEXT_MEASURES = (
 #: Term weighting schemes supported by :mod:`repro.text.weighting`.
 WEIGHTINGS = ("tf", "tfidf", "lm", "bm25")
 
+#: Kernel backends supported by :mod:`repro.perf.kernels` (``auto``
+#: resolves to ``numpy`` when importable, else ``python``).
+KERNEL_BACKENDS = ("python", "numpy", "auto")
+
 
 @dataclass(frozen=True)
 class SimilarityConfig:
@@ -121,16 +125,58 @@ class IndexConfig:
 
 
 @dataclass(frozen=True)
+class PerfConfig:
+    """Parameters of the performance subsystem (:mod:`repro.perf`).
+
+    Attributes:
+        kernel_backend: One of :data:`KERNEL_BACKENDS`; which similarity
+            kernel implementation to use.  The ``REPRO_KERNEL``
+            environment variable overrides the library default at
+            process level; this knob records an explicit choice for a
+            run (apply it with :func:`repro.perf.set_backend`).
+        bound_cache_entries: Capacity of the shared LRU pair-bound cache
+            used by :class:`repro.perf.BatchSearcher` and any searcher
+            constructed with a :class:`repro.perf.BoundCache`.
+        batch_workers: Default process fan-out of the batch engine
+            (``1`` = sequential with the shared cache).
+    """
+
+    kernel_backend: str = "python"
+    bound_cache_entries: int = 262144
+    batch_workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kernel_backend not in KERNEL_BACKENDS:
+            raise ConfigError(
+                f"unknown kernel backend {self.kernel_backend!r}; "
+                f"expected one of {KERNEL_BACKENDS}"
+            )
+        if self.bound_cache_entries < 2:
+            raise ConfigError(
+                f"bound_cache_entries must be >= 2, got {self.bound_cache_entries}"
+            )
+        if self.batch_workers < 1:
+            raise ConfigError(
+                f"batch_workers must be >= 1, got {self.batch_workers}"
+            )
+
+
+@dataclass(frozen=True)
 class ReproConfig:
-    """Top-level bundle of similarity and index configuration."""
+    """Top-level bundle of similarity, index, and perf configuration."""
 
     similarity: SimilarityConfig = field(default_factory=SimilarityConfig)
     index: IndexConfig = field(default_factory=IndexConfig)
+    perf: PerfConfig = field(default_factory=PerfConfig)
 
     def describe(self) -> Dict[str, Any]:
         """Return a flat dict of every knob, for experiment logging."""
         out: Dict[str, Any] = {}
-        for prefix, cfg in (("sim", self.similarity), ("idx", self.index)):
+        for prefix, cfg in (
+            ("sim", self.similarity),
+            ("idx", self.index),
+            ("perf", self.perf),
+        ):
             for key, value in vars(cfg).items():
                 out[f"{prefix}.{key}"] = value
         return out

@@ -18,16 +18,35 @@ than the merged single-cluster bound whenever clusters separate the text.
 Because an object entry's interval vector is degenerate (int == uni ==
 its document), the same formulas yield *exact* similarities for
 object-object pairs — no special cases in the searcher.
+
+Memoization happens at two levels.  Each computer keeps a private
+per-query memo; additionally a :class:`~repro.perf.cache.BoundCache` may
+be shared across queries (owned by the searcher or batch engine).  Only
+*tree-resident* pairs — both refs >= 0 — go to the shared cache: query
+entries use negative refs that collide between queries.  Both bounds and
+exact scores are symmetric, so pairs are keyed canonically (smaller
+``(ref, is_object)`` first).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..index.entry import Entry
+from ..perf.cache import BoundCache
 from ..spatial import SpatialProximity
 from ..text import TextMeasure
+
+#: Canonical symmetric pair key: two ``(ref << 1) | is_object`` codes
+#: packed into one integer.  Integers hash to themselves, so cache
+#: probes skip the tuple allocation and tuple hashing a 4-tuple key
+#: would pay on every lookup of the hot path.
+PairKey = int
+
+#: Radix separating the two packed entry codes; node refs and object
+#: ids stay far below 2**40 for any dataset this library can hold.
+_KEY_RADIX = 1 << 40
 
 
 class BoundComputer:
@@ -39,22 +58,47 @@ class BoundComputer:
         measure: TextMeasure,
         alpha: float,
         enable_cache: bool = True,
+        shared_cache: Optional[BoundCache] = None,
     ) -> None:
-        """``enable_cache=False`` disables memoization.
+        """``enable_cache=False`` disables memoization entirely.
 
         The caches key on ``(entry.ref, entry.is_object)`` pairs, which is
         sound only while every entry comes from a single id namespace
         (one tree plus one query).  Bichromatic search mixes two trees
         whose node/object ids collide, so it must switch the caches off.
+
+        ``shared_cache`` is an optional cross-query
+        :class:`~repro.perf.cache.BoundCache`: tree-pair bounds computed
+        by this query become hits for every later query on the same tree.
         """
         self.proximity = proximity
         self.measure = measure
         self.alpha = alpha
         self.enable_cache = enable_cache
-        self._text_cache: Dict[
-            Tuple[int, bool, int, bool], Tuple[float, float]
-        ] = {}
-        self._exact_cache: Dict[Tuple[int, int], float] = {}
+        self.shared_cache = shared_cache if enable_cache else None
+        # Hot-path aliases: st_bounds probes the shared pairs LRU's dict
+        # directly (one C-level get per hit) and only falls into the
+        # LRUCache methods on insert.
+        self._pairs_lru = (
+            self.shared_cache.pairs if self.shared_cache is not None else None
+        )
+        self._pairs_data = (
+            self._pairs_lru._data if self._pairs_lru is not None else None
+        )
+        self._text_cache: Dict[PairKey, Tuple[float, float]] = {}
+        self._exact_cache: Dict[PairKey, float] = {}
+        #: Lifetime lookup counters across both memo levels.
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _pair_key(a: Entry, b: Entry) -> PairKey:
+        """Canonical symmetric key (smaller entry code first)."""
+        ka = (a.ref << 1) | a.is_object
+        kb = (b.ref << 1) | b.is_object
+        if kb < ka:
+            ka, kb = kb, ka
+        return ka * _KEY_RADIX + kb
 
     # ------------------------------------------------------------------
     # Textual bounds
@@ -62,11 +106,19 @@ class BoundComputer:
 
     def text_bounds(self, a: Entry, b: Entry) -> Tuple[float, float]:
         """``(MinSimT, MaxSimT)`` over every document pair of ``a × b``."""
-        key = (a.ref, a.is_object, b.ref, b.is_object)
+        shared = None
+        key: Optional[PairKey] = None
         if self.enable_cache:
-            cached = self._text_cache.get(key)
+            key = self._pair_key(a, b)
+            if self.shared_cache is not None and a.ref >= 0 and b.ref >= 0:
+                shared = self.shared_cache.text
+                cached = shared.get(key)
+            else:
+                cached = self._text_cache.get(key)
             if cached is not None:
+                self.hits += 1
                 return cached
+            self.misses += 1
         lo = None
         hi = 0.0
         for iv_a in a.clusters.values():
@@ -76,9 +128,11 @@ class BoundComputer:
                 lo = pair_lo if lo is None else min(lo, pair_lo)
                 hi = max(hi, pair_hi)
         result = (lo if lo is not None else 0.0, hi)
-        if self.enable_cache:
-            self._text_cache[key] = result
-            self._text_cache[(key[2], key[3], key[0], key[1])] = result
+        if key is not None:
+            if shared is not None:
+                shared.put(key, result)
+            else:
+                self._text_cache[key] = result
         return result
 
     # ------------------------------------------------------------------
@@ -87,11 +141,19 @@ class BoundComputer:
 
     def exact_score(self, a: Entry, b: Entry) -> float:
         """Exact SimST between two object entries (memoized)."""
-        key = (a.ref, b.ref)
+        shared = None
+        key: Optional[PairKey] = None
         if self.enable_cache:
-            cached = self._exact_cache.get(key)
+            key = self._pair_key(a, b)
+            if self.shared_cache is not None and a.ref >= 0 and b.ref >= 0:
+                shared = self.shared_cache.exact
+                cached = shared.get(key)
+            else:
+                cached = self._exact_cache.get(key)
             if cached is not None:
+                self.hits += 1
                 return cached
+            self.misses += 1
         alpha = self.alpha
         score = 0.0
         if alpha > 0.0:
@@ -102,16 +164,45 @@ class BoundComputer:
             score += (1.0 - alpha) * self.measure.similarity(
                 a.exact_vector(), b.exact_vector()
             )
-        if self.enable_cache:
-            self._exact_cache[key] = score
-            self._exact_cache[(b.ref, a.ref)] = score
+        if key is not None:
+            if shared is not None:
+                shared.put(key, score)
+            else:
+                self._exact_cache[key] = score
         return score
 
     def st_bounds(self, a: Entry, b: Entry) -> Tuple[float, float]:
         """``(MinST, MaxST)`` over every object pair of ``a × b``.
 
-        Exact (``MinST == MaxST``) when both entries are objects.
+        Exact (``MinST == MaxST``) when both entries are objects.  The
+        blended tuple is the hottest lookup of the searcher (every kNN
+        tightening round re-derives it), so tree-resident pairs are
+        cached whole in the shared ``pairs`` LRU — one probe replaces
+        the text-bound lookup, two MBR distance computations, and the
+        alpha blend.
         """
+        pairs = self._pairs_lru
+        if pairs is not None:
+            ar, br = a.ref, b.ref
+            if ar >= 0 and br >= 0:
+                ka = (ar << 1) | a.is_object
+                kb = (br << 1) | b.is_object
+                if kb < ka:
+                    ka, kb = kb, ka
+                key = ka * _KEY_RADIX + kb
+                cached = self._pairs_data.get(key)
+                if cached is not None:
+                    pairs.hits += 1
+                    self.hits += 1
+                    return cached
+                pairs.misses += 1
+                self.misses += 1
+                result = self._st_bounds_compute(a, b)
+                pairs.put(key, result)
+                return result
+        return self._st_bounds_compute(a, b)
+
+    def _st_bounds_compute(self, a: Entry, b: Entry) -> Tuple[float, float]:
         if a.is_object and b.is_object:
             score = self.exact_score(a, b)
             return score, score
@@ -138,6 +229,38 @@ class BoundComputer:
         """
         return self.st_bounds(entry, entry)
 
-    def clear_cache(self) -> None:
-        """Drop memoized text bounds (between queries)."""
+    # ------------------------------------------------------------------
+    # Cache maintenance
+    # ------------------------------------------------------------------
+
+    def cache_stats(self) -> Dict[str, float]:
+        """Lookup counters plus current occupancy of every memo level.
+
+        ``hits`` / ``misses`` count this computer's lookups (private and
+        shared); the ``shared_*`` keys describe the cross-query cache
+        when one is attached.
+        """
+        out: Dict[str, float] = {
+            "hits": self.hits,
+            "misses": self.misses,
+            "text_entries": len(self._text_cache),
+            "exact_entries": len(self._exact_cache),
+        }
+        if self.shared_cache is not None:
+            for key, value in self.shared_cache.stats().as_dict().items():
+                out[f"shared_{key}"] = value
+        return out
+
+    def clear(self) -> None:
+        """Drop the private per-query memos.
+
+        Long-lived computers (analysis loops, services) call this between
+        queries so the unbounded private dicts cannot grow without limit;
+        the shared cache is size-bounded and is left intact.
+        """
         self._text_cache.clear()
+        self._exact_cache.clear()
+
+    def clear_cache(self) -> None:
+        """Alias of :meth:`clear` (the seed API's name)."""
+        self.clear()

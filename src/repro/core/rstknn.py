@@ -44,6 +44,7 @@ from ..errors import QueryError
 from ..index.entry import Entry
 from ..index.iurtree import IURTree
 from ..model.objects import STObject
+from ..perf.cache import BoundCache
 from ..text import make_measure
 from ..text.entropy import normalized_cluster_entropy
 from .bounds import BoundComputer
@@ -70,6 +71,9 @@ class SearchStats:
     verify_node_reads: int = 0
     result_count: int = 0
     elapsed_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
 
     def group_decided_objects(self) -> int:
         """Objects decided purely by bounds (no per-object probe)."""
@@ -87,6 +91,9 @@ class SearchStats:
             "verify_node_reads": self.verify_node_reads,
             "result_count": self.result_count,
             "elapsed_seconds": self.elapsed_seconds,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
         }
 
 
@@ -97,9 +104,19 @@ class SearchResult:
     ids: List[int]
     stats: SearchStats
     io: Dict[str, int] = field(default_factory=dict)
+    _id_set: Optional[set] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __contains__(self, oid: int) -> bool:
-        return oid in set(self.ids)
+        # Built lazily on the first membership test and reused; the
+        # length check catches the supported mutation (removing the
+        # member id in search_for_member) without hashing every id again.
+        cached = self._id_set
+        if cached is None or len(cached) != len(self.ids):
+            cached = set(self.ids)
+            self._id_set = cached
+        return oid in cached
 
     def __len__(self) -> int:
         return len(self.ids)
@@ -113,13 +130,27 @@ class RSTkNNSearcher:
         tree: IURTree,
         config: Optional[SimilarityConfig] = None,
         te_weight: float = 0.05,
+        bound_cache: Optional[BoundCache] = None,
     ) -> None:
+        """``bound_cache`` shares tree-pair bounds across this searcher's
+        queries (see :class:`repro.perf.cache.BoundCache`); ``None`` keeps
+        the seed behaviour of per-query memoization only."""
         self.tree = tree
         cfg = config if config is not None else tree.dataset.config
         self.config = cfg
         self.measure = make_measure(cfg.text_measure)
         self.alpha = cfg.alpha
         self.te_weight = te_weight if tree.config.use_entropy_priority else 0.0
+        self.bound_cache = bound_cache
+
+    def _bound_computer(self) -> BoundComputer:
+        """A per-query computer attached to the shared cache, if any."""
+        return BoundComputer(
+            self.tree.dataset.proximity,
+            self.measure,
+            self.alpha,
+            shared_cache=self.bound_cache,
+        )
 
     # ------------------------------------------------------------------
     # Public API
@@ -137,8 +168,11 @@ class RSTkNNSearcher:
             raise QueryError(f"k must be >= 1, got {k}")
         started = time.perf_counter()
         stats = SearchStats()
-        bounds = BoundComputer(
-            self.tree.dataset.proximity, self.measure, self.alpha
+        bounds = self._bound_computer()
+        evictions_before = (
+            self.bound_cache.stats().evictions
+            if self.bound_cache is not None
+            else 0
         )
         q_entry = Entry.for_object(-1, query.mbr(), query.vector)
 
@@ -268,6 +302,12 @@ class RSTkNNSearcher:
                 ids.append(key[0])
         ids.sort()
         stats.result_count = len(ids)
+        stats.cache_hits = bounds.hits
+        stats.cache_misses = bounds.misses
+        if self.bound_cache is not None:
+            stats.cache_evictions = (
+                self.bound_cache.stats().evictions - evictions_before
+            )
         stats.elapsed_seconds = time.perf_counter() - started
         return SearchResult(ids, stats, self.tree.io.snapshot())
 
@@ -302,9 +342,7 @@ class RSTkNNSearcher:
         surface, not just whether it makes the top-k.
         """
         result = self.search(query, k)
-        bounds = BoundComputer(
-            self.tree.dataset.proximity, self.measure, self.alpha
-        )
+        bounds = self._bound_computer()
         q_entry = Entry.for_object(-1, query.mbr(), query.vector)
         roots = self._initial_entries()
         ranked: List[Tuple[int, int, float]] = []

@@ -1,0 +1,57 @@
+"""Performance subsystem: similarity kernels, bound caching, batch engine.
+
+Three layers, each usable on its own:
+
+* :mod:`repro.perf.kernels` — frozen sparse-vector forms and the
+  merge-free reduction kernels behind every text similarity, with a
+  pure-python backend and an optional numpy backend selected by the
+  ``REPRO_KERNEL`` environment variable;
+* :mod:`repro.perf.cache` — size-bounded LRU pair-bound caches shared
+  across queries by a searcher or batch engine;
+* :mod:`repro.perf.batch` — :class:`BatchSearcher`, which runs a query
+  workload over one index sequentially (shared bound cache) or fanned
+  out across worker processes.
+
+``batch`` is imported lazily: it depends on :mod:`repro.core`, which
+transitively depends on the text layer that itself uses the kernels.
+"""
+
+from .cache import (
+    DEFAULT_BOUND_CACHE_ENTRIES,
+    BoundCache,
+    CacheStats,
+    LRUCache,
+)
+from .kernels import (
+    KERNEL_BACKENDS,
+    KERNEL_ENV_VAR,
+    backend_name,
+    numpy_available,
+    set_backend,
+    use_backend,
+)
+
+__all__ = [
+    "KERNEL_BACKENDS",
+    "KERNEL_ENV_VAR",
+    "backend_name",
+    "numpy_available",
+    "set_backend",
+    "use_backend",
+    "DEFAULT_BOUND_CACHE_ENTRIES",
+    "BoundCache",
+    "CacheStats",
+    "LRUCache",
+    "BatchSearcher",
+    "BatchResult",
+    "BatchStats",
+]
+
+
+def __getattr__(name: str):
+    """Lazy access to the batch engine (avoids a text->core import cycle)."""
+    if name in ("BatchSearcher", "BatchResult", "BatchStats"):
+        from . import batch
+
+        return getattr(batch, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

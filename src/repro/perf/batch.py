@@ -1,0 +1,203 @@
+"""Batch query engine: run a workload of RSTkNN queries over one index.
+
+Query *streams* are where the shared-cache and kernel work pays off:
+
+* **Sequential mode** (``workers=1``) runs every query through one
+  :class:`~repro.core.rstknn.RSTkNNSearcher` wired to a shared
+  :class:`~repro.perf.cache.BoundCache`, so tree-pair bounds computed by
+  early queries are hits for later ones (the per-query caches of the
+  seed recomputed them every time).
+* **Parallel mode** (``workers > 1``) fans the workload out over a
+  ``concurrent.futures.ProcessPoolExecutor``.  Each worker receives a
+  pickled copy of the index once (at pool start) and keeps its own
+  searcher + bound cache for the queries routed to it, so no state is
+  shared and results are bit-identical to sequential runs.  When the
+  tree cannot be pickled the engine falls back to sequential execution
+  rather than failing the workload.
+
+Results come back in query order regardless of mode, with aggregate
+throughput and cache statistics in :class:`BatchStats`.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import SimilarityConfig
+from ..core.rstknn import RSTkNNSearcher, SearchResult
+from ..errors import QueryError
+from ..index.iurtree import IURTree
+from ..model.objects import STObject
+from .cache import DEFAULT_BOUND_CACHE_ENTRIES, BoundCache
+
+#: Per-process worker state: the unpickled index and its searcher.
+_WORKER: Dict[str, RSTkNNSearcher] = {}
+
+
+def _init_worker(payload: bytes) -> None:
+    """Pool initializer: build this worker's private index handle."""
+    tree, config, te_weight, cache_entries = pickle.loads(payload)
+    _WORKER["searcher"] = RSTkNNSearcher(
+        tree,
+        config,
+        te_weight=te_weight,
+        bound_cache=BoundCache(cache_entries),
+    )
+
+
+def _run_one(task: Tuple[int, STObject, int]) -> Tuple[int, SearchResult]:
+    """Execute one query in a pool worker; returns (index, result)."""
+    i, query, k = task
+    return i, _WORKER["searcher"].search(query, k)
+
+
+@dataclass
+class BatchStats:
+    """Aggregate outcome of one batch run."""
+
+    queries: int
+    k: int
+    workers: int
+    elapsed_seconds: float
+    queries_per_second: float
+    mean_ms: float
+    total_result_ids: int
+    cache: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dict of the counters, for experiment logging."""
+        out: Dict[str, float] = {
+            "queries": self.queries,
+            "k": self.k,
+            "workers": self.workers,
+            "elapsed_seconds": self.elapsed_seconds,
+            "queries_per_second": self.queries_per_second,
+            "mean_ms": self.mean_ms,
+            "total_result_ids": self.total_result_ids,
+        }
+        for key, value in self.cache.items():
+            out[f"cache_{key}"] = value
+        return out
+
+
+@dataclass
+class BatchResult:
+    """Per-query results (in input order) plus aggregate statistics."""
+
+    results: List[SearchResult]
+    stats: BatchStats
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def id_lists(self) -> List[List[int]]:
+        """The sorted result-id list of every query, in input order."""
+        return [r.ids for r in self.results]
+
+
+class BatchSearcher:
+    """Runs query workloads over one (C)IUR-tree, amortizing shared work.
+
+    One instance owns a long-lived searcher with a shared
+    :class:`~repro.perf.cache.BoundCache`; call :meth:`run` as many
+    times as needed — the cache keeps warming across runs.  Clear it
+    with :meth:`invalidate` after index updates.
+    """
+
+    def __init__(
+        self,
+        tree: IURTree,
+        config: Optional[SimilarityConfig] = None,
+        workers: int = 1,
+        cache_entries: int = DEFAULT_BOUND_CACHE_ENTRIES,
+        te_weight: float = 0.05,
+        warm: bool = True,
+    ) -> None:
+        """``workers=1`` runs sequentially with the shared bound cache;
+        ``workers>1`` fans out over that many processes, each holding its
+        own index handle.  ``warm=True`` pre-freezes the tree's kernel
+        forms so the first query does not pay freezing costs."""
+        if workers < 1:
+            raise QueryError(f"workers must be >= 1, got {workers}")
+        self.tree = tree
+        self.config = config
+        self.workers = workers
+        self.cache_entries = cache_entries
+        self.te_weight = te_weight
+        self.bound_cache = BoundCache(cache_entries)
+        self._searcher = RSTkNNSearcher(
+            tree, config, te_weight=te_weight, bound_cache=self.bound_cache
+        )
+        if warm:
+            tree.warm_kernels()
+
+    def invalidate(self) -> None:
+        """Drop shared bounds (call after inserting/deleting objects)."""
+        self.bound_cache.clear()
+
+    def run(self, queries: Sequence[STObject], k: int) -> BatchResult:
+        """Execute the workload; results align with ``queries`` order."""
+        queries = list(queries)
+        started = time.perf_counter()
+        workers_used = self.workers
+        if self.workers > 1 and len(queries) > 1:
+            results = self._run_parallel(queries, k)
+            if results is None:  # unpicklable index — degrade gracefully
+                workers_used = 1
+                results = self._run_sequential(queries, k)
+        else:
+            workers_used = 1
+            results = self._run_sequential(queries, k)
+        elapsed = time.perf_counter() - started
+        n = len(queries)
+        stats = BatchStats(
+            queries=n,
+            k=k,
+            workers=workers_used,
+            elapsed_seconds=elapsed,
+            queries_per_second=(n / elapsed) if elapsed > 0 else 0.0,
+            mean_ms=(elapsed * 1000.0 / n) if n else 0.0,
+            total_result_ids=sum(len(r.ids) for r in results),
+            cache=self.bound_cache.stats().as_dict()
+            if workers_used == 1
+            else {},
+        )
+        return BatchResult(results=results, stats=stats)
+
+    # ------------------------------------------------------------------
+    # Execution modes
+    # ------------------------------------------------------------------
+
+    def _run_sequential(
+        self, queries: Sequence[STObject], k: int
+    ) -> List[SearchResult]:
+        return [self._searcher.search(query, k) for query in queries]
+
+    def _run_parallel(
+        self, queries: Sequence[STObject], k: int
+    ) -> Optional[List[SearchResult]]:
+        try:
+            payload = pickle.dumps(
+                (self.tree, self.config, self.te_weight, self.cache_entries)
+            )
+        except (pickle.PicklingError, TypeError, AttributeError):
+            return None
+        n = len(queries)
+        workers = min(self.workers, n)
+        tasks = [(i, query, k) for i, query in enumerate(queries)]
+        results: List[Optional[SearchResult]] = [None] * n
+        # Chunking keeps per-task IPC overhead low while still spreading
+        # the workload; each worker's bound cache warms on its own chunk.
+        chunksize = max(1, n // (workers * 4))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(payload,),
+        ) as pool:
+            for i, result in pool.map(_run_one, tasks, chunksize=chunksize):
+                results[i] = result
+        return [r for r in results if r is not None]

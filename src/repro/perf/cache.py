@@ -1,0 +1,177 @@
+"""Size-bounded LRU caches for entry-pair similarity bounds.
+
+The seed :class:`~repro.core.bounds.BoundComputer` memoized bounds in
+per-query unbounded dicts, so every query rebuilt the same tree-pair
+bounds from scratch and a long-lived searcher grew without limit.  This
+module provides
+
+* :class:`LRUCache` — a plain size-bounded mapping with hit/miss/eviction
+  counters; and
+* :class:`BoundCache` — the pair-bound cache a searcher (or batch engine)
+  owns and shares across queries.  Blended ``(MinST, MaxST)`` pair
+  bounds, textual interval bounds, and exact object-pair scores live in
+  separate LRUs because their hit profiles differ: the blended bounds
+  are the hottest (every kNN-bound tightening touches them), text bounds
+  back them up under eviction pressure, exact scores only recur when the
+  same object pair is re-verified.
+
+Only *tree-resident* pairs are shared (both refs >= 0); pairs involving
+a query entry (negative ref) stay in the bound computer's private
+per-query memo, because query refs collide across queries.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Optional
+
+from ..errors import ConfigError
+
+#: Default total pair-bound capacity shared across queries.  Sized so a
+#: mid-size workload's tree-pair working set (~100k pairs at |D|≈500)
+#: fits without eviction churn; memory is only committed as entries
+#: actually appear.
+DEFAULT_BOUND_CACHE_ENTRIES = 262144
+
+_MISSING = object()
+
+
+@dataclass
+class CacheStats:
+    """Counters of one cache: lifetime traffic plus current occupancy."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    entries: int = 0
+    capacity: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over total lookups (0.0 when never consulted)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dict of the counters, for experiment logging."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": self.entries,
+            "capacity": self.capacity,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class LRUCache:
+    """A size-bounded mapping evicting the least recently used entry."""
+
+    __slots__ = ("_data", "capacity", "hits", "misses", "evictions")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigError(f"LRUCache capacity must be >= 1, got {capacity}")
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key``; counts hit or miss.
+
+        Recency is only refreshed once the cache has filled up: while
+        there is free capacity, insertion order is as good an eviction
+        order as any and skipping ``move_to_end`` keeps the hot hit path
+        to a single dict probe.
+        """
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self.hits += 1
+        data = self._data
+        if len(data) >= self.capacity:
+            data.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or refresh ``key``, evicting the LRU entry when full."""
+        data = self._data
+        if key in data:
+            data[key] = value
+            data.move_to_end(key)
+            return
+        if len(data) >= self.capacity:
+            data.popitem(last=False)
+            self.evictions += 1
+        data[key] = value
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept — they are lifetime totals)."""
+        self._data.clear()
+
+    def stats(self) -> CacheStats:
+        """A snapshot of the counters and occupancy."""
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            entries=len(self._data),
+            capacity=self.capacity,
+        )
+
+
+class BoundCache:
+    """Shared pair-bound cache: blended, text-bound, and exact-score LRUs.
+
+    Own one of these per tree (searcher, batch engine, or service) and
+    pass it to every :class:`~repro.core.rstknn.RSTkNNSearcher` that
+    queries the tree; entry-pair bounds computed by one query are then
+    reused by every later query.  Invalidate with :meth:`clear` after
+    index updates (node ids may be reused by splits).
+    """
+
+    __slots__ = ("pairs", "text", "exact")
+
+    def __init__(self, capacity: int = DEFAULT_BOUND_CACHE_ENTRIES) -> None:
+        if capacity < 2:
+            raise ConfigError(f"BoundCache capacity must be >= 2, got {capacity}")
+        # The blended (MinST, MaxST) bounds take the lion's share: one
+        # hit there short-circuits the text *and* spatial recomputation.
+        pair_capacity = max(1, capacity // 2)
+        text_capacity = max(1, capacity // 4)
+        self.pairs = LRUCache(pair_capacity)
+        self.text = LRUCache(text_capacity)
+        self.exact = LRUCache(max(1, capacity - pair_capacity - text_capacity))
+
+    @property
+    def capacity(self) -> int:
+        """Total entry budget across the three LRUs."""
+        return self.pairs.capacity + self.text.capacity + self.exact.capacity
+
+    def clear(self) -> None:
+        """Drop all shared bounds (call after index updates)."""
+        self.pairs.clear()
+        self.text.clear()
+        self.exact.clear()
+
+    def stats(self) -> CacheStats:
+        """Combined counters over the three LRUs."""
+        return CacheStats(
+            hits=self.pairs.hits + self.text.hits + self.exact.hits,
+            misses=self.pairs.misses + self.text.misses + self.exact.misses,
+            evictions=self.pairs.evictions
+            + self.text.evictions
+            + self.exact.evictions,
+            entries=len(self.pairs) + len(self.text) + len(self.exact),
+            capacity=self.capacity,
+        )

@@ -59,12 +59,9 @@ class ExtendedJaccard(TextMeasure):
     name = "extended_jaccard"
 
     def similarity(self, a: SparseVector, b: SparseVector) -> float:
-        d = a.dot(b)
-        if d == 0.0:
-            return 0.0
-        denom = a.norm_squared + b.norm_squared - d
-        # denom >= d > 0 by Cauchy-Schwarz (|u|^2+|v|^2 >= 2<u,v> >= <u,v>+d).
-        return d / denom
+        # Fused kernel: dot, norms, and the disjoint fast path in one
+        # call (denom >= d > 0 by Cauchy-Schwarz when terms are shared).
+        return a.ext_jaccard(b)
 
     def min_similarity(self, a: IntervalVector, b: IntervalVector) -> float:
         # Every document pair has d >= d_min (both documents contain every

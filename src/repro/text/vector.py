@@ -1,8 +1,12 @@
 """Sparse weighted term vectors.
 
 A :class:`SparseVector` is an immutable mapping ``term_id -> weight > 0``
-stored as parallel sorted tuples, which makes dot products a linear merge
-and keeps hashing/equality cheap for tests.
+stored as parallel sorted tuples, which keeps hashing/equality cheap for
+tests.  The pairwise reductions (``dot``, ``sum_min``, ``sum_max``,
+``overlap_count``) delegate to :mod:`repro.perf.kernels` over a lazily
+built *frozen* form cached on the vector, so repeated similarity
+evaluations — the branch-and-bound hot path — avoid per-call Python
+merge loops.
 """
 
 from __future__ import annotations
@@ -11,6 +15,7 @@ import math
 from typing import Dict, Iterable, Iterator, Mapping, Tuple
 
 from ..errors import DatasetError
+from ..perf import kernels
 
 
 class SparseVector:
@@ -21,7 +26,7 @@ class SparseVector:
     relies on.
     """
 
-    __slots__ = ("_ids", "_weights", "_norm_sq")
+    __slots__ = ("_ids", "_weights", "_norm_sq", "_frozen")
 
     def __init__(self, weights: Mapping[int, float]) -> None:
         items = sorted(weights.items())
@@ -35,6 +40,7 @@ class SparseVector:
         self._ids: Tuple[int, ...] = tuple(tid for tid, _ in items)
         self._weights: Tuple[float, ...] = tuple(w for _, w in items)
         self._norm_sq: float = sum(w * w for w in self._weights)
+        self._frozen = None
 
     # ------------------------------------------------------------------
     # Basics
@@ -65,6 +71,26 @@ class SparseVector:
     def __repr__(self) -> str:
         inner = ", ".join(f"{t}:{w:.3g}" for t, w in self.items())
         return f"SparseVector({{{inner}}})"
+
+    def __getstate__(self) -> Tuple[Tuple[int, ...], Tuple[float, ...], float]:
+        # The frozen form is a per-process cache; rebuild after unpickling
+        # (it may hold numpy arrays, and the receiving process may run a
+        # different kernel backend).
+        return (self._ids, self._weights, self._norm_sq)
+
+    def __setstate__(
+        self, state: Tuple[Tuple[int, ...], Tuple[float, ...], float]
+    ) -> None:
+        self._ids, self._weights, self._norm_sq = state
+        self._frozen = None
+
+    def frozen(self):
+        """The active kernel backend's frozen form (built once, cached)."""
+        fz = self._frozen
+        if fz is None or fz.backend != kernels.backend_name():
+            fz = kernels.freeze(self._ids, self._weights, self._norm_sq)
+            self._frozen = fz
+        return fz
 
     def get(self, tid: int) -> float:
         """Weight of ``tid`` (0 when absent); binary search."""
@@ -107,86 +133,32 @@ class SparseVector:
         return math.sqrt(self._norm_sq)
 
     def dot(self, other: "SparseVector") -> float:
-        """Sparse dot product by sorted merge."""
-        a_ids, a_w = self._ids, self._weights
-        b_ids, b_w = other._ids, other._weights
-        i = j = 0
-        total = 0.0
-        na, nb = len(a_ids), len(b_ids)
-        while i < na and j < nb:
-            ai, bj = a_ids[i], b_ids[j]
-            if ai == bj:
-                total += a_w[i] * b_w[j]
-                i += 1
-                j += 1
-            elif ai < bj:
-                i += 1
-            else:
-                j += 1
-        return total
+        """Sparse dot product (kernel over frozen forms)."""
+        return self.frozen().dot(other.frozen())
+
+    def ext_jaccard(self, other: "SparseVector") -> float:
+        """Extended Jaccard ``<a,b> / (|a|² + |b|² − <a,b>)``, fused.
+
+        One kernel call instead of a dot product plus norm arithmetic —
+        the exact-score hot path of the paper's default measure.
+        """
+        return self.frozen().ext_jaccard(other.frozen())
 
     def sum_min(self, other: "SparseVector") -> float:
         """``Σ_t min(self[t], other[t])`` — only shared terms contribute."""
-        a_ids, a_w = self._ids, self._weights
-        b_ids, b_w = other._ids, other._weights
-        i = j = 0
-        total = 0.0
-        na, nb = len(a_ids), len(b_ids)
-        while i < na and j < nb:
-            ai, bj = a_ids[i], b_ids[j]
-            if ai == bj:
-                total += min(a_w[i], b_w[j])
-                i += 1
-                j += 1
-            elif ai < bj:
-                i += 1
-            else:
-                j += 1
-        return total
+        return self.frozen().sum_min(other.frozen())
 
     def sum_max(self, other: "SparseVector") -> float:
         """``Σ_t max(self[t], other[t])`` over the union of terms."""
-        a_ids, a_w = self._ids, self._weights
-        b_ids, b_w = other._ids, other._weights
-        i = j = 0
-        total = 0.0
-        na, nb = len(a_ids), len(b_ids)
-        while i < na and j < nb:
-            ai, bj = a_ids[i], b_ids[j]
-            if ai == bj:
-                total += max(a_w[i], b_w[j])
-                i += 1
-                j += 1
-            elif ai < bj:
-                total += a_w[i]
-                i += 1
-            else:
-                total += b_w[j]
-                j += 1
-        total += sum(a_w[i:])
-        total += sum(b_w[j:])
-        return total
+        return self.frozen().sum_max(other.frozen())
 
     def weight_sum(self) -> float:
-        """``Σ_t self[t]``."""
-        return sum(self._weights)
+        """``Σ_t self[t]`` (precomputed at freeze time)."""
+        return self.frozen().wsum
 
     def overlap_count(self, other: "SparseVector") -> int:
         """Number of shared terms."""
-        a_ids, b_ids = self._ids, other._ids
-        i = j = 0
-        count = 0
-        na, nb = len(a_ids), len(b_ids)
-        while i < na and j < nb:
-            if a_ids[i] == b_ids[j]:
-                count += 1
-                i += 1
-                j += 1
-            elif a_ids[i] < b_ids[j]:
-                i += 1
-            else:
-                j += 1
-        return count
+        return self.frozen().overlap_count(other.frozen())
 
     def normalized(self) -> "SparseVector":
         """Unit-length copy (clustering uses cosine geometry)."""

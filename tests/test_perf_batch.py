@@ -1,0 +1,109 @@
+"""Batch engine parity: identical results to per-query runs, any mode."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rstknn import RSTkNNSearcher
+from repro.errors import QueryError
+from repro.index.iurtree import IURTree
+from repro.perf import BatchSearcher
+from repro.workloads import gn_like, sample_queries
+
+_STATE = {}
+
+
+def _fixture():
+    """Dataset/tree/reference shared by the property tests (built once)."""
+    if not _STATE:
+        dataset = gn_like(n=120)
+        tree = IURTree.build(dataset)
+        queries = sample_queries(dataset, 5, seed=17)
+        _STATE.update(dataset=dataset, tree=tree, queries=queries)
+    return _STATE
+
+
+def _reference_ids(tree, queries, k):
+    return [RSTkNNSearcher(tree).search(q, k).ids for q in queries]
+
+
+@settings(max_examples=8, deadline=None)
+@given(k=st.integers(min_value=1, max_value=6), count=st.integers(1, 5))
+def test_sequential_batch_matches_per_query(k, count):
+    env = _fixture()
+    queries = env["queries"][:count]
+    engine = BatchSearcher(env["tree"], workers=1, cache_entries=4096)
+    batch = engine.run(queries, k)
+    assert batch.id_lists() == _reference_ids(env["tree"], queries, k)
+    assert len(batch) == count
+    assert batch.stats.workers == 1
+    assert batch.stats.queries == count
+
+
+def test_parallel_batch_matches_per_query():
+    env = _fixture()
+    queries = env["queries"]
+    engine = BatchSearcher(env["tree"], workers=2)
+    batch = engine.run(queries, 4)
+    assert batch.id_lists() == _reference_ids(env["tree"], queries, 4)
+    assert batch.stats.workers == 2
+    # Parallel runs keep no shared cache, so no cache stats are claimed.
+    assert batch.stats.cache == {}
+
+
+def test_sequential_cache_warms_across_runs():
+    env = _fixture()
+    engine = BatchSearcher(env["tree"], workers=1)
+    first = engine.run(env["queries"], 3)
+    again = engine.run(env["queries"], 3)
+    assert again.id_lists() == first.id_lists()
+    assert again.stats.cache["hits"] > first.stats.cache["hits"]
+    engine.invalidate()
+    assert engine.bound_cache.stats().entries == 0
+
+
+def test_batch_stats_as_dict_flattens_cache_counters():
+    env = _fixture()
+    engine = BatchSearcher(env["tree"], workers=1)
+    stats = engine.run(env["queries"][:2], 3).stats
+    flat = stats.as_dict()
+    assert flat["queries"] == 2
+    assert "cache_hits" in flat and "cache_hit_rate" in flat
+
+
+def test_rejects_nonpositive_workers():
+    env = _fixture()
+    with pytest.raises(QueryError):
+        BatchSearcher(env["tree"], workers=0)
+
+
+def test_unpicklable_tree_falls_back_to_sequential(monkeypatch):
+    env = _fixture()
+    engine = BatchSearcher(env["tree"], workers=4)
+    import repro.perf.batch as batch_mod
+
+    def explode(*_a, **_k):
+        raise batch_mod.pickle.PicklingError("nope")
+
+    monkeypatch.setattr(batch_mod.pickle, "dumps", explode)
+    batch = engine.run(env["queries"][:3], 3)
+    assert batch.stats.workers == 1  # degraded, not failed
+    assert batch.id_lists() == _reference_ids(env["tree"], env["queries"][:3], 3)
+
+
+def test_harness_run_batch_queries():
+    from repro.bench.harness import run_batch_queries
+
+    env = _fixture()
+    run = run_batch_queries(env["tree"], env["queries"][:3], 3)
+    assert run.method == "iur-batch"
+    assert run.queries == 3
+    assert run.extra["queries_per_second"] > 0
+
+
+def test_cli_batch_smoke(capsys):
+    from repro.cli import main
+
+    assert main(["batch", "--n", "100", "--queries", "2", "--k", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "throughput" in out and "cache hit rate" in out

@@ -1,0 +1,200 @@
+"""Shared pair-bound caching: LRU mechanics and searcher integration."""
+
+import pytest
+
+from repro.config import SimilarityConfig
+from repro.core.bounds import BoundComputer
+from repro.core.rstknn import RSTkNNSearcher
+from repro.errors import ConfigError
+from repro.index.iurtree import IURTree
+from repro.perf.cache import BoundCache, LRUCache
+from repro.text.similarity import make_measure
+from repro.workloads import gn_like, sample_queries
+
+
+# ----------------------------------------------------------------------
+# LRUCache
+# ----------------------------------------------------------------------
+
+def test_lru_basic_get_put_counters():
+    cache = LRUCache(4)
+    assert cache.get("a") is None
+    cache.put("a", 1)
+    assert cache.get("a") == 1
+    assert (cache.hits, cache.misses, cache.evictions) == (1, 1, 0)
+    assert len(cache) == 1
+    assert "a" in cache
+
+
+def test_lru_evicts_least_recently_used():
+    cache = LRUCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # refresh "a" (cache is full)
+    cache.put("c", 3)  # evicts "b"
+    assert cache.get("b") is None
+    assert cache.get("a") == 1
+    assert cache.get("c") == 3
+    assert cache.evictions == 1
+
+
+def test_lru_put_refreshes_existing_key():
+    cache = LRUCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("a", 10)  # refresh, not insert
+    cache.put("c", 3)  # evicts "b"
+    assert cache.get("a") == 10
+    assert cache.get("b") is None
+
+
+def test_lru_clear_keeps_lifetime_counters():
+    cache = LRUCache(2)
+    cache.put("a", 1)
+    cache.get("a")
+    cache.get("zzz")
+    cache.clear()
+    assert len(cache) == 0
+    stats = cache.stats()
+    assert stats.hits == 1 and stats.misses == 1 and stats.entries == 0
+    assert 0.0 < stats.hit_rate < 1.0
+
+
+def test_lru_rejects_nonpositive_capacity():
+    with pytest.raises(ConfigError):
+        LRUCache(0)
+
+
+def test_cache_stats_as_dict_keys():
+    stats = LRUCache(8).stats()
+    assert set(stats.as_dict()) == {
+        "hits", "misses", "evictions", "entries", "capacity", "hit_rate",
+    }
+    assert stats.hit_rate == 0.0  # never consulted
+
+
+# ----------------------------------------------------------------------
+# BoundCache
+# ----------------------------------------------------------------------
+
+def test_bound_cache_splits_capacity_and_merges_stats():
+    cache = BoundCache(1024)
+    assert cache.capacity == (
+        cache.pairs.capacity + cache.text.capacity + cache.exact.capacity
+    )
+    cache.pairs.put(("p",), (0.0, 1.0))
+    cache.text.put(("t",), (0.25, 0.75))
+    cache.exact.put(("e",), 0.5)
+    assert cache.stats().entries == 3
+    cache.clear()
+    assert cache.stats().entries == 0
+
+
+def test_bound_cache_rejects_tiny_capacity():
+    with pytest.raises(ConfigError):
+        BoundCache(1)
+
+
+# ----------------------------------------------------------------------
+# BoundComputer accessors
+# ----------------------------------------------------------------------
+
+def _computer(dataset, shared=None, enable=True):
+    return BoundComputer(
+        dataset.proximity,
+        make_measure(SimilarityConfig().text_measure),
+        alpha=0.5,
+        enable_cache=enable,
+        shared_cache=shared,
+    )
+
+
+def test_bound_computer_cache_stats_and_clear(tiny_dataset):
+    tree = IURTree.build(tiny_dataset)
+    entries = tree.rtree.nodes[tree.rtree.root_id].entries
+    comp = _computer(tiny_dataset)
+    comp.text_bounds(entries[0], entries[0])
+    comp.text_bounds(entries[0], entries[0])
+    stats = comp.cache_stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+    assert stats["text_entries"] == 1
+    comp.clear()
+    assert comp.cache_stats()["text_entries"] == 0
+    # Lifetime counters survive the clear.
+    assert comp.cache_stats()["hits"] == 1
+    comp.clear_cache()  # the seed API alias still works
+
+
+def test_bound_computer_shared_cache_reports_shared_keys(tiny_dataset):
+    tree = IURTree.build(tiny_dataset)
+    entries = tree.rtree.nodes[tree.rtree.root_id].entries
+    shared = BoundCache(64)
+    comp = _computer(tiny_dataset, shared=shared)
+    comp.st_bounds(entries[0], entries[0])
+    stats = comp.cache_stats()
+    assert "shared_hits" in stats and "shared_entries" in stats
+    assert stats["shared_entries"] >= 1
+
+    # A second computer on the same shared cache hits immediately.
+    other = _computer(tiny_dataset, shared=shared)
+    before = shared.stats().hits
+    other.st_bounds(entries[0], entries[0])
+    assert shared.stats().hits == before + 1
+    assert other.hits == 1
+
+
+def test_symmetric_pair_key_canonical(tiny_dataset):
+    tree = IURTree.build(tiny_dataset)
+    entries = tree.rtree.nodes[tree.rtree.root_id].entries
+    if len(entries) < 2:
+        pytest.skip("need two sibling entries")
+    a, b = entries[0], entries[1]
+    assert BoundComputer._pair_key(a, b) == BoundComputer._pair_key(b, a)
+
+
+# ----------------------------------------------------------------------
+# Searcher integration
+# ----------------------------------------------------------------------
+
+def test_shared_cache_preserves_results_and_counts_hits(small_dataset):
+    tree = IURTree.build(small_dataset)
+    queries = sample_queries(small_dataset, 3, seed=5)
+
+    plain = RSTkNNSearcher(tree)
+    expected = [plain.search(q, 3).ids for q in queries]
+
+    cache = BoundCache(65536)
+    shared = RSTkNNSearcher(tree, bound_cache=cache)
+    results = [shared.search(q, 3) for q in queries]
+    assert [r.ids for r in results] == expected
+
+    # The first query seeds the cache; later ones must hit it.
+    assert results[0].stats.cache_misses > 0
+    assert results[-1].stats.cache_hits > 0
+    assert cache.stats().hits > 0
+
+    as_dict = results[-1].stats.as_dict()
+    for key in ("cache_hits", "cache_misses", "cache_evictions"):
+        assert key in as_dict
+
+
+def test_search_result_contains_uses_lazy_set(small_dataset):
+    tree = IURTree.build(small_dataset)
+    query = sample_queries(small_dataset, 1, seed=5)[0]
+    result = RSTkNNSearcher(tree).search(query, 3)
+    for oid in result.ids:
+        assert oid in result
+    assert -12345 not in result
+    # The memoized set is built once and reused.
+    assert result._id_set == set(result.ids)
+
+
+def test_eviction_counter_reaches_search_stats(small_dataset):
+    tree = IURTree.build(small_dataset)
+    queries = sample_queries(small_dataset, 2, seed=5)
+    cache = BoundCache(8)  # absurdly small: every query thrashes it
+    searcher = RSTkNNSearcher(tree, bound_cache=cache)
+    searcher.search(queries[0], 3)
+    stats = searcher.search(queries[1], 3).stats
+    assert stats.cache_evictions > 0
+    assert cache.stats().evictions >= stats.cache_evictions

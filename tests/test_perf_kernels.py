@@ -1,0 +1,185 @@
+"""Kernel-equivalence properties: frozen backends match the merge-join.
+
+The frozen kernels (python dict/frozenset form, numpy array form) must
+agree with the seed's sorted-tuple merge-join reference to within 1e-12
+on every reduction — they replaced it on the hot path, so any drift is a
+correctness bug, not a tolerance question.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.perf import kernels
+from repro.text.vector import SparseVector
+
+doc = st.dictionaries(
+    st.integers(min_value=0, max_value=200),
+    st.floats(min_value=1e-3, max_value=10, allow_nan=False),
+    max_size=12,
+)
+
+
+# ----------------------------------------------------------------------
+# Reference: the seed's sorted-merge reductions over parallel tuples.
+# ----------------------------------------------------------------------
+
+def _merge_reference(a: SparseVector, b: SparseVector):
+    a_items = list(a.items())
+    b_items = list(b.items())
+    i = j = 0
+    dot = s_min = s_max = 0.0
+    overlap = 0
+    while i < len(a_items) and j < len(b_items):
+        (ai, aw), (bj, bw) = a_items[i], b_items[j]
+        if ai == bj:
+            dot += aw * bw
+            s_min += min(aw, bw)
+            s_max += max(aw, bw)
+            overlap += 1
+            i += 1
+            j += 1
+        elif ai < bj:
+            s_max += aw
+            i += 1
+        else:
+            s_max += bw
+            j += 1
+    s_max += sum(w for _, w in a_items[i:])
+    s_max += sum(w for _, w in b_items[j:])
+    return dot, s_min, s_max, overlap
+
+
+def _assert_matches_reference(a: SparseVector, b: SparseVector):
+    ref_dot, ref_min, ref_max, ref_overlap = _merge_reference(a, b)
+    ref_ej = (
+        ref_dot / (a.norm_squared + b.norm_squared - ref_dot)
+        if ref_dot > 0.0
+        else 0.0
+    )
+    assert math.isclose(a.ext_jaccard(b), ref_ej, rel_tol=0, abs_tol=1e-12)
+    assert math.isclose(a.dot(b), ref_dot, rel_tol=0, abs_tol=1e-12)
+    assert math.isclose(a.sum_min(b), ref_min, rel_tol=0, abs_tol=1e-12)
+    assert math.isclose(a.sum_max(b), ref_max, rel_tol=0, abs_tol=1e-12)
+    assert a.overlap_count(b) == ref_overlap
+    # Symmetry is part of the contract (canonical cache keys rely on it).
+    assert math.isclose(a.dot(b), b.dot(a), rel_tol=0, abs_tol=1e-12)
+    assert math.isclose(a.sum_min(b), b.sum_min(a), rel_tol=0, abs_tol=1e-12)
+
+
+@settings(max_examples=150, deadline=None)
+@given(doc, doc)
+def test_python_kernel_matches_merge_reference(wa, wb):
+    with kernels.use_backend("python"):
+        _assert_matches_reference(SparseVector(wa), SparseVector(wb))
+
+
+@pytest.mark.skipif(
+    not kernels.numpy_available(), reason="numpy backend unavailable"
+)
+@settings(max_examples=150, deadline=None)
+@given(doc, doc)
+def test_numpy_kernel_matches_merge_reference(wa, wb):
+    with kernels.use_backend("numpy"):
+        _assert_matches_reference(SparseVector(wa), SparseVector(wb))
+
+
+@settings(max_examples=60, deadline=None)
+@given(doc, doc)
+def test_backends_agree_with_each_other(wa, wb):
+    if not kernels.numpy_available():
+        pytest.skip("numpy backend unavailable")
+    a, b = SparseVector(wa), SparseVector(wb)
+    with kernels.use_backend("python"):
+        py = (a.dot(b), a.sum_min(b), a.sum_max(b), a.overlap_count(b))
+    with kernels.use_backend("numpy"):
+        np_ = (a.dot(b), a.sum_min(b), a.sum_max(b), a.overlap_count(b))
+    for x, y in zip(py, np_):
+        assert math.isclose(x, y, rel_tol=0, abs_tol=1e-12)
+
+
+def test_frozen_form_precomputes_norm_and_weight_sum():
+    v = SparseVector({1: 0.5, 9: 2.0, 70: 1.5})
+    with kernels.use_backend("python"):
+        fz = v.frozen()
+        assert fz.backend == "python"
+        assert math.isclose(fz.norm_sq, v.norm_squared)
+        assert math.isclose(fz.wsum, 0.5 + 2.0 + 1.5)
+        # Signature covers every term's bit.
+        for tid in (1, 9, 70):
+            assert fz.mask & (1 << (tid & 63))
+
+
+def test_disjoint_pairs_short_circuit():
+    a = SparseVector({0: 1.0, 1: 2.0})
+    b = SparseVector({64: 3.0})  # collides with bit 0 in the 64-bit mask
+    c = SparseVector({5: 1.0})
+    with kernels.use_backend("python"):
+        # Mask collision (0 vs 64) must still give the right answer.
+        assert a.dot(b) == 0.0
+        assert a.sum_min(b) == 0.0
+        assert a.overlap_count(b) == 0
+        assert math.isclose(a.sum_max(b), 6.0)
+        assert a.dot(c) == 0.0
+
+
+def test_backend_switch_refreezes_lazily():
+    if not kernels.numpy_available():
+        pytest.skip("numpy backend unavailable")
+    v = SparseVector({1: 1.0, 2: 2.0})
+    with kernels.use_backend("python"):
+        assert v.frozen().backend == "python"
+    with kernels.use_backend("numpy"):
+        assert v.frozen().backend == "numpy"
+    # Restored backend re-freezes back on next use.
+    assert v.frozen().backend == kernels.backend_name()
+
+
+def test_set_backend_returns_previous_and_validates():
+    previous = kernels.set_backend("python")
+    try:
+        assert kernels.backend_name() == "python"
+        with pytest.raises(ConfigError):
+            kernels.set_backend("cython")
+        # A failed switch must not clobber the active backend.
+        assert kernels.backend_name() == "python"
+    finally:
+        kernels.set_backend(previous)
+
+
+def test_env_var_selects_backend(monkeypatch):
+    monkeypatch.setenv(kernels.KERNEL_ENV_VAR, "python")
+    monkeypatch.setattr(kernels, "_backend", None)
+    assert kernels.backend_name() == "python"
+
+
+def test_env_var_typo_warns_and_falls_back(monkeypatch):
+    monkeypatch.setenv(kernels.KERNEL_ENV_VAR, "cython")
+    monkeypatch.setattr(kernels, "_backend", None)
+    with pytest.warns(RuntimeWarning, match="not one of"):
+        assert kernels.backend_name() == "python"
+    # Resolution is cached; no second warning on the next call.
+    assert kernels.backend_name() == "python"
+
+
+def test_numpy_request_degrades_to_python_when_unavailable(monkeypatch):
+    # Simulate an environment without numpy regardless of this one.
+    monkeypatch.setattr(kernels, "_np", None)
+    monkeypatch.setattr(kernels, "_np_checked", True)
+    with pytest.warns(RuntimeWarning, match="falling back"):
+        assert kernels._resolve("numpy") == "python"
+    assert kernels._resolve("auto") == "python"
+
+
+def test_sparse_vector_pickles_without_frozen_form():
+    import pickle
+
+    v = SparseVector({3: 1.5, 8: 0.25})
+    v.frozen()  # populate the cached form
+    clone = pickle.loads(pickle.dumps(v))
+    assert clone == v
+    assert clone._frozen is None  # rebuilt lazily under the local backend
+    assert math.isclose(clone.dot(v), v.dot(v))
