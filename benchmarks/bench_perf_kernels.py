@@ -123,6 +123,35 @@ def bench_exact_similarity(
         )
     else:
         out["frozen_numpy_ops_per_sec"] = None
+
+    # ``auto`` picks a concrete form per vector length (python below the
+    # measured crossover) — this row is what production sees by default.
+    # Freeze directly: under ``auto`` the vectors' cached forms from the
+    # sections above are still "current", so ``.frozen()`` would measure
+    # whichever backend ran last instead of auto's own choice.
+    with kernels.use_backend("auto"):
+        frozen_auto = [
+            (
+                kernels.freeze(
+                    a.term_ids(),
+                    tuple(w for _, w in a.items()),
+                    a.norm_squared,
+                ),
+                kernels.freeze(
+                    b.term_ids(),
+                    tuple(w for _, w in b.items()),
+                    b.norm_squared,
+                ),
+            )
+            for a, b in pairs_v
+        ]
+        out["frozen_auto_ops_per_sec"] = _time_ops(
+            _frozen_exact_jaccard, frozen_auto, min_seconds
+        )
+    out["speedup_frozen_auto_vs_seed"] = (
+        out["frozen_auto_ops_per_sec"] / out["seed_ops_per_sec"]
+    )
+    out["auto_crossover_terms"] = kernels.auto_crossover()
     # Leave the vectors frozen under the default backend again.
     for a, b in pairs_v:
         a.frozen(), b.frozen()
@@ -164,10 +193,13 @@ def bench_batch(tree, queries, k: int, repeats: int) -> Dict[str, float]:
     n = len(queries)
 
     def per_query_round() -> float:
-        # Seed pattern: a fresh searcher per query, nothing shared.
+        # Seed pattern: a fresh seed-walk searcher per query, nothing
+        # shared (pinned explicitly — under ``auto`` a fresh searcher
+        # would silently pick the snapshot engine and stop being the
+        # baseline this row claims to be).
         started = time.perf_counter()
         for q in queries:
-            RSTkNNSearcher(tree).search(q, k)
+            RSTkNNSearcher(tree, engine="seed").search(q, k)
         return n / (time.perf_counter() - started)
 
     engine = BatchSearcher(tree, workers=1)
@@ -178,19 +210,31 @@ def bench_batch(tree, queries, k: int, repeats: int) -> Dict[str, float]:
         engine.run(queries, k)
         return n / (time.perf_counter() - started)
 
+    snap_engine = BatchSearcher(tree, workers=1, engine="snapshot")
+    snap_engine.run(queries, k)  # freeze the snapshot once, untimed
+
+    def batch_snapshot_round() -> float:
+        started = time.perf_counter()
+        snap_engine.run(queries, k)
+        return n / (time.perf_counter() - started)
+
     # Median of several interleaved rounds — queries are milliseconds
     # each, so single rounds are noisy.
     rounds = max(3, repeats)
     seed_rates = sorted(per_query_round() for _ in range(rounds))
     batch_rates = sorted(batch_round() for _ in range(rounds))
+    snap_rates = sorted(batch_snapshot_round() for _ in range(rounds))
     seed_qps = seed_rates[rounds // 2]
     batch_qps = batch_rates[rounds // 2]
+    snap_qps = snap_rates[rounds // 2]
     return {
         "queries": n,
         "k": k,
         "per_query_qps": seed_qps,
         "batch_shared_cache_qps": batch_qps,
+        "batch_snapshot_engine_qps": snap_qps,
         "speedup_batch_vs_per_query": batch_qps / seed_qps,
+        "speedup_batch_snapshot_vs_per_query": snap_qps / seed_qps,
         "cache": engine.bound_cache.stats().as_dict(),
     }
 

@@ -117,10 +117,12 @@ def build_tree(
 
 
 def make_searcher(
-    tree: IURTree, bound_cache: Optional[BoundCache] = None
+    tree: IURTree,
+    bound_cache: Optional[BoundCache] = None,
+    engine: Optional[str] = None,
 ) -> RSTkNNSearcher:
     """Searcher wired to the tree's own configuration."""
-    return RSTkNNSearcher(tree, bound_cache=bound_cache)
+    return RSTkNNSearcher(tree, bound_cache=bound_cache, engine=engine)
 
 
 def run_queries(
@@ -130,14 +132,17 @@ def run_queries(
     method: str = "iur",
     cold: bool = True,
     bound_cache: Optional[BoundCache] = None,
+    engine: Optional[str] = None,
 ) -> QueryRun:
     """Run the branch-and-bound searcher over a workload and aggregate.
 
     Passing a ``bound_cache`` shares tree-pair bounds across the whole
     workload (and across calls, if the same cache is reused); the run's
-    cache counters land in :attr:`QueryRun.extra`.
+    cache counters land in :attr:`QueryRun.extra`.  ``engine`` selects
+    the traversal implementation (see
+    :data:`repro.core.rstknn.ENGINE_CHOICES`).
     """
-    searcher = make_searcher(tree, bound_cache=bound_cache)
+    searcher = make_searcher(tree, bound_cache=bound_cache, engine=engine)
     total_ms = 0.0
     total_reads = 0
     total_results = 0
@@ -187,6 +192,7 @@ def run_batch_queries(
     method: str = "iur",
     workers: int = 1,
     cache_entries: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> QueryRun:
     """Run a workload through :class:`repro.perf.BatchSearcher`.
 
@@ -197,7 +203,7 @@ def run_batch_queries(
     from ..perf import BatchSearcher
     from ..perf.cache import DEFAULT_BOUND_CACHE_ENTRIES
 
-    engine = BatchSearcher(
+    searcher = BatchSearcher(
         tree,
         workers=workers,
         cache_entries=(
@@ -205,8 +211,9 @@ def run_batch_queries(
             if cache_entries is not None
             else DEFAULT_BOUND_CACHE_ENTRIES
         ),
+        engine=engine,
     )
-    batch = engine.run(queries, k)
+    batch = searcher.run(queries, k)
     stats = batch.stats
     n = max(stats.queries, 1)
     return QueryRun(

@@ -98,7 +98,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     tree = build_tree(dataset, args.method)
     queries = sample_queries(dataset, args.queries)
     engine = BatchSearcher(
-        tree, workers=args.workers, cache_entries=args.cache
+        tree,
+        workers=args.workers,
+        cache_entries=args.cache,
+        engine=args.engine,
     )
     batch = engine.run(queries, args.k)
     stats = batch.stats
@@ -131,7 +134,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 def _cmd_demo(args: argparse.Namespace) -> int:
     dataset = gn_like(n=args.n)
     tree = IURTree.build(dataset)
-    searcher = RSTkNNSearcher(tree)
+    searcher = RSTkNNSearcher(tree, engine=args.engine)
     queries = sample_queries(dataset, args.queries)
     print(f"dataset: {dataset.stats()}")
     print(f"index:   {tree.stats().as_dict()}")
@@ -202,12 +205,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument(
         "--method", choices=("iur", "ciur"), default="iur", help="index variant"
     )
+    p_batch.add_argument(
+        "--engine",
+        choices=("seed", "snapshot", "auto"),
+        default=None,
+        help="traversal engine (default: REPRO_ENGINE, then auto)",
+    )
     p_batch.set_defaults(fn=_cmd_batch)
 
     p_demo = sub.add_parser("demo", help="build an index and run a few queries")
     p_demo.add_argument("--n", type=int, default=800)
     p_demo.add_argument("--k", type=int, default=5)
     p_demo.add_argument("--queries", type=int, default=3)
+    p_demo.add_argument(
+        "--engine",
+        choices=("seed", "snapshot", "auto"),
+        default=None,
+        help="traversal engine (default: REPRO_ENGINE, then auto)",
+    )
     p_demo.set_defaults(fn=_cmd_demo)
 
     return parser

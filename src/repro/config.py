@@ -30,6 +30,11 @@ WEIGHTINGS = ("tf", "tfidf", "lm", "bm25")
 #: resolves to ``numpy`` when importable, else ``python``).
 KERNEL_BACKENDS = ("python", "numpy", "auto")
 
+#: Traversal engines supported by :class:`repro.core.rstknn.RSTkNNSearcher`
+#: (``auto`` runs the columnar snapshot engine whenever the request does
+#: not need the seed object-graph walk).
+ENGINES = ("seed", "snapshot", "auto")
+
 
 @dataclass(frozen=True)
 class SimilarityConfig:
@@ -139,17 +144,28 @@ class PerfConfig:
             constructed with a :class:`repro.perf.BoundCache`.
         batch_workers: Default process fan-out of the batch engine
             (``1`` = sequential with the shared cache).
+        engine: One of :data:`ENGINES`; which searcher traversal
+            implementation to run.  The ``REPRO_ENGINE`` environment
+            variable overrides the library default at process level;
+            this knob records an explicit choice for a run (pass it to
+            :class:`repro.core.rstknn.RSTkNNSearcher` or
+            :class:`repro.perf.BatchSearcher`).
     """
 
     kernel_backend: str = "python"
     bound_cache_entries: int = 262144
     batch_workers: int = 1
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         if self.kernel_backend not in KERNEL_BACKENDS:
             raise ConfigError(
                 f"unknown kernel backend {self.kernel_backend!r}; "
                 f"expected one of {KERNEL_BACKENDS}"
+            )
+        if self.engine not in ENGINES:
+            raise ConfigError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
             )
         if self.bound_cache_entries < 2:
             raise ConfigError(

@@ -2,7 +2,14 @@
 
 from .bounds import BoundComputer
 from .contributions import Contribution, ContributionList
-from .rstknn import RSTkNNSearcher, SearchResult, SearchStats
+from .rstknn import (
+    ENGINE_CHOICES,
+    ENGINE_ENV_VAR,
+    RSTkNNSearcher,
+    SearchResult,
+    SearchStats,
+)
+from .traversal import SnapshotEngine
 from .topk import TopKSearcher
 from .baseline import BruteForceRSTkNN, ThresholdBaseline
 from .bichromatic import BichromaticRSTkNN
@@ -14,9 +21,12 @@ __all__ = [
     "BoundComputer",
     "Contribution",
     "ContributionList",
+    "ENGINE_CHOICES",
+    "ENGINE_ENV_VAR",
     "RSTkNNSearcher",
     "SearchResult",
     "SearchStats",
+    "SnapshotEngine",
     "TopKSearcher",
     "BruteForceRSTkNN",
     "ThresholdBaseline",

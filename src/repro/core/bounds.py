@@ -48,6 +48,13 @@ PairKey = int
 #: ids stay far below 2**40 for any dataset this library can hold.
 _KEY_RADIX = 1 << 40
 
+#: Radix separating the tree-generation salt from the packed pair codes
+#: (a full pair key stays below 2**82).  Shared-cache keys carry the
+#: salt so entries cached against an older tree generation can never be
+#: returned after an insert/delete mutated the node summaries — stale
+#: keys simply stop being probed and age out of the LRU.
+_GEN_RADIX = 1 << 82
+
 
 class BoundComputer:
     """Computes and memoizes entry-pair SimST bounds."""
@@ -59,6 +66,7 @@ class BoundComputer:
         alpha: float,
         enable_cache: bool = True,
         shared_cache: Optional[BoundCache] = None,
+        generation: int = 0,
     ) -> None:
         """``enable_cache=False`` disables memoization entirely.
 
@@ -70,12 +78,16 @@ class BoundComputer:
         ``shared_cache`` is an optional cross-query
         :class:`~repro.perf.cache.BoundCache`: tree-pair bounds computed
         by this query become hits for every later query on the same tree.
+        ``generation`` (the tree's mutation counter) salts every shared
+        key, so bounds cached before a structural update cannot leak into
+        queries running after it.
         """
         self.proximity = proximity
         self.measure = measure
         self.alpha = alpha
         self.enable_cache = enable_cache
         self.shared_cache = shared_cache if enable_cache else None
+        self._salt = generation * _GEN_RADIX
         # Hot-path aliases: st_bounds probes the shared pairs LRU's dict
         # directly (one C-level get per hit) and only falls into the
         # LRUCache methods on insert.
@@ -112,6 +124,7 @@ class BoundComputer:
             key = self._pair_key(a, b)
             if self.shared_cache is not None and a.ref >= 0 and b.ref >= 0:
                 shared = self.shared_cache.text
+                key += self._salt
                 cached = shared.get(key)
             else:
                 cached = self._text_cache.get(key)
@@ -147,6 +160,7 @@ class BoundComputer:
             key = self._pair_key(a, b)
             if self.shared_cache is not None and a.ref >= 0 and b.ref >= 0:
                 shared = self.shared_cache.exact
+                key += self._salt
                 cached = shared.get(key)
             else:
                 cached = self._exact_cache.get(key)
@@ -189,7 +203,7 @@ class BoundComputer:
                 kb = (br << 1) | b.is_object
                 if kb < ka:
                     ka, kb = kb, ka
-                key = ka * _KEY_RADIX + kb
+                key = ka * _KEY_RADIX + kb + self._salt
                 cached = self._pairs_data.get(key)
                 if cached is not None:
                     pairs.hits += 1

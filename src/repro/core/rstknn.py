@@ -32,7 +32,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import os
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
@@ -40,7 +42,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from .explain import SearchTrace
 
 from ..config import SimilarityConfig
-from ..errors import QueryError
+from ..errors import ConfigError, QueryError
 from ..index.entry import Entry
 from ..index.iurtree import IURTree
 from ..model.objects import STObject
@@ -56,6 +58,34 @@ _ACCEPTED = "accepted"
 _EXPANDED = "expanded"
 _RESULT = "result"
 _NONRESULT = "nonresult"
+
+#: Traversal engine knob values: ``seed`` is the reference object-graph
+#: walk below; ``snapshot`` runs the columnar SnapshotEngine
+#: (:mod:`repro.core.traversal`); ``auto`` picks snapshot whenever the
+#: request has no feature that requires the seed walk (a trace, or an
+#: attached cross-query BoundCache, whose cache-stat contract the
+#: snapshot engine does not replicate).
+ENGINE_CHOICES = ("seed", "snapshot", "auto")
+
+#: Environment override for the default engine.
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+
+
+def _default_engine() -> str:
+    """Engine named by ``REPRO_ENGINE``, else ``auto`` (warn on typos)."""
+    name = os.environ.get(ENGINE_ENV_VAR)
+    if name is None:
+        return "auto"
+    name = name.strip().lower()
+    if name not in ENGINE_CHOICES:
+        warnings.warn(
+            f"{ENGINE_ENV_VAR}={name!r} is not one of {ENGINE_CHOICES}; "
+            "using 'auto'",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return "auto"
+    return name
 
 
 @dataclass
@@ -131,10 +161,13 @@ class RSTkNNSearcher:
         config: Optional[SimilarityConfig] = None,
         te_weight: float = 0.05,
         bound_cache: Optional[BoundCache] = None,
+        engine: Optional[str] = None,
     ) -> None:
         """``bound_cache`` shares tree-pair bounds across this searcher's
         queries (see :class:`repro.perf.cache.BoundCache`); ``None`` keeps
-        the seed behaviour of per-query memoization only."""
+        the seed behaviour of per-query memoization only.  ``engine``
+        picks the traversal implementation (:data:`ENGINE_CHOICES`);
+        ``None`` defers to ``REPRO_ENGINE`` and then ``auto``."""
         self.tree = tree
         cfg = config if config is not None else tree.dataset.config
         self.config = cfg
@@ -142,6 +175,13 @@ class RSTkNNSearcher:
         self.alpha = cfg.alpha
         self.te_weight = te_weight if tree.config.use_entropy_priority else 0.0
         self.bound_cache = bound_cache
+        if engine is None:
+            engine = _default_engine()
+        elif engine not in ENGINE_CHOICES:
+            raise ConfigError(
+                f"engine must be one of {ENGINE_CHOICES}, got {engine!r}"
+            )
+        self.engine = engine
 
     def _bound_computer(self) -> BoundComputer:
         """A per-query computer attached to the shared cache, if any."""
@@ -150,7 +190,27 @@ class RSTkNNSearcher:
             self.measure,
             self.alpha,
             shared_cache=self.bound_cache,
+            generation=getattr(self.tree, "generation", 0),
         )
+
+    def _resolve_engine(self, trace: Optional["SearchTrace"]) -> str:
+        """The engine one search call will actually run.
+
+        Traces exist only in the seed walk (they record its object-graph
+        decisions), so any traced request runs ``seed``.  Under ``auto``,
+        an attached BoundCache also selects ``seed`` — its cache-stat
+        contract belongs to the seed's BoundComputer — as does a tree
+        that cannot produce snapshots.
+        """
+        engine = self.engine
+        can_snapshot = getattr(self.tree, "snapshot", None) is not None
+        if engine == "auto":
+            if trace is not None or self.bound_cache is not None or not can_snapshot:
+                return "seed"
+            return "snapshot"
+        if engine == "snapshot" and (trace is not None or not can_snapshot):
+            return "seed"
+        return engine
 
     # ------------------------------------------------------------------
     # Public API
@@ -166,6 +226,12 @@ class RSTkNNSearcher:
         """
         if k < 1:
             raise QueryError(f"k must be >= 1, got {k}")
+        if self._resolve_engine(trace) == "snapshot":
+            snap = self.tree.snapshot()
+            runner = snap.engine_for(
+                self.tree, self.measure, self.alpha, self.te_weight
+            )
+            return runner.search(query, k)
         started = time.perf_counter()
         stats = SearchStats()
         bounds = self._bound_computer()

@@ -1,0 +1,632 @@
+"""Snapshot-based RSTkNN traversal: the ``engine="snapshot"`` hot path.
+
+A :class:`SnapshotEngine` runs the exact branch-and-bound algorithm of
+:class:`~repro.core.rstknn.RSTkNNSearcher` over an
+:class:`~repro.perf.snapshot.IndexSnapshot` instead of the live tree
+objects.  The algorithm is a line-faithful port — same decision rules,
+same lazy effect-list tightening, same heap discipline (stale entries
+are skipped by a status check, never re-keyed), same verification probe,
+and the same buffer-pool charges in the same order — so its result sets
+and decision counters are identical to the seed engine *by
+construction*, not by tolerance.  What changes is the representation:
+
+* entries are integer *slots* into flat coordinate arrays, so the
+  similarity bounds read four floats instead of chasing
+  ``Entry -> Rect`` attribute pairs;
+* when a node is expanded, the spatial parts of the query bounds for
+  all of its children come from one vectorized array pass (numpy when
+  available) over the snapshot's coordinate columns, finished with
+  scalar ``math.hypot`` so every value is bit-identical to the seed's;
+* textual bounds are evaluated from the snapshot's pre-frozen kernel
+  forms, with the Extended Jaccard formulas inlined over precomputed
+  squared norms (the production default measure);
+* the verification probe orders its work so text bounds are evaluated
+  lazily: children whose purely spatial optimistic bounds already
+  decide them (group-pruned or group-counted) never pay for a text
+  bound at all — provably the same decision the full bound reaches;
+* pair bounds are memoized in a snapshot-resident symmetric table, so
+  later queries reuse earlier queries' work (the cross-query analogue
+  of PR 1's shared :class:`~repro.perf.cache.BoundCache`, with the same
+  staleness story: snapshots are generation-tagged and rebuilt on
+  index mutation).
+
+Floating-point parity notes: every arithmetic expression (clamps,
+blends, hypot finishes, kernel reductions) is copied from the seed call
+sites with the same operand order, so values match bit-for-bit within a
+query.  Like the PR 1 shared bound cache, the persistent pair memo may
+serve a value first computed by an *earlier* query; all bound kernels
+are symmetric to the last ulp except frozen-set intersection iteration
+ties, which the parity tests cover.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import time
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..model.objects import STObject
+from ..perf import kernels
+from ..text.interval import IntervalVector
+from ..text.similarity import ExtendedJaccard
+from .contributions import _kth_largest
+from .rstknn import SearchResult, SearchStats
+
+_UNDECIDED = "undecided"
+_PRUNED = "pruned"
+_ACCEPTED = "accepted"
+_EXPANDED = "expanded"
+_RESULT = "result"
+_NONRESULT = "nonresult"
+
+#: Contributions are ``slot -> (min_st, max_st, count)`` tuples; the
+#: per-entry list is a plain dict (insertion-ordered like the seed's
+#: ContributionList) plus the set of directly-computed sources.
+_Contrib = Tuple[float, float, int]
+
+#: Snapshot-resident pair-memo size cap; beyond it new pairs are simply
+#: recomputed (the memo never evicts, so no churn).
+_PAIR_MEMO_CAP = 1 << 21
+
+#: Vectorize the query-vs-children spatial pass only above this fanout;
+#: tiny nodes are faster scalar.
+_VECTOR_MIN_CHILDREN = 4
+
+
+class _CList:
+    """Slot-keyed contribution list (dict + tight set), seed-ordered."""
+
+    __slots__ = ("d", "tight")
+
+    def __init__(self, d: Dict[int, _Contrib], tight: Set[int]) -> None:
+        self.d = d
+        self.tight = tight
+
+
+class SnapshotEngine:
+    """Branch-and-bound RSTkNN search over one :class:`IndexSnapshot`.
+
+    One engine exists per ``(measure, alpha, te_weight)`` setting of a
+    snapshot (see :meth:`IndexSnapshot.engine_for`); it owns the
+    persistent pair-bound memo for that setting.
+    """
+
+    def __init__(self, tree, snap, measure, alpha: float, te_weight: float) -> None:
+        self.tree = tree
+        self.snap = snap
+        self.measure = measure
+        self.alpha = alpha
+        self.te_weight = te_weight
+        self._ej = isinstance(measure, ExtendedJaccard)
+        #: Symmetric tree-pair memo: canonical key ``min*n + max`` over
+        #: slots -> blended ``(MinST, MaxST)`` (exact pairs store
+        #: ``(s, s)``).  Persistent across queries.
+        self._memo: Dict[int, Tuple[float, float]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Pair bounds
+    # ------------------------------------------------------------------
+
+    def _st(self, a: int, b: int) -> Tuple[float, float]:
+        """Memoized ``(MinST, MaxST)`` between two slots (seed call order
+        preserved by every caller: ``a`` is the owning entry)."""
+        n = self.snap.n_slots
+        key = a * n + b if a <= b else b * n + a
+        memo = self._memo
+        cached = memo.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        result = self._compute_st(a, b)
+        if len(memo) < _PAIR_MEMO_CAP:
+            memo[key] = result
+        return result
+
+    def _compute_st(self, a: int, b: int) -> Tuple[float, float]:
+        snap = self.snap
+        if snap.is_obj[a] and snap.is_obj[b]:
+            score = self._exact(a, b)
+            return score, score
+        alpha = self.alpha
+        if alpha == 0.0:
+            return self._text(a, b)
+        xlo, ylo, xhi, yhi = snap.xlo, snap.ylo, snap.xhi, snap.yhi
+        dx = max(xlo[a] - xhi[b], 0.0, xlo[b] - xhi[a])
+        dy = max(ylo[a] - yhi[b], 0.0, ylo[b] - yhi[a])
+        min_dist = math.hypot(dx, dy)
+        dx = max(abs(xhi[a] - xlo[b]), abs(xhi[b] - xlo[a]))
+        dy = max(abs(yhi[a] - ylo[b]), abs(yhi[b] - ylo[a]))
+        max_dist = math.hypot(dx, dy)
+        s_lo = self._fd(max_dist)
+        s_hi = self._fd(min_dist)
+        if alpha == 1.0:
+            return alpha * s_lo, alpha * s_hi
+        t_lo, t_hi = self._text(a, b)
+        return (
+            alpha * s_lo + (1.0 - alpha) * t_lo,
+            alpha * s_hi + (1.0 - alpha) * t_hi,
+        )
+
+    def _fd(self, distance: float) -> float:
+        """``SpatialProximity.from_distance`` inlined (clamped 1 - d/maxD)."""
+        score = 1.0 - distance / self.snap.maxD
+        if score < 0.0:
+            return 0.0
+        if score > 1.0:
+            return 1.0
+        return score
+
+    def _exact(self, a: int, b: int) -> float:
+        """Exact SimST of two object slots (seed ``exact_score`` inlined)."""
+        snap = self.snap
+        alpha = self.alpha
+        score = 0.0
+        if alpha > 0.0:
+            dist = math.hypot(
+                snap.xlo[a] - snap.xlo[b], snap.ylo[a] - snap.ylo[b]
+            )
+            score += alpha * self._fd(dist)
+        if alpha < 1.0:
+            if self._ej:
+                sim = snap.obj_frozen[a].ext_jaccard(snap.obj_frozen[b])
+            else:
+                sim = self.measure.similarity(snap.obj_vec[a], snap.obj_vec[b])
+            score += (1.0 - alpha) * sim
+        return score
+
+    def _text(self, a: int, b: int) -> Tuple[float, float]:
+        """``(MinSimT, MaxSimT)`` over the cluster pairs of two slots."""
+        ca = self.snap.clusters[a]
+        cb = self.snap.clusters[b]
+        lo: Optional[float] = None
+        hi = 0.0
+        if self._ej:
+            # Extended Jaccard bounds inlined over the pre-frozen forms
+            # and precomputed squared norms (same formulas and operand
+            # order as ExtendedJaccard.min/max_similarity).
+            for _iva, int_a, uni_a, insq_a, unsq_a in ca:
+                for _ivb, int_b, uni_b, insq_b, unsq_b in cb:
+                    d_min = int_a.dot(int_b)
+                    if d_min == 0.0:
+                        pair_lo = 0.0
+                    else:
+                        s_max = unsq_a + unsq_b
+                        pair_lo = d_min / (s_max - d_min)
+                    d_max = uni_a.dot(uni_b)
+                    if d_max == 0.0:
+                        pair_hi = 0.0
+                    elif 2.0 * d_max >= insq_a + insq_b:
+                        pair_hi = 1.0
+                    else:
+                        s_min = insq_a + insq_b
+                        pair_hi = d_max / (s_min - d_max)
+                    lo = pair_lo if lo is None else min(lo, pair_lo)
+                    hi = max(hi, pair_hi)
+        else:
+            min_sim = self.measure.min_similarity
+            max_sim = self.measure.max_similarity
+            for iva, *_ in ca:
+                for ivb, *_ in cb:
+                    pair_lo = min_sim(iva, ivb)
+                    pair_hi = max_sim(iva, ivb)
+                    lo = pair_lo if lo is None else min(lo, pair_lo)
+                    hi = max(hi, pair_hi)
+        return (lo if lo is not None else 0.0, hi)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def search(self, query: STObject, k: int) -> SearchResult:
+        """Seed-identical RSTkNN search (see module docstring)."""
+        started = time.perf_counter()
+        stats = SearchStats()
+        hits0, misses0 = self.hits, self.misses
+        snap = self.snap
+        tree = self.tree
+        alpha = self.alpha
+        te = self.te_weight
+        st = self._st
+        fd = self._fd
+        is_obj = snap.is_obj
+        cnt = snap.cnt
+        xlo, ylo, xhi, yhi = snap.xlo, snap.ylo, snap.xhi, snap.yhi
+
+        roots = snap.root_slots
+        if not roots:
+            stats.elapsed_seconds = time.perf_counter() - started
+            return SearchResult([], stats, tree.io.snapshot())
+
+        # Query-side data (the seed's synthetic ref -1 entry, unpacked).
+        qm = query.mbr()
+        qxlo, qylo, qxhi, qyhi = qm.xlo, qm.ylo, qm.xhi, qm.yhi
+        qvec = query.vector
+        q_frozen = qvec.frozen()
+        q_nsq = qvec.norm_squared
+        q_iv = IntervalVector.from_document(qvec) if not self._ej else None
+        measure = self.measure
+        ej = self._ej
+
+        def q_text(slot: int) -> Tuple[float, float]:
+            # text_bounds(q_entry, slot): the query contributes a single
+            # degenerate cluster (int == uni == qvec).
+            lo: Optional[float] = None
+            hi = 0.0
+            if ej:
+                for _iv, int_b, uni_b, insq_b, unsq_b in snap.clusters[slot]:
+                    d_min = q_frozen.dot(int_b)
+                    if d_min == 0.0:
+                        pair_lo = 0.0
+                    else:
+                        s_max = q_nsq + unsq_b
+                        pair_lo = d_min / (s_max - d_min)
+                    d_max = q_frozen.dot(uni_b)
+                    if d_max == 0.0:
+                        pair_hi = 0.0
+                    elif 2.0 * d_max >= q_nsq + insq_b:
+                        pair_hi = 1.0
+                    else:
+                        s_min = q_nsq + insq_b
+                        pair_hi = d_max / (s_min - d_max)
+                    lo = pair_lo if lo is None else min(lo, pair_lo)
+                    hi = max(hi, pair_hi)
+            else:
+                for ivb, *_ in snap.clusters[slot]:
+                    pair_lo = measure.min_similarity(q_iv, ivb)
+                    pair_hi = measure.max_similarity(q_iv, ivb)
+                    lo = pair_lo if lo is None else min(lo, pair_lo)
+                    hi = max(hi, pair_hi)
+            return (lo if lo is not None else 0.0, hi)
+
+        def q_exact(slot: int) -> float:
+            # exact_score(q_entry, slot) for an object slot.
+            score = 0.0
+            if alpha > 0.0:
+                dist = math.hypot(qxlo - xlo[slot], qylo - ylo[slot])
+                score += alpha * fd(dist)
+            if alpha < 1.0:
+                if ej:
+                    sim = q_frozen.ext_jaccard(snap.obj_frozen[slot])
+                else:
+                    sim = measure.similarity(qvec, snap.obj_vec[slot])
+                score += (1.0 - alpha) * sim
+            return score
+
+        def q_st(slot: int) -> Tuple[float, float]:
+            # st_bounds(q_entry, slot), scalar form.
+            if is_obj[slot]:
+                score = q_exact(slot)
+                return score, score
+            if alpha == 0.0:
+                return q_text(slot)
+            dx = max(qxlo - xhi[slot], 0.0, xlo[slot] - qxhi)
+            dy = max(qylo - yhi[slot], 0.0, ylo[slot] - qyhi)
+            s_hi = fd(math.hypot(dx, dy))
+            dx = max(abs(qxhi - xlo[slot]), abs(xhi[slot] - qxlo))
+            dy = max(abs(qyhi - ylo[slot]), abs(yhi[slot] - qylo))
+            s_lo = fd(math.hypot(dx, dy))
+            if alpha == 1.0:
+                return alpha * s_lo, alpha * s_hi
+            t_lo, t_hi = q_text(slot)
+            return (
+                alpha * s_lo + (1.0 - alpha) * t_lo,
+                alpha * s_hi + (1.0 - alpha) * t_hi,
+            )
+
+        lists: Dict[int, _CList] = {}
+        status: Dict[int, str] = {}
+        qbounds: Dict[int, Tuple[float, float]] = {}
+        expanded: Dict[int, Tuple[int, int]] = {}
+        counter = itertools.count()
+        heap: List[Tuple[float, int, int]] = []
+
+        for r in roots:
+            status[r] = _UNDECIDED
+        for r in roots:
+            d: Dict[int, _Contrib] = {}
+            tight: Set[int] = set()
+            for o in roots:
+                if o == r:
+                    continue
+                lo, hi = st(r, o)
+                d[o] = (lo, hi, cnt[o])
+                tight.add(o)
+            if cnt[r] >= 2:
+                lo, hi = st(r, r)
+                d[r] = (lo, hi, cnt[r] - 1)
+                tight.add(r)
+            lists[r] = _CList(d, tight)
+            qb = q_st(r)
+            qbounds[r] = qb
+            # Root-site priority: the seed's default num_clusters=1 makes
+            # the entropy divisor 2 (ent_root); objects get no boost.
+            if te == 0.0 or is_obj[r]:
+                prio = qb[1]
+            else:
+                prio = qb[1] + te * snap.ent_root[r]
+            heapq.heappush(heap, (-prio, next(counter), r))
+
+        tighten_width = max(16, 4 * k)
+        np_cols = snap.np_xlo
+        np = kernels._numpy() if np_cols is not None else None
+
+        while heap:
+            _, _, key = heapq.heappop(heap)
+            if status.get(key) != _UNDECIDED:
+                continue
+            q_lo, q_hi = qbounds[key]
+            clist = lists[key]
+            decision = self._decide(clist.d, q_lo, q_hi, k)
+            while decision == 0 and self._tighten(
+                key, clist, expanded, tighten_width
+            ):
+                decision = self._decide(clist.d, q_lo, q_hi, k)
+            if decision < 0:
+                status[key] = _PRUNED
+                stats.pruned_entries += 1
+                stats.pruned_objects += cnt[key]
+                del lists[key]
+                continue
+            if decision > 0:
+                status[key] = _ACCEPTED
+                stats.accepted_entries += 1
+                stats.accepted_objects += cnt[key]
+                del lists[key]
+                continue
+            if is_obj[key]:
+                member = self._verify(key, q_hi, k, stats)
+                status[key] = _RESULT if member else _NONRESULT
+                stats.verified_objects += 1
+                del lists[key]
+                continue
+
+            # Expand: children inherit the parent's list; sibling/self
+            # terms are computed fresh (same order as the seed).
+            fc, lc = snap.first_child[key], snap.last_child[key]
+            tree.buffer.get(snap.record_id[key], "node")
+            stats.expansions += 1
+            status[key] = _EXPANDED
+            expanded[key] = (fc, lc)
+            parent = lists.pop(key)
+            parent.d.pop(key, None)
+            children = range(fc, lc)
+            for c in children:
+                status[c] = _UNDECIDED
+
+            # One array pass derives the spatial components of every
+            # child's query bound; hypot/clamp/blend finish per child in
+            # scalar float so values match the seed bit-for-bit.
+            sp = None
+            if (
+                np is not None
+                and alpha > 0.0
+                and lc - fc >= _VECTOR_MIN_CHILDREN
+            ):
+                bxlo = np_cols[fc:lc]
+                bylo = snap.np_ylo[fc:lc]
+                bxhi = snap.np_xhi[fc:lc]
+                byhi = snap.np_yhi[fc:lc]
+                sp = (
+                    np.maximum(np.maximum(qxlo - bxhi, 0.0), bxlo - qxhi),
+                    np.maximum(np.maximum(qylo - byhi, 0.0), bylo - qyhi),
+                    np.maximum(np.abs(qxhi - bxlo), np.abs(bxhi - qxlo)),
+                    np.maximum(np.abs(qyhi - bylo), np.abs(byhi - qylo)),
+                    qxlo - bxlo,
+                    qylo - bylo,
+                )
+
+            parent_d = parent.d
+            for i, c in enumerate(children):
+                d = dict(parent_d)
+                tight = set()
+                for sib in children:
+                    if sib == c:
+                        continue
+                    lo, hi = st(c, sib)
+                    d[sib] = (lo, hi, cnt[sib])
+                    tight.add(sib)
+                cc = cnt[c]
+                if cc >= 2:
+                    lo, hi = st(c, c)
+                    d[c] = (lo, hi, cc - 1)
+                    tight.add(c)
+                lists[c] = _CList(d, tight)
+                if sp is None:
+                    qb = q_st(c)
+                elif is_obj[c]:
+                    score = 0.0
+                    if alpha > 0.0:
+                        score += alpha * fd(math.hypot(sp[4][i], sp[5][i]))
+                    if alpha < 1.0:
+                        if ej:
+                            sim = q_frozen.ext_jaccard(snap.obj_frozen[c])
+                        else:
+                            sim = measure.similarity(qvec, snap.obj_vec[c])
+                        score += (1.0 - alpha) * sim
+                    qb = (score, score)
+                else:
+                    s_hi = fd(math.hypot(sp[0][i], sp[1][i]))
+                    s_lo = fd(math.hypot(sp[2][i], sp[3][i]))
+                    if alpha == 1.0:
+                        qb = (alpha * s_lo, alpha * s_hi)
+                    else:
+                        t_lo, t_hi = q_text(c)
+                        qb = (
+                            alpha * s_lo + (1.0 - alpha) * t_lo,
+                            alpha * s_hi + (1.0 - alpha) * t_hi,
+                        )
+                qbounds[c] = qb
+                # Child-site priority uses the tree-wide cluster divisor.
+                if te == 0.0 or is_obj[c]:
+                    prio = qb[1]
+                else:
+                    prio = qb[1] + te * snap.ent_child[c]
+                heapq.heappush(heap, (-prio, next(counter), c))
+
+        ids: List[int] = []
+        for key, state in status.items():
+            if state == _ACCEPTED:
+                charges, sub_ids = snap.collect_plan(key)
+                for rid in charges:
+                    tree.buffer.get(rid, "collect")
+                ids.extend(sub_ids)
+            elif state == _RESULT:
+                ids.append(snap.ref[key])
+        ids.sort()
+        stats.result_count = len(ids)
+        stats.cache_hits = self.hits - hits0
+        stats.cache_misses = self.misses - misses0
+        stats.elapsed_seconds = time.perf_counter() - started
+        return SearchResult(ids, stats, tree.io.snapshot())
+
+    # ------------------------------------------------------------------
+    # Decision pieces
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _decide(d: Dict[int, _Contrib], q_lo: float, q_hi: float, k: int) -> int:
+        """Seed decision rules over the slot contribution dict."""
+        if q_hi < _kth_largest([(c[0], c[2]) for c in d.values()], k):
+            return -1
+        if q_lo >= _kth_largest([(c[1], c[2]) for c in d.values()], k):
+            return 1
+        return 0
+
+    def _tighten(
+        self,
+        key: int,
+        clist: _CList,
+        expanded: Dict[int, Tuple[int, int]],
+        width: int,
+    ) -> bool:
+        """Lazy effect-list refinement (seed ``_tighten`` over slots)."""
+        d = clist.d
+        tight = clist.tight
+        items = list(d.items())
+        candidates = heapq.nlargest(
+            width, items, key=_cand_min
+        ) + heapq.nlargest(width, items, key=_cand_max)
+        changed = False
+        seen: Set[int] = set()
+        st = self._st
+        cnt = self.snap.cnt
+        for slot, contrib in candidates:
+            if slot in seen or slot not in d:
+                continue
+            seen.add(slot)
+            span = expanded.get(slot)
+            if span is not None and slot != key:
+                del d[slot]
+                tight.discard(slot)
+                for child in range(span[0], span[1]):
+                    lo, hi = st(key, child)
+                    d[child] = (lo, hi, cnt[child])
+                    tight.add(child)
+                changed = True
+            elif slot not in tight:
+                lo, hi = st(key, slot)
+                d[slot] = (lo, hi, contrib[2])
+                tight.add(slot)
+                changed = True
+        return changed
+
+    def _verify(self, s: int, q_sim: float, k: int, stats: SearchStats) -> bool:
+        """Exact membership probe with lazy text evaluation.
+
+        Children whose *optimistic* spatial-only bounds already decide
+        them are handled without computing a text bound: an upper bound
+        built with text similarity 1 failing the "can beat the query"
+        test, or a lower bound built with text 0 already beating it,
+        forces the same branch the full bound takes (the full upper
+        bound is <= the optimistic one; the full lower bound is >= the
+        pessimistic one).  Undecided children fall back to the full
+        blended bounds, which are memoized for later queries.
+        """
+        snap = self.snap
+        tree = self.tree
+        alpha = self.alpha
+        st = self._st
+        fd = self._fd
+        is_obj = snap.is_obj
+        ref = snap.ref
+        cnt = snap.cnt
+        xlo, ylo, xhi, yhi = snap.xlo, snap.ylo, snap.xhi, snap.yhi
+        memo = self._memo
+        n = snap.n_slots
+        px = (xlo[s] + xhi[s]) / 2.0
+        py = (ylo[s] + yhi[s]) / 2.0
+        ref_s = ref[s]
+        count = 0
+        stack = [r for r in snap.root_slots if r != s]
+        while stack and count < k:
+            e = stack.pop()
+            if is_obj[e]:
+                if ref[e] == ref_s:
+                    continue
+                if st(s, e)[1] > q_sim:
+                    count += 1
+                continue
+            pair_key = s * n + e if s <= e else e * n + s
+            cached = memo.get(pair_key)
+            if cached is not None:
+                self.hits += 1
+                lo, hi = cached
+            elif alpha > 0.0:
+                self.misses += 1
+                dx = max(xlo[s] - xhi[e], 0.0, xlo[e] - xhi[s])
+                dy = max(ylo[s] - yhi[e], 0.0, ylo[e] - yhi[s])
+                s_hi = fd(math.hypot(dx, dy))
+                dx = max(abs(xhi[s] - xlo[e]), abs(xhi[e] - xlo[s]))
+                dy = max(abs(yhi[s] - ylo[e]), abs(yhi[e] - ylo[s]))
+                s_lo = fd(math.hypot(dx, dy))
+                opt_hi = alpha * s_hi + (1.0 - alpha)
+                if opt_hi <= q_sim:
+                    # Even with text similarity 1 nothing here can beat
+                    # the query; the full bound prunes this subtree too.
+                    continue
+                if (
+                    alpha * s_lo > q_sim
+                    and not (xlo[e] <= px <= xhi[e] and ylo[e] <= py <= yhi[e])
+                ):
+                    # Already beats the query on space alone, and the
+                    # target object lies elsewhere: group-count it, as
+                    # the full lower bound (>= alpha * s_lo) would.
+                    count += cnt[e]
+                    continue
+                if alpha == 1.0:
+                    lo, hi = alpha * s_lo, alpha * s_hi
+                else:
+                    t_lo, t_hi = self._text(s, e)
+                    lo = alpha * s_lo + (1.0 - alpha) * t_lo
+                    hi = alpha * s_hi + (1.0 - alpha) * t_hi
+                if len(memo) < _PAIR_MEMO_CAP:
+                    memo[pair_key] = (lo, hi)
+            else:
+                self.misses += 1
+                lo, hi = self._text(s, e)
+                if len(memo) < _PAIR_MEMO_CAP:
+                    memo[pair_key] = (lo, hi)
+            if hi <= q_sim:
+                continue
+            if lo > q_sim and not (
+                xlo[e] <= px <= xhi[e] and ylo[e] <= py <= yhi[e]
+            ):
+                count += cnt[e]
+                continue
+            stats.verify_node_reads += 1
+            tree.buffer.get(snap.record_id[e], "verify")
+            stack.extend(range(snap.first_child[e], snap.last_child[e]))
+        return count <= k - 1
+
+
+def _cand_min(item: Tuple[int, _Contrib]) -> float:
+    return item[1][0]
+
+
+def _cand_max(item: Tuple[int, _Contrib]) -> float:
+    return item[1][1]

@@ -94,6 +94,13 @@ class IURTree:
         self.buffer = BufferPool(self.disk, config.buffer_pages)
         self._record_ids: Dict[int, int] = {}
         self._root_entry_cache: Optional[Entry] = None
+        #: Structural version: bumped by every mutation that can change a
+        #: stored summary (insert/delete, incl. the outlier side list).
+        #: Generation-tagged consumers — the shared pair-bound cache and
+        #: frozen :class:`~repro.perf.snapshot.IndexSnapshot` forms — use
+        #: it to detect staleness without node-level dirty tracking.
+        self.generation = 0
+        self._snapshot_cache = None
         if not config.store_intersections:
             self._strip_intersections(self._rtree.nodes.keys())
         self._persist()
@@ -260,7 +267,11 @@ class IURTree:
         self._label_by_oid[obj.oid] = label
         threshold = self.config.outlier_threshold
         if threshold is not None and cohesion < threshold:
+            # Outlier appends bypass flush(); bump the generation here so
+            # snapshot/cache consumers still observe the mutation.
             self._outliers.append(obj)
+            self.generation += 1
+            self._snapshot_cache = None
             return
         entry = Entry.for_object(obj.oid, obj.mbr(), obj.vector, label)
         self._rtree.insert(entry)
@@ -276,6 +287,8 @@ class IURTree:
                 del self._outliers[i]
                 self._label_by_oid.pop(oid, None)
                 self.dataset.remove_object(oid)
+                self.generation += 1
+                self._snapshot_cache = None
                 return True
         try:
             obj = self.dataset.get(oid)
@@ -305,6 +318,8 @@ class IURTree:
     def flush(self) -> None:
         """Re-persist nodes changed by updates; free removed records."""
         self._root_entry_cache = None
+        self.generation += 1
+        self._snapshot_cache = None
         rtree = self._rtree
         if not self.config.store_intersections:
             self._strip_intersections(rtree.dirty)
@@ -372,6 +387,39 @@ class IURTree:
             obj.vector.frozen()
             frozen += 1
         return frozen
+
+    def snapshot(self):
+        """The columnar :class:`~repro.perf.snapshot.IndexSnapshot`.
+
+        Frozen lazily from the current structure and memoized until the
+        next mutation (the cache is keyed by :attr:`generation`); every
+        searcher running ``engine="snapshot"`` against an unchanged tree
+        shares one snapshot.
+        """
+        from ..perf import kernels
+
+        cached = self._snapshot_cache
+        if (
+            cached is not None
+            and cached.generation == self.generation
+            # A backend switch invalidates the pre-frozen kernel forms
+            # captured in the snapshot (parity runs flip REPRO_KERNEL).
+            and cached.kernel_backend == kernels.backend_name()
+        ):
+            return cached
+        from ..perf.snapshot import IndexSnapshot
+
+        snap = IndexSnapshot.from_tree(self)
+        self._snapshot_cache = snap
+        return snap
+
+    def __getstate__(self) -> dict:
+        # The snapshot is a derived per-process cache full of frozen
+        # kernel forms (possibly numpy arrays); rebuild after unpickling
+        # rather than shipping it to batch workers.
+        state = self.__dict__.copy()
+        state["_snapshot_cache"] = None
+        return state
 
     # ------------------------------------------------------------------
     # Measurement helpers

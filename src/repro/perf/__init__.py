@@ -10,10 +10,13 @@ Three layers, each usable on its own:
   across queries by a searcher or batch engine;
 * :mod:`repro.perf.batch` — :class:`BatchSearcher`, which runs a query
   workload over one index sequentially (shared bound cache) or fanned
-  out across worker processes.
+  out across worker processes;
+* :mod:`repro.perf.snapshot` — :class:`IndexSnapshot`, the immutable
+  struct-of-arrays freeze of a built tree that the ``snapshot``
+  traversal engine (:mod:`repro.core.traversal`) runs over.
 
-``batch`` is imported lazily: it depends on :mod:`repro.core`, which
-transitively depends on the text layer that itself uses the kernels.
+``batch`` and ``snapshot`` are imported lazily: they depend on layers
+that transitively use the kernels.
 """
 
 from .cache import (
@@ -45,13 +48,18 @@ __all__ = [
     "BatchSearcher",
     "BatchResult",
     "BatchStats",
+    "IndexSnapshot",
 ]
 
 
 def __getattr__(name: str):
-    """Lazy access to the batch engine (avoids a text->core import cycle)."""
+    """Lazy access to higher layers (avoids a text->core import cycle)."""
     if name in ("BatchSearcher", "BatchResult", "BatchStats"):
         from . import batch
 
         return getattr(batch, name)
+    if name == "IndexSnapshot":
+        from .snapshot import IndexSnapshot
+
+        return IndexSnapshot
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -40,12 +40,13 @@ _WORKER: Dict[str, RSTkNNSearcher] = {}
 
 def _init_worker(payload: bytes) -> None:
     """Pool initializer: build this worker's private index handle."""
-    tree, config, te_weight, cache_entries = pickle.loads(payload)
+    tree, config, te_weight, cache_entries, engine = pickle.loads(payload)
     _WORKER["searcher"] = RSTkNNSearcher(
         tree,
         config,
         te_weight=te_weight,
         bound_cache=BoundCache(cache_entries),
+        engine=engine,
     )
 
 
@@ -116,11 +117,17 @@ class BatchSearcher:
         cache_entries: int = DEFAULT_BOUND_CACHE_ENTRIES,
         te_weight: float = 0.05,
         warm: bool = True,
+        engine: Optional[str] = None,
     ) -> None:
         """``workers=1`` runs sequentially with the shared bound cache;
         ``workers>1`` fans out over that many processes, each holding its
         own index handle.  ``warm=True`` pre-freezes the tree's kernel
-        forms so the first query does not pay freezing costs."""
+        forms so the first query does not pay freezing costs.  ``engine``
+        picks the traversal implementation per query (see
+        :data:`repro.core.rstknn.ENGINE_CHOICES`); note that under
+        ``auto`` the attached bound cache selects the seed walk — pass
+        ``engine="snapshot"`` explicitly to batch over the columnar
+        engine (whose snapshot-resident memo replaces the bound cache)."""
         if workers < 1:
             raise QueryError(f"workers must be >= 1, got {workers}")
         self.tree = tree
@@ -128,9 +135,14 @@ class BatchSearcher:
         self.workers = workers
         self.cache_entries = cache_entries
         self.te_weight = te_weight
+        self.engine = engine
         self.bound_cache = BoundCache(cache_entries)
         self._searcher = RSTkNNSearcher(
-            tree, config, te_weight=te_weight, bound_cache=self.bound_cache
+            tree,
+            config,
+            te_weight=te_weight,
+            bound_cache=self.bound_cache,
+            engine=engine,
         )
         if warm:
             tree.warm_kernels()
@@ -182,7 +194,13 @@ class BatchSearcher:
     ) -> Optional[List[SearchResult]]:
         try:
             payload = pickle.dumps(
-                (self.tree, self.config, self.te_weight, self.cache_entries)
+                (
+                    self.tree,
+                    self.config,
+                    self.te_weight,
+                    self.cache_entries,
+                    self.engine,
+                )
             )
         except (pickle.PicklingError, TypeError, AttributeError):
             return None

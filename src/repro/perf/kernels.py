@@ -21,9 +21,10 @@ time for tree summaries) and reused by every subsequent kernel call:
   to one C-level set intersection, so the reduction only ever touches
   shared terms, O(min(|a|, |b|)) with no interpreter-level merge;
 * the **numpy** backend stores sorted id/weight arrays and reduces with
-  ``np.intersect1d`` — worthwhile for long documents, opt-in because
-  array dispatch overhead dominates on the short vectors typical of
-  POI corpora.
+  a ``searchsorted``-based sparse intersection (no per-call concatenate
+  and re-sort, unlike ``np.intersect1d``) — worthwhile for long
+  documents, opt-in because array dispatch overhead dominates on the
+  short vectors typical of POI corpora.
 
 ``sum_max`` never walks the union: with per-vector weight sums ``W``
 precomputed at freeze time, ``Σ max = W_a + W_b - Σ_shared min``.
@@ -31,7 +32,12 @@ precomputed at freeze time, ``Σ max = W_a + W_b - Σ_shared min``.
 Backend selection: the ``REPRO_KERNEL`` environment variable
 (``python`` | ``numpy`` | ``auto``), overridable at runtime with
 :func:`set_backend` / :func:`use_backend`.  Requesting ``numpy`` when
-numpy is not importable degrades gracefully to ``python``.
+numpy is not importable degrades gracefully to ``python``.  ``auto`` is
+*per-vector*: vectors shorter than the measured crossover
+(:data:`AUTO_NUMPY_MIN_TERMS`) freeze into the python form, long ones
+into the numpy form, and mixed pairs reduce through the python path —
+so a POI-style corpus never pays numpy dispatch overhead just because
+numpy happens to be importable.
 """
 
 from __future__ import annotations
@@ -49,9 +55,20 @@ KERNEL_BACKENDS = ("python", "numpy", "auto")
 #: Environment variable consulted for the default backend.
 KERNEL_ENV_VAR = "REPRO_KERNEL"
 
+#: Vector length at which the numpy reduction starts beating the
+#: pure-python one (measured on this container: python wins up to ~128
+#: terms, parity near 256, numpy ~2x faster at 1024).  ``auto`` freezes
+#: vectors below this length into the python form.  Overridable via
+#: ``REPRO_KERNEL_CROSSOVER`` for different hardware.
+AUTO_NUMPY_MIN_TERMS = 256
+
+#: Environment variable overriding :data:`AUTO_NUMPY_MIN_TERMS`.
+CROSSOVER_ENV_VAR = "REPRO_KERNEL_CROSSOVER"
+
 _np = None
 _np_checked = False
 _backend: Optional[str] = None  # resolved lazily; None = not yet resolved
+_crossover: Optional[int] = None  # resolved lazily from the environment
 
 
 def _numpy():
@@ -80,7 +97,9 @@ def _resolve(name: str) -> str:
             f"unknown kernel backend {name!r}; expected one of {KERNEL_BACKENDS}"
         )
     if name == "auto":
-        return "numpy" if numpy_available() else "python"
+        # Per-vector choice (see freeze()); without numpy there is no
+        # choice to make and auto degenerates to the python backend.
+        return "auto" if numpy_available() else "python"
     if name == "numpy" and not numpy_available():
         warnings.warn(
             "REPRO_KERNEL=numpy requested but numpy is not importable; "
@@ -92,8 +111,42 @@ def _resolve(name: str) -> str:
     return name
 
 
+def auto_crossover() -> int:
+    """Vector length above which ``auto`` freezes into the numpy form."""
+    global _crossover
+    if _crossover is None:
+        raw = os.environ.get(CROSSOVER_ENV_VAR)
+        if raw is None:
+            _crossover = AUTO_NUMPY_MIN_TERMS
+        else:
+            try:
+                _crossover = max(0, int(raw))
+            except ValueError:
+                warnings.warn(
+                    f"{CROSSOVER_ENV_VAR}={raw!r} is not an integer; using "
+                    f"the measured default {AUTO_NUMPY_MIN_TERMS}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                _crossover = AUTO_NUMPY_MIN_TERMS
+    return _crossover
+
+
+def is_current(form) -> bool:
+    """Whether a frozen form is usable under the active backend.
+
+    Under ``auto`` both concrete forms interoperate (mixed pairs reduce
+    through the python path), so nothing ever needs re-freezing; under an
+    explicit backend the form must match it exactly.
+    """
+    name = backend_name()
+    if name == "auto":
+        return True
+    return form.backend == name
+
+
 def backend_name() -> str:
-    """The active kernel backend (``python`` or ``numpy``).
+    """The active kernel backend (``python``, ``numpy``, or ``auto``).
 
     A typo in the environment variable warns and falls back to the
     ``python`` backend rather than failing the first query that touches
@@ -156,20 +209,28 @@ class PyFrozenVector:
         self.norm_sq = norm_sq
         self.wsum = sum(weights)
 
-    def dot(self, other: "PyFrozenVector") -> float:
+    def _py(self) -> "PyFrozenVector":
+        """Self — already the python form (mixed-pair interop hook)."""
+        return self
+
+    def dot(self, other) -> float:
         """``Σ_t a[t] * b[t]`` over shared terms (0.0 when disjoint)."""
         if not (self.mask & other.mask):
             return 0.0
+        if type(other) is not PyFrozenVector:
+            other = other._py()
         common = self.keys & other.keys
         if not common:
             return 0.0
         a, b = self.weights, other.weights
         return sum(a[t] * b[t] for t in common)
 
-    def sum_min(self, other: "PyFrozenVector") -> float:
+    def sum_min(self, other) -> float:
         """``Σ_t min(a[t], b[t])`` — only shared terms contribute."""
         if not (self.mask & other.mask):
             return 0.0
+        if type(other) is not PyFrozenVector:
+            other = other._py()
         common = self.keys & other.keys
         if not common:
             return 0.0
@@ -180,18 +241,20 @@ class PyFrozenVector:
             total += aw if aw < bw else bw
         return total
 
-    def sum_max(self, other: "PyFrozenVector") -> float:
+    def sum_max(self, other) -> float:
         """``Σ_t max(a[t], b[t])`` over the union of terms."""
         # Σ max = Σa + Σb − Σ_shared min; never walks the union.
         return self.wsum + other.wsum - self.sum_min(other)
 
-    def overlap_count(self, other: "PyFrozenVector") -> int:
+    def overlap_count(self, other) -> int:
         """Number of shared terms."""
         if not (self.mask & other.mask):
             return 0
+        if type(other) is not PyFrozenVector:
+            other = other._py()
         return len(self.keys & other.keys)
 
-    def ext_jaccard(self, other: "PyFrozenVector") -> float:
+    def ext_jaccard(self, other) -> float:
         """Fused Extended Jaccard ``<a,b> / (|a|² + |b|² − <a,b>)``.
 
         The paper's default measure, fused into one kernel call so the
@@ -200,6 +263,8 @@ class PyFrozenVector:
         """
         if not (self.mask & other.mask):
             return 0.0
+        if type(other) is not PyFrozenVector:
+            other = other._py()
         common = self.keys & other.keys
         if not common:
             return 0.0
@@ -210,9 +275,15 @@ class PyFrozenVector:
 
 
 class NumpyFrozenVector:
-    """Numpy-backend frozen form: sorted id/weight arrays."""
+    """Numpy-backend frozen form: sorted id/weight arrays.
 
-    __slots__ = ("ids", "weights", "mask", "norm_sq", "wsum")
+    Mixed pairs (the other operand frozen into the python form, which
+    ``auto`` produces for short vectors) delegate to the python
+    reduction over a lazily built and cached python form of *this*
+    vector — long vectors pay the dict build once, not per call.
+    """
+
+    __slots__ = ("ids", "weights", "mask", "norm_sq", "wsum", "_pyform")
 
     backend = "numpy"
 
@@ -228,62 +299,98 @@ class NumpyFrozenVector:
         self.mask = mask
         self.norm_sq = norm_sq
         self.wsum = float(self.weights.sum()) if len(weights) else 0.0
+        self._pyform: Optional[PyFrozenVector] = None
+
+    def _py(self) -> PyFrozenVector:
+        """A python-form view of this vector (built once, cached)."""
+        form = self._pyform
+        if form is None:
+            form = PyFrozenVector(
+                [int(t) for t in self.ids],
+                [float(w) for w in self.weights],
+                self.norm_sq,
+            )
+            self._pyform = form
+        return form
 
     def _common(self, other: "NumpyFrozenVector"):
-        np = _numpy()
-        _, ia, ib = np.intersect1d(
-            self.ids, other.ids, assume_unique=True, return_indices=True
-        )
-        return ia, ib
+        """Index pairs of shared terms via binary search.
 
-    def dot(self, other: "NumpyFrozenVector") -> float:
+        ``searchsorted`` over the longer operand costs O(min log max)
+        with no per-call concatenate-and-argsort (``np.intersect1d``
+        re-sorts both operands every call — the regression
+        BENCH_kernels.json surfaced).  Both operands are non-empty here:
+        empty vectors carry a zero signature and are rejected by the
+        mask AND before any array work.
+        """
+        np = _numpy()
+        a_ids, a_w, b_ids, b_w = self.ids, self.weights, other.ids, other.weights
+        if a_ids.size > b_ids.size:
+            a_ids, a_w, b_ids, b_w = b_ids, b_w, a_ids, a_w
+        pos = np.searchsorted(b_ids, a_ids)
+        np.minimum(pos, b_ids.size - 1, out=pos)
+        match = b_ids[pos] == a_ids
+        return a_w[match], b_w[pos[match]]
+
+    def dot(self, other) -> float:
         """``Σ_t a[t] * b[t]`` over shared terms (0.0 when disjoint)."""
         if not (self.mask & other.mask):
             return 0.0
-        ia, ib = self._common(other)
-        if ia.size == 0:
+        if type(other) is not NumpyFrozenVector:
+            return self._py().dot(other)
+        wa, wb = self._common(other)
+        if wa.size == 0:
             return 0.0
-        np = _numpy()
-        return float(np.dot(self.weights[ia], other.weights[ib]))
+        return float(_numpy().dot(wa, wb))
 
-    def sum_min(self, other: "NumpyFrozenVector") -> float:
+    def sum_min(self, other) -> float:
         """``Σ_t min(a[t], b[t])`` — only shared terms contribute."""
         if not (self.mask & other.mask):
             return 0.0
-        ia, ib = self._common(other)
-        if ia.size == 0:
+        if type(other) is not NumpyFrozenVector:
+            return self._py().sum_min(other)
+        wa, wb = self._common(other)
+        if wa.size == 0:
             return 0.0
-        np = _numpy()
-        return float(np.minimum(self.weights[ia], other.weights[ib]).sum())
+        return float(_numpy().minimum(wa, wb).sum())
 
-    def sum_max(self, other: "NumpyFrozenVector") -> float:
+    def sum_max(self, other) -> float:
         """``Σ_t max(a[t], b[t])`` over the union of terms."""
         return self.wsum + other.wsum - self.sum_min(other)
 
-    def overlap_count(self, other: "NumpyFrozenVector") -> int:
+    def overlap_count(self, other) -> int:
         """Number of shared terms."""
         if not (self.mask & other.mask):
             return 0
-        ia, _ = self._common(other)
-        return int(ia.size)
+        if type(other) is not NumpyFrozenVector:
+            return self._py().overlap_count(other)
+        wa, _ = self._common(other)
+        return int(wa.size)
 
-    def ext_jaccard(self, other: "NumpyFrozenVector") -> float:
+    def ext_jaccard(self, other) -> float:
         """Fused Extended Jaccard ``<a,b> / (|a|² + |b|² − <a,b>)``."""
         if not (self.mask & other.mask):
             return 0.0
-        ia, ib = self._common(other)
-        if ia.size == 0:
+        if type(other) is not NumpyFrozenVector:
+            return self._py().ext_jaccard(other)
+        wa, wb = self._common(other)
+        if wa.size == 0:
             return 0.0
-        np = _numpy()
-        d = float(np.dot(self.weights[ia], other.weights[ib]))
+        d = float(_numpy().dot(wa, wb))
         return d / (self.norm_sq + other.norm_sq - d)
 
 
 def freeze(
     ids: Tuple[int, ...], weights: Tuple[float, ...], norm_sq: float
 ):
-    """Build the active backend's frozen form of one sparse vector."""
-    if backend_name() == "numpy":
+    """Build the active backend's frozen form of one sparse vector.
+
+    Under ``auto``, short vectors (below :func:`auto_crossover` terms)
+    freeze into the python form and long ones into the numpy form; the
+    two interoperate, mixed pairs reducing through the python path.
+    """
+    name = backend_name()
+    if name == "numpy" or (name == "auto" and len(ids) >= auto_crossover()):
         return NumpyFrozenVector(ids, weights, norm_sq)
     return PyFrozenVector(ids, weights, norm_sq)
 

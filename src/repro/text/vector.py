@@ -87,7 +87,7 @@ class SparseVector:
     def frozen(self):
         """The active kernel backend's frozen form (built once, cached)."""
         fz = self._frozen
-        if fz is None or fz.backend != kernels.backend_name():
+        if fz is None or not kernels.is_current(fz):
             fz = kernels.freeze(self._ids, self._weights, self._norm_sq)
             self._frozen = fz
         return fz

@@ -59,3 +59,36 @@ class TestCli:
         out = capsys.readouterr().out
         assert "E12" in out
         assert "batch" in out
+
+    def test_engine_flag_parsed(self):
+        parser = build_parser()
+        for command in ("demo", "batch"):
+            args = parser.parse_args([command, "--engine", "snapshot"])
+            assert args.engine == "snapshot"
+            assert parser.parse_args([command]).engine is None
+
+    def test_engine_flag_rejects_unknown(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--engine", "warp"])
+
+    def test_demo_command_with_engine(self, capsys):
+        for engine in ("seed", "snapshot"):
+            assert (
+                main(
+                    ["demo", "--n", "100", "--k", "2", "--queries", "1",
+                     "--engine", engine]
+                )
+                == 0
+            )
+            assert "query 0:" in capsys.readouterr().out
+
+    def test_batch_command_with_engine(self, capsys):
+        assert (
+            main(
+                ["batch", "--n", "120", "--k", "2", "--queries", "3",
+                 "--engine", "snapshot"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "throughput (q/s)" in out

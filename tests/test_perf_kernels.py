@@ -135,7 +135,7 @@ def test_backend_switch_refreezes_lazily():
     with kernels.use_backend("numpy"):
         assert v.frozen().backend == "numpy"
     # Restored backend re-freezes back on next use.
-    assert v.frozen().backend == kernels.backend_name()
+    assert kernels.is_current(v.frozen())
 
 
 def test_set_backend_returns_previous_and_validates():
@@ -183,3 +183,72 @@ def test_sparse_vector_pickles_without_frozen_form():
     assert clone == v
     assert clone._frozen is None  # rebuilt lazily under the local backend
     assert math.isclose(clone.dot(v), v.dot(v))
+
+
+def test_auto_backend_dispatches_by_length():
+    if not kernels.numpy_available():
+        pytest.skip("numpy backend unavailable")
+    cross = kernels.auto_crossover()
+    short = SparseVector({t: 1.0 for t in range(4)})
+    long = SparseVector({t: 1.0 + (t % 7) * 0.1 for t in range(cross)})
+    with kernels.use_backend("auto"):
+        assert short.frozen().backend == "python"
+        assert long.frozen().backend == "numpy"
+        assert kernels.is_current(short.frozen())
+        assert kernels.is_current(long.frozen())
+
+
+def test_auto_crossover_env_override(monkeypatch):
+    monkeypatch.setattr(kernels, "_crossover", None)
+    monkeypatch.setenv(kernels.CROSSOVER_ENV_VAR, "8")
+    assert kernels.auto_crossover() == 8
+    monkeypatch.setattr(kernels, "_crossover", None)
+    monkeypatch.setenv(kernels.CROSSOVER_ENV_VAR, "zero")
+    with pytest.warns(RuntimeWarning, match="not an integer"):
+        assert kernels.auto_crossover() == kernels.AUTO_NUMPY_MIN_TERMS
+    monkeypatch.setattr(kernels, "_crossover", None)
+
+
+@given(
+    a=st.dictionaries(
+        st.integers(min_value=0, max_value=300),
+        st.floats(min_value=0.01, max_value=5.0),
+        min_size=1,
+        max_size=12,
+    ),
+    b=st.dictionaries(
+        st.integers(min_value=0, max_value=300),
+        st.floats(min_value=0.01, max_value=5.0),
+        min_size=1,
+        max_size=12,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_mixed_backend_pairs_match_python(a, b):
+    if not kernels.numpy_available():
+        pytest.skip("numpy backend unavailable")
+    va, vb = SparseVector(a), SparseVector(b)
+    with kernels.use_backend("python"):
+        pa, pb = va.frozen(), vb.frozen()
+        expect = (
+            pa.dot(pb),
+            pa.sum_min(pb),
+            pa.sum_max(pb),
+            pa.overlap_count(pb),
+            pa.ext_jaccard(pb),
+        )
+    with kernels.use_backend("numpy"):
+        vb._frozen = None
+        nb = vb.frozen()
+    # One python-form operand, one numpy-form — both orders.
+    for x, y, swap in ((pa, nb, False), (nb, pa, True)):
+        got = (
+            x.dot(y),
+            x.sum_min(y),
+            x.sum_max(y) if not swap else y.sum_max(x),
+            x.overlap_count(y),
+            x.ext_jaccard(y),
+        )
+        for g, e in zip(got, expect):
+            assert math.isclose(g, e, rel_tol=1e-12, abs_tol=1e-12)
+    vb._frozen = None
