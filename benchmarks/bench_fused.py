@@ -1,0 +1,167 @@
+"""Fused batch-traversal benchmark: per-query engines vs the fused walk.
+
+Runs the E3-style batch workload (gn-like dataset, sampled queries)
+through four execution strategies of
+:class:`repro.perf.BatchSearcher` —
+
+* ``per_query_seed`` — the seed object-graph walk, one query at a time;
+* ``shared_cache`` — the seed walk with the shared pair-bound cache
+  (PR 1's batch mode);
+* ``snapshot`` — the columnar per-query snapshot engine (PR 2);
+* ``fused`` — the fused group engine (``mode="fused"``): one snapshot
+  walk per spatial-locality group, columnar text-bound matrices, and
+  group-shared node work —
+
+and writes ``BENCH_fused.json`` with the queries/sec of each and the
+fused speedups.  **Per-query parity is a hard gate**: the run exits
+non-zero unless every fused query returns identical result ids *and*
+identical decision counters to the per-query snapshot engine.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fused.py [--quick] [--n N] [--out F]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List
+
+from repro.index.iurtree import IURTree
+from repro.perf import kernels
+from repro.perf.batch import BatchSearcher
+from repro.workloads import gn_like, sample_queries
+
+#: Wall time and memo-locality counters legitimately differ per engine.
+_TIMING_KEYS = {
+    "elapsed_seconds",
+    "cache_hits",
+    "cache_misses",
+    "cache_evictions",
+}
+
+
+def _decisions(result) -> Dict[str, float]:
+    return {
+        key: value
+        for key, value in result.stats.as_dict().items()
+        if key not in _TIMING_KEYS
+    }
+
+
+def parity_gate(snapshot_bs, fused_bs, queries, k: int) -> None:
+    """Exit non-zero on any per-query divergence from the snapshot engine."""
+    per = snapshot_bs.run(queries, k).results
+    fused = fused_bs.run(queries, k).results
+    mismatches: List[str] = []
+    for i, (a, b) in enumerate(zip(per, fused)):
+        if a.ids != b.ids:
+            mismatches.append(f"query {i}: ids {a.ids} != {b.ids}")
+        elif _decisions(a) != _decisions(b):
+            mismatches.append(
+                f"query {i}: decisions {_decisions(a)} != {_decisions(b)}"
+            )
+    if mismatches:
+        raise SystemExit(
+            "fused parity FAILED:\n  " + "\n  ".join(mismatches)
+        )
+
+
+def _median_qps(run_round, n_queries: int, rounds: int) -> float:
+    rates = sorted(n_queries / run_round() for _ in range(rounds))
+    return rates[rounds // 2]
+
+
+def bench_modes(
+    tree, queries, k: int, rounds: int, group_size: int
+) -> Dict[str, object]:
+    """Median QPS of each batch strategy; fused parity-gated first."""
+    per_seed = BatchSearcher(tree, engine="seed")
+    shared = BatchSearcher(tree)  # auto -> seed walk + shared bound cache
+    snapshot_bs = BatchSearcher(tree, engine="snapshot")
+    fused_bs = BatchSearcher(
+        tree, engine="snapshot", mode="fused", group_size=group_size
+    )
+
+    # Hard gate (also warms the snapshot, its engines, and every cache).
+    parity_gate(snapshot_bs, fused_bs, queries, k)
+
+    def round_for(bs):
+        def run_round() -> float:
+            started = time.perf_counter()
+            bs.run(queries, k)
+            return time.perf_counter() - started
+
+        return run_round
+
+    n = len(queries)
+    seed_qps = _median_qps(round_for(per_seed), n, rounds)
+    shared_qps = _median_qps(round_for(shared), n, rounds)
+    snapshot_qps = _median_qps(round_for(snapshot_bs), n, rounds)
+    fused_qps = _median_qps(round_for(fused_bs), n, rounds)
+    return {
+        "queries": n,
+        "k": k,
+        "group_size": group_size,
+        "parity": "ok",
+        "per_query_seed_qps": seed_qps,
+        "shared_cache_qps": shared_qps,
+        "snapshot_qps": snapshot_qps,
+        "fused_qps": fused_qps,
+        "speedup_fused_vs_snapshot": fused_qps / snapshot_qps,
+        "speedup_fused_vs_shared_cache": fused_qps / shared_qps,
+        "speedup_fused_vs_seed": fused_qps / seed_qps,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized run")
+    parser.add_argument("--n", type=int, default=None, help="dataset size")
+    parser.add_argument("--k", type=int, default=5)
+    parser.add_argument("--group-size", type=int, default=None)
+    parser.add_argument("--out", default="BENCH_fused.json")
+    args = parser.parse_args(argv)
+
+    n = args.n if args.n is not None else (150 if args.quick else 400)
+    n_queries = 4 if args.quick else 12
+    rounds = 1 if args.quick else 5
+    group_size = (
+        args.group_size
+        if args.group_size is not None
+        else (4 if args.quick else 8)
+    )
+
+    dataset = gn_like(n=n)
+    tree = IURTree.build(dataset)
+    tree.warm_kernels()
+    queries = sample_queries(dataset, n_queries, seed=99)
+    snapshot = tree.snapshot()
+
+    from repro.bench.meta import bench_metadata
+
+    report = {
+        "meta": bench_metadata(),
+        "n": n,
+        "quick": args.quick,
+        "kernel_backend": kernels.backend_name(),
+        "numpy_available": kernels.numpy_available(),
+        "snapshot": snapshot.describe(),
+        "text_matrix": snapshot.text_matrix().describe(),
+        "modes": bench_modes(tree, queries, args.k, rounds, group_size),
+    }
+
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {args.out}")
+    speedup = report["modes"]["speedup_fused_vs_snapshot"]
+    print(f"fused batch speedup vs per-query snapshot engine: {speedup:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -256,7 +256,10 @@ def main(argv=None) -> int:
     tree.warm_kernels()
     queries = sample_queries(dataset, n_queries, seed=99)
 
+    from repro.bench.meta import bench_metadata
+
     report = {
+        "meta": bench_metadata(),
         "n": n,
         "quick": args.quick,
         "backend_default": kernels.backend_name(),

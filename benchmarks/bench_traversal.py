@@ -104,7 +104,10 @@ def main(argv=None) -> int:
     queries = sample_queries(dataset, n_queries, seed=99)
     snapshot = tree.snapshot()
 
+    from repro.bench.meta import bench_metadata
+
     report = {
+        "meta": bench_metadata(),
         "n": n,
         "quick": args.quick,
         "kernel_backend": kernels.backend_name(),

@@ -193,12 +193,15 @@ def run_batch_queries(
     workers: int = 1,
     cache_entries: Optional[int] = None,
     engine: Optional[str] = None,
+    mode: str = "per-query",
+    group_size: int = 8,
 ) -> QueryRun:
     """Run a workload through :class:`repro.perf.BatchSearcher`.
 
     Unlike :func:`run_queries` this measures *throughput* (warm buffer
-    pool, shared bound cache, optional process fan-out), so I/O and
-    per-query decision statistics are not reported.
+    pool, shared bound cache, optional process fan-out, or the fused
+    group engine with ``mode="fused"``), so I/O and per-query decision
+    statistics are not reported.
     """
     from ..perf import BatchSearcher
     from ..perf.cache import DEFAULT_BOUND_CACHE_ENTRIES
@@ -212,12 +215,16 @@ def run_batch_queries(
             else DEFAULT_BOUND_CACHE_ENTRIES
         ),
         engine=engine,
+        mode=mode,
+        group_size=group_size,
     )
     batch = searcher.run(queries, k)
     stats = batch.stats
     n = max(stats.queries, 1)
     return QueryRun(
-        method=f"{method}-batch" + (f"-w{workers}" if workers > 1 else ""),
+        method=f"{method}-batch"
+        + (f"-w{workers}" if workers > 1 else "")
+        + (f"-fused{group_size}" if mode == "fused" else ""),
         queries=stats.queries,
         mean_ms=stats.mean_ms,
         mean_reads=0.0,

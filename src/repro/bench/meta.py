@@ -1,0 +1,54 @@
+"""Common metadata block for ``BENCH_*.json`` reports.
+
+Every benchmark script stamps its report with :func:`bench_metadata` so
+the JSON files checked in across PRs form a comparable trajectory: the
+schema version says how to read the numbers, the commit/timestamp say
+where they came from, and the interpreter/numpy versions say what they
+ran on.
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, Optional
+
+#: Bump when the shape of the benchmark reports changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+def _git_commit() -> Optional[str]:
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    commit = proc.stdout.strip()
+    return commit if proc.returncode == 0 and commit else None
+
+
+def bench_metadata() -> Dict[str, Optional[str]]:
+    """The standard provenance block embedded in every bench report."""
+    numpy_version: Optional[str] = None
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except ImportError:
+        pass
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "git_commit": _git_commit(),
+        "generated_utc": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "python_version": platform.python_version(),
+        "numpy_version": numpy_version,
+    }

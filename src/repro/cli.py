@@ -102,17 +102,25 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache_entries=args.cache,
         engine=args.engine,
+        mode=args.mode,
+        group_size=args.group_size,
     )
     batch = engine.run(queries, args.k)
     stats = batch.stats
     rows = [
         ["queries", stats.queries],
+        ["mode", stats.mode],
         ["workers", stats.workers],
         ["elapsed (s)", f"{stats.elapsed_seconds:.3f}"],
         ["throughput (q/s)", f"{stats.queries_per_second:.1f}"],
         ["mean latency (ms)", f"{stats.mean_ms:.2f}"],
         ["result ids (total)", stats.total_result_ids],
     ]
+    if stats.groups is not None:
+        rows.insert(2, ["groups", stats.groups])
+        rows.insert(2, ["group size", stats.group_size])
+    if stats.fallback_reason:
+        rows.append(["fallback", stats.fallback_reason])
     if stats.cache:
         rows.append(["cache hits", int(stats.cache["hits"])])
         rows.append(["cache misses", int(stats.cache["misses"])])
@@ -210,6 +218,19 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("seed", "snapshot", "auto"),
         default=None,
         help="traversal engine (default: REPRO_ENGINE, then auto)",
+    )
+    p_batch.add_argument(
+        "--mode",
+        choices=("per-query", "fused"),
+        default="per-query",
+        help="batch execution mode; fused walks the snapshot once per "
+        "spatial-locality group of queries",
+    )
+    p_batch.add_argument(
+        "--group-size",
+        type=int,
+        default=8,
+        help="queries fused into one snapshot walk (fused mode only)",
     )
     p_batch.set_defaults(fn=_cmd_batch)
 

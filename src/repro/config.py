@@ -35,6 +35,11 @@ KERNEL_BACKENDS = ("python", "numpy", "auto")
 #: not need the seed object-graph walk).
 ENGINES = ("seed", "snapshot", "auto")
 
+#: Batch execution modes of :class:`repro.perf.BatchSearcher`
+#: (``per-query`` runs one traversal per query; ``fused`` walks the
+#: index snapshot once per spatial-locality group of queries).
+BATCH_MODES = ("per-query", "fused")
+
 
 @dataclass(frozen=True)
 class SimilarityConfig:
@@ -150,12 +155,19 @@ class PerfConfig:
             this knob records an explicit choice for a run (pass it to
             :class:`repro.core.rstknn.RSTkNNSearcher` or
             :class:`repro.perf.BatchSearcher`).
+        batch_mode: One of :data:`BATCH_MODES`; how
+            :class:`repro.perf.BatchSearcher` executes a workload
+            (``per-query`` or the fused group-traversal engine).
+        fused_group_size: Queries fused into one snapshot walk when
+            ``batch_mode="fused"`` (see ``docs/TUNING.md``).
     """
 
     kernel_backend: str = "python"
     bound_cache_entries: int = 262144
     batch_workers: int = 1
     engine: str = "auto"
+    batch_mode: str = "per-query"
+    fused_group_size: int = 8
 
     def __post_init__(self) -> None:
         if self.kernel_backend not in KERNEL_BACKENDS:
@@ -174,6 +186,15 @@ class PerfConfig:
         if self.batch_workers < 1:
             raise ConfigError(
                 f"batch_workers must be >= 1, got {self.batch_workers}"
+            )
+        if self.batch_mode not in BATCH_MODES:
+            raise ConfigError(
+                f"unknown batch mode {self.batch_mode!r}; "
+                f"expected one of {BATCH_MODES}"
+            )
+        if self.fused_group_size < 1:
+            raise ConfigError(
+                f"fused_group_size must be >= 1, got {self.fused_group_size}"
             )
 
 

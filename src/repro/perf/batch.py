@@ -13,7 +13,14 @@ Query *streams* are where the shared-cache and kernel work pays off:
   searcher + bound cache for the queries routed to it, so no state is
   shared and results are bit-identical to sequential runs.  When the
   tree cannot be pickled the engine falls back to sequential execution
-  rather than failing the workload.
+  rather than failing the workload (``BatchStats.fallback_reason``
+  records why, and a :class:`RuntimeWarning` is emitted).
+* **Fused mode** (``mode="fused"``) groups the workload by spatial
+  locality (Morton order, ``group_size`` queries per group) and walks
+  the index snapshot once per group through
+  :class:`repro.core.fused.FusedBatchEngine`, amortizing node-level
+  bound work across the group.  Results are bit-identical to the
+  per-query ``snapshot`` engine by construction.
 
 Results come back in query order regardless of mode, with aggregate
 throughput and cache statistics in :class:`BatchStats`.
@@ -23,11 +30,12 @@ from __future__ import annotations
 
 import pickle
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..config import SimilarityConfig
+from ..config import BATCH_MODES, SimilarityConfig
 from ..core.rstknn import RSTkNNSearcher, SearchResult
 from ..errors import QueryError
 from ..index.iurtree import IURTree
@@ -68,6 +76,16 @@ class BatchStats:
     mean_ms: float
     total_result_ids: int
     cache: Dict[str, float] = field(default_factory=dict)
+    #: Execution mode that actually ran (one of ``BATCH_MODES``).
+    mode: str = "per-query"
+    #: Queries per fused group (``None`` outside fused mode).
+    group_size: Optional[int] = None
+    #: Number of fused groups executed (``None`` outside fused mode).
+    groups: Optional[int] = None
+    #: Why a requested execution strategy was downgraded (``None`` when
+    #: the run executed as requested) — e.g. parallel mode degrading to
+    #: sequential because the index could not be pickled.
+    fallback_reason: Optional[str] = None
 
     def as_dict(self) -> Dict[str, float]:
         """Flat dict of the counters, for experiment logging."""
@@ -75,11 +93,18 @@ class BatchStats:
             "queries": self.queries,
             "k": self.k,
             "workers": self.workers,
+            "mode": self.mode,
             "elapsed_seconds": self.elapsed_seconds,
             "queries_per_second": self.queries_per_second,
             "mean_ms": self.mean_ms,
             "total_result_ids": self.total_result_ids,
         }
+        if self.group_size is not None:
+            out["group_size"] = self.group_size
+        if self.groups is not None:
+            out["groups"] = self.groups
+        if self.fallback_reason is not None:
+            out["fallback_reason"] = self.fallback_reason
         for key, value in self.cache.items():
             out[f"cache_{key}"] = value
         return out
@@ -118,6 +143,8 @@ class BatchSearcher:
         te_weight: float = 0.05,
         warm: bool = True,
         engine: Optional[str] = None,
+        mode: str = "per-query",
+        group_size: int = 8,
     ) -> None:
         """``workers=1`` runs sequentially with the shared bound cache;
         ``workers>1`` fans out over that many processes, each holding its
@@ -127,16 +154,44 @@ class BatchSearcher:
         :data:`repro.core.rstknn.ENGINE_CHOICES`); note that under
         ``auto`` the attached bound cache selects the seed walk — pass
         ``engine="snapshot"`` explicitly to batch over the columnar
-        engine (whose snapshot-resident memo replaces the bound cache)."""
+        engine (whose snapshot-resident memo replaces the bound cache).
+        ``mode="fused"`` runs the workload through the fused group
+        engine instead of one query at a time: spatial-locality groups
+        of ``group_size`` queries share one snapshot walk (sequential
+        only — fused mode is incompatible with ``workers>1`` and with
+        ``engine="seed"``, since it is by construction a batch form of
+        the snapshot engine)."""
         if workers < 1:
             raise QueryError(f"workers must be >= 1, got {workers}")
+        if mode not in BATCH_MODES:
+            raise QueryError(
+                f"unknown batch mode {mode!r}; expected one of {BATCH_MODES}"
+            )
+        if mode == "fused":
+            if workers > 1:
+                raise QueryError(
+                    "fused batch mode is sequential; it is incompatible "
+                    f"with workers={workers}"
+                )
+            if engine == "seed":
+                raise QueryError(
+                    "fused batch mode runs over the index snapshot; it is "
+                    "incompatible with engine='seed'"
+                )
+            if group_size < 1:
+                raise QueryError(
+                    f"group_size must be >= 1, got {group_size}"
+                )
         self.tree = tree
         self.config = config
         self.workers = workers
         self.cache_entries = cache_entries
         self.te_weight = te_weight
         self.engine = engine
+        self.mode = mode
+        self.group_size = group_size
         self.bound_cache = BoundCache(cache_entries)
+        self._pickle_error: Optional[str] = None
         self._searcher = RSTkNNSearcher(
             tree,
             config,
@@ -156,16 +211,31 @@ class BatchSearcher:
         queries = list(queries)
         started = time.perf_counter()
         workers_used = self.workers
-        if self.workers > 1 and len(queries) > 1:
+        fallback_reason: Optional[str] = None
+        groups: Optional[int] = None
+        if self.mode == "fused" and queries:
+            workers_used = 1
+            results, groups = self._run_fused(queries, k)
+        elif self.workers > 1 and len(queries) > 1:
             results = self._run_parallel(queries, k)
             if results is None:  # unpicklable index — degrade gracefully
                 workers_used = 1
+                fallback_reason = (
+                    self._pickle_error or "index not picklable"
+                )
+                warnings.warn(
+                    "BatchSearcher parallel mode fell back to sequential "
+                    f"execution: {fallback_reason}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
                 results = self._run_sequential(queries, k)
         else:
             workers_used = 1
             results = self._run_sequential(queries, k)
         elapsed = time.perf_counter() - started
         n = len(queries)
+        fused = self.mode == "fused"
         stats = BatchStats(
             queries=n,
             k=k,
@@ -175,8 +245,12 @@ class BatchSearcher:
             mean_ms=(elapsed * 1000.0 / n) if n else 0.0,
             total_result_ids=sum(len(r.ids) for r in results),
             cache=self.bound_cache.stats().as_dict()
-            if workers_used == 1
+            if workers_used == 1 and not fused
             else {},
+            mode=self.mode,
+            group_size=self.group_size if fused else None,
+            groups=groups,
+            fallback_reason=fallback_reason,
         )
         return BatchResult(results=results, stats=stats)
 
@@ -188,6 +262,25 @@ class BatchSearcher:
         self, queries: Sequence[STObject], k: int
     ) -> List[SearchResult]:
         return [self._searcher.search(query, k) for query in queries]
+
+    def _run_fused(
+        self, queries: Sequence[STObject], k: int
+    ) -> Tuple[List[SearchResult], int]:
+        """Run locality groups through the fused engine; input order."""
+        from ..core.fused import make_groups
+
+        searcher = self._searcher
+        snap = self.tree.snapshot()
+        engine = snap.fused_engine_for(
+            self.tree, searcher.measure, searcher.alpha, searcher.te_weight
+        )
+        results: List[Optional[SearchResult]] = [None] * len(queries)
+        groups = make_groups(queries, self.group_size)
+        for member_ids in groups:
+            group = [queries[i] for i in member_ids]
+            for i, result in zip(member_ids, engine.run_group(group, k)):
+                results[i] = result
+        return [r for r in results if r is not None], len(groups)
 
     def _run_parallel(
         self, queries: Sequence[STObject], k: int
@@ -202,7 +295,10 @@ class BatchSearcher:
                     self.engine,
                 )
             )
-        except (pickle.PicklingError, TypeError, AttributeError):
+        except (pickle.PicklingError, TypeError, AttributeError) as exc:
+            self._pickle_error = (
+                f"index not picklable ({type(exc).__name__}: {exc})"
+            )
             return None
         n = len(queries)
         workers = min(self.workers, n)

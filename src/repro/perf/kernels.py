@@ -395,6 +395,99 @@ def freeze(
     return PyFrozenVector(ids, weights, norm_sq)
 
 
+def group_text_dots(postings, ids, weights, n_rows, np=None):
+    """Dot products of one query against every row of a postings map.
+
+    ``postings`` maps ``term_id -> (row_indices, row_weights)`` (the
+    columnar layout of :class:`repro.perf.snapshot.SnapshotTextMatrix`);
+    ``ids``/``weights`` are the query's sparse terms.  Returns
+    ``(dots, overlaps)`` of length ``n_rows`` — numpy arrays when ``np``
+    is passed, plain lists otherwise — or ``None`` when no query term
+    appears in any row (every dot is exactly 0.0).
+
+    Float-parity contract: a row touched by at most **two** query terms
+    accumulates its dot in term order with exactly one addition, which
+    IEEE-754 guarantees bit-identical to the per-pair frozen-kernel
+    reduction regardless of its iteration order (addition and
+    multiplication are commutative, exactly rounded ops).  Rows with
+    three or more shared terms are *not* guaranteed bit-identical —
+    callers must recompute those few rows through the scalar kernel
+    (``overlaps`` exists precisely to find them).
+    """
+    if np is not None:
+        rows_parts = []
+        val_parts = []
+        for tid, w in zip(ids, weights):
+            p = postings.get(tid)
+            if p is not None:
+                rows_parts.append(p[0])
+                val_parts.append(p[1] * w)
+        if not rows_parts:
+            return None
+        rows = np.concatenate(rows_parts)
+        dots = np.bincount(
+            rows, weights=np.concatenate(val_parts), minlength=n_rows
+        )
+        overlaps = np.bincount(rows, minlength=n_rows)
+        return dots, overlaps
+    dots = [0.0] * n_rows
+    overlaps = [0] * n_rows
+    touched = False
+    for tid, w in zip(ids, weights):
+        p = postings.get(tid)
+        if p is None:
+            continue
+        touched = True
+        for r, pw in zip(p[0], p[1]):
+            dots[r] += pw * w
+            overlaps[r] += 1
+    return (dots, overlaps) if touched else None
+
+
+def group_spatial_components(
+    qxlo, qylo, qxhi, qyhi, bxlo, bylo, bxhi, byhi, np=None
+):
+    """Spatial bound components of G query rects vs C block rects.
+
+    Returns six ``(G, C)`` tables ``(dx_min, dy_min, dx_max, dy_max,
+    pdx, pdy)`` — the per-axis separations feeding the min/max distance
+    ``hypot`` finishes plus the point deltas for exact object scores —
+    as numpy arrays when ``np`` is passed, nested lists otherwise.  The
+    expressions mirror the scalar ``q_st``/``q_exact`` call sites of
+    :class:`repro.core.traversal.SnapshotEngine` term for term
+    (subtraction, ``abs`` and ``max`` are exactly rounded, so each
+    component is bit-identical to its scalar counterpart); callers
+    finish with scalar ``math.hypot`` and clamps for full bit parity.
+    """
+    if np is not None:
+        qxlo = np.asarray(qxlo)[:, None]
+        qylo = np.asarray(qylo)[:, None]
+        qxhi = np.asarray(qxhi)[:, None]
+        qyhi = np.asarray(qyhi)[:, None]
+        bxlo = np.asarray(bxlo)[None, :]
+        bylo = np.asarray(bylo)[None, :]
+        bxhi = np.asarray(bxhi)[None, :]
+        byhi = np.asarray(byhi)[None, :]
+        return (
+            np.maximum(np.maximum(qxlo - bxhi, 0.0), bxlo - qxhi),
+            np.maximum(np.maximum(qylo - byhi, 0.0), bylo - qyhi),
+            np.maximum(np.abs(qxhi - bxlo), np.abs(bxhi - qxlo)),
+            np.maximum(np.abs(qyhi - bylo), np.abs(byhi - qylo)),
+            qxlo - bxlo,
+            qylo - bylo,
+        )
+    dxm_t, dym_t, dxM_t, dyM_t, pdx_t, pdy_t = [], [], [], [], [], []
+    for g in range(len(qxlo)):
+        gx0, gy0, gx1, gy1 = qxlo[g], qylo[g], qxhi[g], qyhi[g]
+        dxm_t.append([max(gx0 - bxhi[c], 0.0, bxlo[c] - gx1) for c in range(len(bxlo))])
+        dym_t.append([max(gy0 - byhi[c], 0.0, bylo[c] - gy1) for c in range(len(bxlo))])
+        dxM_t.append([max(abs(gx1 - bxlo[c]), abs(bxhi[c] - gx0)) for c in range(len(bxlo))])
+        dyM_t.append([max(abs(gy1 - bylo[c]), abs(byhi[c] - gy0)) for c in range(len(bxlo))])
+        pdx_t.append([gx0 - bxlo[c] for c in range(len(bxlo))])
+        pdy_t.append([gy0 - bylo[c] for c in range(len(bxlo))])
+    return dxm_t, dym_t, dxM_t, dyM_t, pdx_t, pdy_t
+
+
 def dot(a, b) -> float:
     """``Σ_t a[t] * b[t]`` over two same-backend frozen vectors."""
     return a.dot(b)

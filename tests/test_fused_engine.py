@@ -1,0 +1,253 @@
+"""Fused batch engine: parity with the snapshot engine, by construction.
+
+The fused group walk must be indistinguishable from running the
+per-query snapshot engine over the same workload: identical result ids
+and identical decision counters for every query, under every measure,
+alpha, ``k``, group size, and index variant — with numpy and without.
+These tests pin that contract plus the columnar text matrix's
+invalidation rule (a fused run after an insert must never read a stale
+matrix) and the locality grouping's partition properties.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    CIURTree,
+    IURTree,
+    RSTkNNSearcher,
+    SimilarityConfig,
+    STDataset,
+)
+from repro.config import PerfConfig
+from repro.core import fused as fused_mod
+from repro.core.fused import locality_order, make_groups
+from repro.errors import ConfigError
+from repro.perf import kernels
+from repro.perf.batch import BatchSearcher
+from repro.perf.snapshot import SnapshotTextMatrix
+from repro.spatial import Point
+from repro.workloads import sample_queries
+
+from tests.conftest import random_corpus
+from tests.test_engine_snapshot import _decisions
+
+_STATE = {}
+
+
+def _env():
+    """Shared dataset/trees for the parity sweep (built once)."""
+    if not _STATE:
+        dataset = STDataset.from_corpus(random_corpus(120, seed=19))
+        _STATE.update(
+            dataset=dataset,
+            iur=IURTree.build(dataset),
+            ciur=CIURTree.build(dataset),
+            queries=sample_queries(dataset, 6, seed=3),
+        )
+    return _STATE
+
+
+def assert_fused_parity(tree, queries, k, group_size, config=None):
+    """Fused group runs == per-query snapshot runs, ids and decisions."""
+    searcher = RSTkNNSearcher(tree, config, te_weight=0.05, engine="snapshot")
+    snap = tree.snapshot()
+    engine = snap.fused_engine_for(
+        tree, searcher.measure, searcher.alpha, searcher.te_weight
+    )
+    per = [searcher.search(q, k) for q in queries]
+    results = [None] * len(queries)
+    for members in make_groups(queries, group_size):
+        group = [queries[i] for i in members]
+        for i, result in zip(members, engine.run_group(group, k)):
+            results[i] = result
+    for i, (a, b) in enumerate(zip(per, results)):
+        assert b.ids == a.ids, f"query {i}: ids diverged"
+        assert _decisions(b) == _decisions(a), f"query {i}: decisions diverged"
+
+
+class TestFusedParity:
+    def test_default_config_across_group_sizes(self):
+        env = _env()
+        for group_size in (1, 3, 8):
+            assert_fused_parity(env["iur"], env["queries"], 5, group_size)
+
+    def test_alpha_edges(self):
+        env = _env()
+        for alpha in (0.0, 1.0):
+            cfg = SimilarityConfig(alpha=alpha)
+            assert_fused_parity(env["iur"], env["queries"], 4, 3, cfg)
+
+    def test_non_ejaccard_measure(self):
+        env = _env()
+        cfg = SimilarityConfig(alpha=0.4, text_measure="cosine")
+        assert_fused_parity(env["ciur"], env["queries"], 4, 4, cfg)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        alpha=st.sampled_from([0.0, 0.25, 0.5, 0.8, 1.0]),
+        k=st.integers(min_value=1, max_value=7),
+        group_size=st.integers(min_value=1, max_value=6),
+        variant=st.sampled_from(["iur", "ciur"]),
+    )
+    def test_parity_property(self, alpha, k, group_size, variant):
+        env = _env()
+        cfg = SimilarityConfig(alpha=alpha)
+        assert_fused_parity(env[variant], env["queries"], k, group_size, cfg)
+
+    def test_pure_python_books_parity(self, monkeypatch):
+        # Force the numpy-absent fused structures (_PyBook + python
+        # group kernels) on a fresh tree so no memoized numpy-backed
+        # fused engine can satisfy the lookup.
+        monkeypatch.setattr(fused_mod, "_group_numpy", lambda: None)
+        dataset = STDataset.from_corpus(random_corpus(90, seed=23))
+        tree = IURTree.build(dataset)
+        queries = sample_queries(dataset, 5, seed=7)
+        searcher = RSTkNNSearcher(tree, engine="snapshot")
+        snap = tree.snapshot()
+        engine = snap.fused_engine_for(
+            tree, searcher.measure, searcher.alpha, searcher.te_weight
+        )
+        assert engine._np is None
+        assert_fused_parity(tree, queries, 4, 2)
+
+
+class TestGroupKernels:
+    def test_group_text_dots_backends_agree(self):
+        env = _env()
+        tm = env["iur"].snapshot().text_matrix()
+        query = env["queries"][0].vector
+        ids, ws = query.term_ids(), tuple(w for _, w in query.items())
+        np = kernels._numpy()
+        if np is None:
+            pytest.skip("numpy unavailable")
+        got_np = kernels.group_text_dots(
+            tm.int_postings, ids, ws, tm.n_rows, np
+        )
+        # The python path needs list-backed postings.
+        py_postings = {
+            tid: (list(rows), list(weights))
+            for tid, (rows, weights) in tm.int_postings.items()
+        }
+        got_py = kernels.group_text_dots(py_postings, ids, ws, tm.n_rows, None)
+        assert (got_np is None) == (got_py is None)
+        if got_np is not None:
+            dots_np, over_np = got_np
+            dots_py, over_py = got_py
+            assert over_np.tolist() == list(over_py)
+            for a, b in zip(dots_np.tolist(), dots_py):
+                assert a == pytest.approx(b, abs=1e-12)
+
+    def test_group_spatial_components_backends_agree(self):
+        np = kernels._numpy()
+        if np is None:
+            pytest.skip("numpy unavailable")
+        q = ([0.0, 5.0], [1.0, 6.0], [2.0, 7.0], [3.0, 8.0])
+        b = ([1.5, 9.0, 3.0], [0.5, 2.0, 7.0], [2.5, 10.0, 4.0], [1.5, 3.0, 9.0])
+        got_np = kernels.group_spatial_components(*q, *b, np)
+        got_py = kernels.group_spatial_components(*q, *b, None)
+        for table_np, table_py in zip(got_np, got_py):
+            for row_np, row_py in zip(table_np, table_py):
+                assert list(row_np) == list(row_py)
+
+
+class TestTextMatrix:
+    def test_structure_and_memoization(self):
+        env = _env()
+        snap = env["iur"].snapshot()
+        tm = snap.text_matrix()
+        assert tm is snap.text_matrix()  # lazy, built once
+        assert isinstance(tm, SnapshotTextMatrix)
+        assert tm.generation == snap.generation
+        assert len(tm.indptr) == snap.n_slots + 1
+        assert tm.n_rows == tm.indptr[-1]
+        assert tm.n_obj_rows == sum(snap.is_obj)
+        # Row spans align with each slot's cluster tuple.
+        for slot in range(snap.n_slots):
+            span = tm.indptr[slot + 1] - tm.indptr[slot]
+            assert span == len(snap.clusters[slot])
+        # Object rows carry the exact frozen vectors and norms.
+        for slot in range(snap.n_slots):
+            row = tm.obj_row[slot]
+            if snap.is_obj[slot]:
+                assert tm.obj_nsq[row] == snap.obj_vec[slot].norm_squared
+            else:
+                assert row == -1
+
+    def test_backend_tracks_numpy(self):
+        env = _env()
+        tm = env["iur"].snapshot().text_matrix()
+        expected = "numpy" if kernels._numpy() is not None else "python"
+        assert tm.backend == expected
+
+    def test_describe_keys(self):
+        env = _env()
+        desc = env["iur"].snapshot().text_matrix().describe()
+        for key in ("generation", "cluster_rows", "object_rows", "backend"):
+            assert key in desc
+
+
+class TestStalenessAfterInsert:
+    def test_fused_run_never_reads_stale_matrix(self):
+        dataset = STDataset.from_corpus(random_corpus(80, seed=41))
+        tree = IURTree.build(dataset)
+        fused = BatchSearcher(tree, mode="fused", group_size=3)
+        queries = sample_queries(dataset, 4, seed=5)
+        fused.run(queries, 3)  # freezes the pre-insert snapshot + matrix
+        before = tree.snapshot()
+        matrix_before = before.text_matrix()
+
+        obj = dataset.append_record(Point(42.0, 58.0), "coffee bakery")
+        tree.insert_object(obj)
+
+        # The rebuilt snapshot owns a rebuilt matrix — the generation
+        # bump invalidates the CSR arrays along with everything else.
+        after = tree.snapshot()
+        assert after is not before
+        matrix_after = after.text_matrix()
+        assert matrix_after is not matrix_before
+        assert matrix_after.generation > matrix_before.generation
+        assert matrix_after.n_obj_rows == matrix_before.n_obj_rows + 1
+
+        # And the post-insert fused run matches the per-query engine
+        # (which is itself pinned against the seed walk elsewhere).
+        per = BatchSearcher(tree, engine="snapshot")
+        assert (
+            fused.run(queries, 3).id_lists() == per.run(queries, 3).id_lists()
+        )
+
+
+class TestLocalityGrouping:
+    def test_order_is_permutation_and_deterministic(self):
+        env = _env()
+        order = locality_order(env["queries"])
+        assert sorted(order) == list(range(len(env["queries"])))
+        assert order == locality_order(env["queries"])
+
+    def test_groups_partition_workload(self):
+        env = _env()
+        for group_size in (1, 2, 5, 100):
+            groups = make_groups(env["queries"], group_size)
+            flat = [i for members in groups for i in members]
+            assert sorted(flat) == list(range(len(env["queries"])))
+            assert all(len(members) <= group_size for members in groups)
+
+    def test_empty_workload(self):
+        assert locality_order([]) == []
+        assert make_groups([], 4) == []
+
+
+class TestPerfConfigKnobs:
+    def test_defaults(self):
+        cfg = PerfConfig()
+        assert cfg.batch_mode == "per-query"
+        assert cfg.fused_group_size == 8
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ConfigError):
+            PerfConfig(batch_mode="bogus")
+
+    def test_rejects_nonpositive_group_size(self):
+        with pytest.raises(ConfigError):
+            PerfConfig(fused_group_size=0)

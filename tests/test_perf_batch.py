@@ -86,9 +86,48 @@ def test_unpicklable_tree_falls_back_to_sequential(monkeypatch):
         raise batch_mod.pickle.PicklingError("nope")
 
     monkeypatch.setattr(batch_mod.pickle, "dumps", explode)
-    batch = engine.run(env["queries"][:3], 3)
+    # The degradation must be loud: a RuntimeWarning at run() and the
+    # reason recorded on the stats, not a silent mode switch.
+    with pytest.warns(RuntimeWarning, match="fell back to sequential"):
+        batch = engine.run(env["queries"][:3], 3)
     assert batch.stats.workers == 1  # degraded, not failed
+    assert "PicklingError" in batch.stats.fallback_reason
+    assert batch.stats.as_dict()["fallback_reason"] == batch.stats.fallback_reason
     assert batch.id_lists() == _reference_ids(env["tree"], env["queries"][:3], 3)
+
+
+def test_picklable_run_reports_no_fallback():
+    env = _fixture()
+    batch = BatchSearcher(env["tree"], workers=1).run(env["queries"][:2], 3)
+    assert batch.stats.fallback_reason is None
+    assert "fallback_reason" not in batch.stats.as_dict()
+
+
+def test_fused_mode_matches_per_query():
+    env = _fixture()
+    queries = env["queries"]
+    fused = BatchSearcher(env["tree"], mode="fused", group_size=3)
+    batch = fused.run(queries, 4)
+    assert batch.id_lists() == _reference_ids(env["tree"], queries, 4)
+    stats = batch.stats
+    assert stats.mode == "fused"
+    assert stats.group_size == 3
+    assert stats.groups == 2  # ceil(5 / 3) locality groups
+    assert stats.cache == {}  # fused runs bypass the shared bound cache
+    flat = stats.as_dict()
+    assert flat["mode"] == "fused" and flat["groups"] == 2
+
+
+def test_fused_mode_rejects_bad_combinations():
+    env = _fixture()
+    with pytest.raises(QueryError):
+        BatchSearcher(env["tree"], mode="fused", workers=2)
+    with pytest.raises(QueryError):
+        BatchSearcher(env["tree"], mode="fused", engine="seed")
+    with pytest.raises(QueryError):
+        BatchSearcher(env["tree"], mode="fused", group_size=0)
+    with pytest.raises(QueryError):
+        BatchSearcher(env["tree"], mode="bogus")
 
 
 def test_harness_run_batch_queries():
@@ -101,9 +140,41 @@ def test_harness_run_batch_queries():
     assert run.extra["queries_per_second"] > 0
 
 
+def test_harness_run_batch_queries_fused():
+    from repro.bench.harness import run_batch_queries
+
+    env = _fixture()
+    run = run_batch_queries(
+        env["tree"], env["queries"][:4], 3, mode="fused", group_size=2
+    )
+    assert run.method == "iur-batch-fused2"
+    assert run.extra["mode"] == "fused"
+    assert run.extra["groups"] == 2
+
+
 def test_cli_batch_smoke(capsys):
     from repro.cli import main
 
     assert main(["batch", "--n", "100", "--queries", "2", "--k", "3"]) == 0
     out = capsys.readouterr().out
     assert "throughput" in out and "cache hit rate" in out
+
+
+def test_cli_batch_fused_smoke(capsys):
+    from repro.cli import main
+
+    assert (
+        main(
+            [
+                "batch",
+                "--n", "100",
+                "--queries", "4",
+                "--k", "3",
+                "--mode", "fused",
+                "--group-size", "2",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "fused" in out and "groups" in out
