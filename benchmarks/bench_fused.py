@@ -135,23 +135,34 @@ def main(argv=None) -> int:
         else (4 if args.quick else 8)
     )
 
+    from repro.core.fused import make_groups
+    from repro.obs import PhaseTimer
+
+    timer = PhaseTimer()
     dataset = gn_like(n=n)
-    tree = IURTree.build(dataset)
-    tree.warm_kernels()
+    with timer.phase("build"):
+        tree = IURTree.build(dataset)
+    with timer.phase("freeze"):
+        tree.warm_kernels()
+        snapshot = tree.snapshot()
     queries = sample_queries(dataset, n_queries, seed=99)
-    snapshot = tree.snapshot()
+    with timer.phase("group"):
+        make_groups(queries, group_size)
+    with timer.phase("walk"):
+        modes = bench_modes(tree, queries, args.k, rounds, group_size)
 
     from repro.bench.meta import bench_metadata
 
     report = {
         "meta": bench_metadata(),
+        "phases": timer.as_dict(),
         "n": n,
         "quick": args.quick,
         "kernel_backend": kernels.backend_name(),
         "numpy_available": kernels.numpy_available(),
         "snapshot": snapshot.describe(),
         "text_matrix": snapshot.text_matrix().describe(),
-        "modes": bench_modes(tree, queries, args.k, rounds, group_size),
+        "modes": modes,
     }
 
     with open(args.out, "w") as fh:

@@ -98,22 +98,30 @@ def main(argv=None) -> int:
     n_queries = 4 if args.quick else 12
     rounds = 1 if args.quick else 5
 
+    from repro.obs import PhaseTimer
+
+    timer = PhaseTimer()
     dataset = gn_like(n=n)
-    tree = IURTree.build(dataset)
-    tree.warm_kernels()
+    with timer.phase("build"):
+        tree = IURTree.build(dataset)
+    with timer.phase("freeze"):
+        tree.warm_kernels()
+        snapshot = tree.snapshot()
     queries = sample_queries(dataset, n_queries, seed=99)
-    snapshot = tree.snapshot()
+    with timer.phase("walk"):
+        engines = bench_engines(tree, queries, args.k, rounds)
 
     from repro.bench.meta import bench_metadata
 
     report = {
         "meta": bench_metadata(),
+        "phases": timer.as_dict(),
         "n": n,
         "quick": args.quick,
         "kernel_backend": kernels.backend_name(),
         "numpy_available": kernels.numpy_available(),
         "snapshot": snapshot.describe(),
-        "engines": bench_engines(tree, queries, args.k, rounds),
+        "engines": engines,
     }
 
     with open(args.out, "w") as fh:

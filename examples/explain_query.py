@@ -3,9 +3,12 @@
 
 The searcher can emit a decision trace — every subtree it pruned,
 accepted, expanded, and every object it had to verify exactly, with the
-bounds that justified the call.  This example runs a query with tracing
-on, prints the decision log, and then uses ``search_ranked`` to show how
-prominently the query would appear in each reverse neighbor's own top-k.
+bounds that justified the call.  Every traversal engine emits the same
+events (under ``engine="auto"`` this trace comes from the columnar
+snapshot engine; see docs/OBSERVABILITY.md), so tracing costs no engine
+downgrade.  This example runs a query with tracing on, prints the
+decision log, and then uses ``search_ranked`` to show how prominently
+the query would appear in each reverse neighbor's own top-k.
 
 Run:  python examples/explain_query.py
 """

@@ -195,13 +195,18 @@ def run_batch_queries(
     engine: Optional[str] = None,
     mode: str = "per-query",
     group_size: int = 8,
+    metrics=None,
 ) -> QueryRun:
     """Run a workload through :class:`repro.perf.BatchSearcher`.
 
     Unlike :func:`run_queries` this measures *throughput* (warm buffer
     pool, shared bound cache, optional process fan-out, or the fused
     group engine with ``mode="fused"``), so I/O and per-query decision
-    statistics are not reported.
+    statistics are not reported.  The per-phase timing breakdown
+    (``phase_*_seconds``) lands in :attr:`QueryRun.extra`; pass a
+    :class:`repro.obs.MetricsRegistry` as ``metrics`` to additionally
+    record counters, latency histograms, and phase/cache gauges for
+    export (see ``docs/OBSERVABILITY.md``).
     """
     from ..perf import BatchSearcher
     from ..perf.cache import DEFAULT_BOUND_CACHE_ENTRIES
@@ -217,6 +222,7 @@ def run_batch_queries(
         engine=engine,
         mode=mode,
         group_size=group_size,
+        metrics=metrics,
     )
     batch = searcher.run(queries, k)
     stats = batch.stats

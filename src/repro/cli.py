@@ -6,6 +6,7 @@ Examples::
     repro-rstknn run E1
     repro-rstknn run E3 --scale 2000
     repro-rstknn demo --n 1000 --k 5
+    repro-rstknn obs --queries 20 --format prom
 """
 
 from __future__ import annotations
@@ -139,6 +140,35 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json
+
+    from .core.rstknn import RSTkNNSearcher as _Searcher
+    from .obs import MetricsRegistry, MetricsSink, PhaseTimer
+
+    registry = MetricsRegistry()
+    timer = PhaseTimer()
+    dataset = gn_like(n=args.n)
+    with timer.phase("build"):
+        tree = IURTree.build(dataset)
+    with timer.phase("freeze"):
+        tree.warm_kernels()
+        if args.engine != "seed":
+            tree.snapshot()
+    searcher = _Searcher(tree, engine=args.engine, metrics=registry)
+    sink = MetricsSink(registry)
+    queries = sample_queries(dataset, args.queries)
+    with timer.phase("walk"):
+        for query in queries:
+            searcher.search(query, args.k, trace=sink)
+    timer.publish(registry)
+    if args.format == "prom":
+        sys.stdout.write(registry.to_prometheus())
+    else:
+        print(json.dumps(registry.snapshot(), indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     dataset = gn_like(n=args.n)
     tree = IURTree.build(dataset)
@@ -233,6 +263,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="queries fused into one snapshot walk (fused mode only)",
     )
     p_batch.set_defaults(fn=_cmd_batch)
+
+    p_obs = sub.add_parser(
+        "obs",
+        help="run a small traced workload and export its metrics "
+        "(JSON snapshot or Prometheus text)",
+    )
+    p_obs.add_argument("--n", type=int, default=400)
+    p_obs.add_argument("--k", type=int, default=5)
+    p_obs.add_argument("--queries", type=int, default=10)
+    p_obs.add_argument(
+        "--engine",
+        choices=("seed", "snapshot", "auto"),
+        default="auto",
+        help="traversal engine the workload runs on",
+    )
+    p_obs.add_argument(
+        "--format",
+        choices=("json", "prom"),
+        default="json",
+        help="export format: JSON registry snapshot or Prometheus text",
+    )
+    p_obs.set_defaults(fn=_cmd_obs)
 
     p_demo = sub.add_parser("demo", help="build an index and run a few queries")
     p_demo.add_argument("--n", type=int, default=800)

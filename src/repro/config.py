@@ -160,6 +160,12 @@ class PerfConfig:
             (``per-query`` or the fused group-traversal engine).
         fused_group_size: Queries fused into one snapshot walk when
             ``batch_mode="fused"`` (see ``docs/TUNING.md``).
+        observability: When True,
+            :meth:`repro.perf.BatchSearcher.from_perf_config` attaches a
+            live :class:`repro.obs.MetricsRegistry` (query counters,
+            decision counters, latency histograms, phase gauges) instead
+            of recording nothing.  Off by default: the disabled path
+            costs nothing (see ``docs/OBSERVABILITY.md``).
     """
 
     kernel_backend: str = "python"
@@ -168,6 +174,7 @@ class PerfConfig:
     engine: str = "auto"
     batch_mode: str = "per-query"
     fused_group_size: int = 8
+    observability: bool = False
 
     def __post_init__(self) -> None:
         if self.kernel_backend not in KERNEL_BACKENDS:
@@ -195,6 +202,10 @@ class PerfConfig:
         if self.fused_group_size < 1:
             raise ConfigError(
                 f"fused_group_size must be >= 1, got {self.fused_group_size}"
+            )
+        if not isinstance(self.observability, bool):
+            raise ConfigError(
+                f"observability must be a bool, got {self.observability!r}"
             )
 
 

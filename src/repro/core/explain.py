@@ -1,10 +1,17 @@
 """Query explanation: a structured trace of the searcher's decisions.
 
-Pass a :class:`SearchTrace` to :meth:`RSTkNNSearcher.search` and every
-group-level decision — prune, accept, expand, verify — is recorded with
-the bounds that justified it.  ``render()`` produces a human-readable
+:class:`SearchTrace` is the reference implementation of the
+:class:`repro.obs.TraceSink` protocol — every traversal engine (the seed
+walk, the snapshot engine, and the fused batch engine) emits the same
+stream of group-level decision events, so a trace can be attached to any
+of them; :meth:`RSTkNNSearcher.search` no longer changes engines when a
+trace is passed.  Every decision — prune, accept, expand, verify — is
+recorded with the bounds that justified it, and the multiset of events
+one query produces is identical across engines (see
+``docs/OBSERVABILITY.md``).  ``render()`` produces a human-readable
 account, which the docs and the ``explain`` example use to show *why* an
-object is (not) a reverse neighbor.
+object is (not) a reverse neighbor.  For cheaper sinks (tallies only,
+or metrics bridging) see :mod:`repro.obs.trace`.
 """
 
 from __future__ import annotations

@@ -58,7 +58,10 @@ import itertools
 import math
 import time
 from operator import itemgetter
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.trace import TraceSink
 
 from ..model.objects import STObject
 from ..perf import kernels
@@ -274,6 +277,18 @@ class _NpBook:
             return 1
         return 0
 
+    def knn_bounds(self, k: int) -> Tuple[float, float]:
+        """Current ``(kNNL, kNNU)`` band over the live rows (for trace
+        events; same selection the decision rules consume)."""
+        n = self.n
+        mask = self.alive[:n]
+        np = self.np
+        counts = self.cnt[:n][mask]
+        return (
+            _np_kth(np, self.lo[:n][mask], counts, k),
+            _np_kth(np, self.hi[:n][mask], counts, k),
+        )
+
     def candidate_slots(self, width: int) -> List[int]:
         """Slots of the top-``width`` live rows by lo, then by hi —
         the same sequence ``heapq.nlargest`` yields over the seed's
@@ -362,6 +377,18 @@ class _PyBook:
         if q_lo >= _kth_largest(highs, k):
             return 1
         return 0
+
+    def knn_bounds(self, k: int) -> Tuple[float, float]:
+        """Current ``(kNNL, kNNU)`` band over the live rows (for trace
+        events; same selection the decision rules consume)."""
+        lows: List[Tuple[float, int]] = []
+        highs: List[Tuple[float, int]] = []
+        lo, hi, cnt, alive = self.lo, self.hi, self.cnt, self.alive
+        for i in range(self.n):
+            if alive[i]:
+                lows.append((lo[i], cnt[i]))
+                highs.append((hi[i], cnt[i]))
+        return (_kth_largest(lows, k), _kth_largest(highs, k))
 
     def candidate_slots(self, width: int) -> List[int]:
         items = []
@@ -466,10 +493,25 @@ class FusedBatchEngine:
     # Public API
     # ------------------------------------------------------------------
 
-    def run_group(self, queries: Sequence[STObject], k: int) -> List[SearchResult]:
-        """Search every query of one group; results in input order."""
+    def run_group(
+        self,
+        queries: Sequence[STObject],
+        k: int,
+        traces: Optional[Sequence[Optional["TraceSink"]]] = None,
+    ) -> List[SearchResult]:
+        """Search every query of one group; results in input order.
+
+        ``traces`` optionally attaches one :class:`repro.obs.TraceSink`
+        per query (``None`` entries skip tracing for that query); each
+        traced walk emits the same decision-event multiset the other
+        engines produce for that query.
+        """
         gs = _GroupState(self, list(queries))
-        return [self._search_one(gs, g, k) for g in range(gs.G)]
+        if traces is None:
+            return [self._search_one(gs, g, k) for g in range(gs.G)]
+        return [
+            self._search_one(gs, g, k, trace=traces[g]) for g in range(gs.G)
+        ]
 
     # ------------------------------------------------------------------
     # Group-shared structures
@@ -740,7 +782,13 @@ class FusedBatchEngine:
     # Per-query walk
     # ------------------------------------------------------------------
 
-    def _search_one(self, gs: _GroupState, g: int, k: int) -> SearchResult:
+    def _search_one(
+        self,
+        gs: _GroupState,
+        g: int,
+        k: int,
+        trace: Optional["TraceSink"] = None,
+    ) -> SearchResult:
         """One query's branch-and-bound walk over the shared group state.
 
         Line-faithful to :meth:`SnapshotEngine.search`: same heap
@@ -748,6 +796,7 @@ class FusedBatchEngine:
         and buffer charges in the same order — only the representation
         of bounds (group tables) and contribution lists (columnar
         books) differs, with value parity argued piecewise above.
+        ``trace`` receives the engine-parity decision events.
         """
         started = time.perf_counter()
         stats = SearchStats()
@@ -792,6 +841,22 @@ class FusedBatchEngine:
             heapq.heappush(heap, (-prio, next(counter), r))
 
         tighten_width = tighten_width_for(k)
+        ref_col = snap.ref
+
+        def t_record(action: str, key: int, q_lo: float, q_hi: float) -> None:
+            # Engine-parity event: same fields and same kNN-band values
+            # as RSTkNNSearcher._record / SnapshotEngine's t_record.
+            knn_lo, knn_hi = books[key].knn_bounds(k)
+            trace.record(
+                action,
+                int(ref_col[key]),
+                bool(is_obj[key]),
+                int(cnt[key]),
+                q_lo,
+                q_hi,
+                knn_lo,
+                knn_hi,
+            )
 
         while heap:
             _, _, key = heapq.heappop(heap)
@@ -808,24 +873,35 @@ class FusedBatchEngine:
             if decision < 0:
                 stats.pruned_entries += 1
                 stats.pruned_objects += cnt[key]
+                if trace is not None:
+                    t_record("prune", key, q_lo, q_hi)
                 del books[key]
                 continue
             if decision > 0:
                 accepted_bits |= 1 << key
                 stats.accepted_entries += 1
                 stats.accepted_objects += cnt[key]
+                if trace is not None:
+                    t_record("accept", key, q_lo, q_hi)
                 del books[key]
                 continue
             if is_obj[key]:
-                if base._verify(key, q_hi, k, stats):
+                member = base._verify(key, q_hi, k, stats)
+                if member:
                     result_bits |= 1 << key
                 stats.verified_objects += 1
+                if trace is not None:
+                    t_record(
+                        "verify-in" if member else "verify-out", key, q_lo, q_hi
+                    )
                 del books[key]
                 continue
 
             # Expand: children inherit the parent's book; sibling/self
             # rows come from the group template, query bounds from the
             # group block table.
+            if trace is not None:
+                t_record("expand", key, q_lo, q_hi)
             fc, lc = snap.first_child[key], snap.last_child[key]
             tree.buffer.get(snap.record_id[key], "node")
             stats.expansions += 1

@@ -39,13 +39,15 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
-    from .explain import SearchTrace
+    from ..obs.metrics import MetricsRegistry
+    from ..obs.trace import TraceSink
 
 from ..config import SimilarityConfig
 from ..errors import ConfigError, QueryError
 from ..index.entry import Entry
 from ..index.iurtree import IURTree
 from ..model.objects import STObject
+from ..obs.metrics import record_search
 from ..perf.cache import BoundCache
 from ..text import make_measure
 from ..text.entropy import normalized_cluster_entropy
@@ -62,9 +64,11 @@ _NONRESULT = "nonresult"
 #: Traversal engine knob values: ``seed`` is the reference object-graph
 #: walk below; ``snapshot`` runs the columnar SnapshotEngine
 #: (:mod:`repro.core.traversal`); ``auto`` picks snapshot whenever the
-#: request has no feature that requires the seed walk (a trace, or an
-#: attached cross-query BoundCache, whose cache-stat contract the
-#: snapshot engine does not replicate).
+#: request has no feature that requires the seed walk.  Since the
+#: observability layer (:mod:`repro.obs`) generalized tracing into the
+#: TraceSink protocol, every engine emits decision events, so a trace no
+#: longer forces ``seed`` — only an attached cross-query BoundCache
+#: does (its cache-stat contract belongs to the seed's BoundComputer).
 ENGINE_CHOICES = ("seed", "snapshot", "auto")
 
 #: Environment override for the default engine.
@@ -162,12 +166,17 @@ class RSTkNNSearcher:
         te_weight: float = 0.05,
         bound_cache: Optional[BoundCache] = None,
         engine: Optional[str] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         """``bound_cache`` shares tree-pair bounds across this searcher's
         queries (see :class:`repro.perf.cache.BoundCache`); ``None`` keeps
         the seed behaviour of per-query memoization only.  ``engine``
         picks the traversal implementation (:data:`ENGINE_CHOICES`);
-        ``None`` defers to ``REPRO_ENGINE`` and then ``auto``."""
+        ``None`` defers to ``REPRO_ENGINE`` and then ``auto``.
+        ``metrics`` attaches a :class:`repro.obs.MetricsRegistry`: each
+        search then records per-engine query counters, decision
+        counters, and a latency histogram (``None`` records nothing —
+        see ``docs/OBSERVABILITY.md``)."""
         self.tree = tree
         cfg = config if config is not None else tree.dataset.config
         self.config = cfg
@@ -182,6 +191,7 @@ class RSTkNNSearcher:
                 f"engine must be one of {ENGINE_CHOICES}, got {engine!r}"
             )
         self.engine = engine
+        self.metrics = metrics
 
     def _bound_computer(self) -> BoundComputer:
         """A per-query computer attached to the shared cache, if any."""
@@ -193,22 +203,23 @@ class RSTkNNSearcher:
             generation=getattr(self.tree, "generation", 0),
         )
 
-    def _resolve_engine(self, trace: Optional["SearchTrace"]) -> str:
+    def _resolve_engine(self, trace: Optional["TraceSink"]) -> str:
         """The engine one search call will actually run.
 
-        Traces exist only in the seed walk (they record its object-graph
-        decisions), so any traced request runs ``seed``.  Under ``auto``,
-        an attached BoundCache also selects ``seed`` — its cache-stat
-        contract belongs to the seed's BoundComputer — as does a tree
-        that cannot produce snapshots.
+        Every engine emits decision events through the TraceSink
+        protocol (:mod:`repro.obs.trace`), so a traced request is *not*
+        downgraded.  Under ``auto``, an attached BoundCache selects
+        ``seed`` — its cache-stat contract belongs to the seed's
+        BoundComputer — as does a tree that cannot produce snapshots.
         """
+        del trace  # every engine can trace; kept for signature stability
         engine = self.engine
         can_snapshot = getattr(self.tree, "snapshot", None) is not None
         if engine == "auto":
-            if trace is not None or self.bound_cache is not None or not can_snapshot:
+            if self.bound_cache is not None or not can_snapshot:
                 return "seed"
             return "snapshot"
-        if engine == "snapshot" and (trace is not None or not can_snapshot):
+        if engine == "snapshot" and not can_snapshot:
             return "seed"
         return engine
 
@@ -217,12 +228,14 @@ class RSTkNNSearcher:
     # ------------------------------------------------------------------
 
     def search(
-        self, query: STObject, k: int, trace: Optional["SearchTrace"] = None
+        self, query: STObject, k: int, trace: Optional["TraceSink"] = None
     ) -> SearchResult:
         """All objects that count ``query`` among their top-k by SimST.
 
-        Pass a :class:`repro.core.explain.SearchTrace` as ``trace`` to
-        capture every group-level decision with its justifying bounds.
+        Pass any :class:`repro.obs.TraceSink` — typically a
+        :class:`repro.core.explain.SearchTrace` — as ``trace`` to capture
+        every group-level decision with its justifying bounds.  Tracing
+        works on every engine and does not change engine resolution.
         """
         if k < 1:
             raise QueryError(f"k must be >= 1, got {k}")
@@ -231,7 +244,9 @@ class RSTkNNSearcher:
             runner = snap.engine_for(
                 self.tree, self.measure, self.alpha, self.te_weight
             )
-            return runner.search(query, k)
+            result = runner.search(query, k, trace=trace)
+            record_search(self.metrics, "snapshot", result.stats)
+            return result
         started = time.perf_counter()
         stats = SearchStats()
         bounds = self._bound_computer()
@@ -245,6 +260,7 @@ class RSTkNNSearcher:
         roots = self._initial_entries()
         if not roots:
             stats.elapsed_seconds = time.perf_counter() - started
+            record_search(self.metrics, "seed", stats)
             return SearchResult([], stats, self.tree.io.snapshot())
 
         live: Dict[SourceKey, Entry] = {}
@@ -375,6 +391,7 @@ class RSTkNNSearcher:
                 self.bound_cache.stats().evictions - evictions_before
             )
         stats.elapsed_seconds = time.perf_counter() - started
+        record_search(self.metrics, "seed", stats)
         return SearchResult(ids, stats, self.tree.io.snapshot())
 
     def search_for_member(self, oid: int, k: int) -> SearchResult:
@@ -457,7 +474,7 @@ class RSTkNNSearcher:
 
     @staticmethod
     def _record(
-        trace: "SearchTrace",
+        trace: "TraceSink",
         action: str,
         entry: Entry,
         q_lo: float,

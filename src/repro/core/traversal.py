@@ -45,7 +45,10 @@ import heapq
 import itertools
 import math
 import time
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.trace import TraceSink
 
 from ..model.objects import STObject
 from ..perf import kernels
@@ -232,8 +235,16 @@ class SnapshotEngine:
     # Search
     # ------------------------------------------------------------------
 
-    def search(self, query: STObject, k: int) -> SearchResult:
-        """Seed-identical RSTkNN search (see module docstring)."""
+    def search(
+        self, query: STObject, k: int, trace: Optional["TraceSink"] = None
+    ) -> SearchResult:
+        """Seed-identical RSTkNN search (see module docstring).
+
+        ``trace`` is any :class:`repro.obs.TraceSink`; the engine emits
+        the same decision events (action, ref, bounds) the seed walk
+        does — the multiset of events per query is identical across
+        engines, which ``tests/test_obs.py`` asserts.
+        """
         started = time.perf_counter()
         stats = SearchStats()
         hits0, misses0 = self.hits, self.misses
@@ -365,6 +376,24 @@ class SnapshotEngine:
         np_cols = snap.np_xlo
         np = kernels._numpy() if np_cols is not None else None
 
+        ref_col = snap.ref
+
+        def t_record(action: str, key: int, q_lo: float, q_hi: float) -> None:
+            # Mirrors the seed's RSTkNNSearcher._record: same fields,
+            # same kNN-band expressions (the slot-dict analogue of
+            # ContributionList.knn_lower/knn_upper).
+            d = lists[key].d
+            trace.record(
+                action,
+                int(ref_col[key]),
+                bool(is_obj[key]),
+                int(cnt[key]),
+                q_lo,
+                q_hi,
+                _kth_largest([(c[0], c[2]) for c in d.values()], k),
+                _kth_largest([(c[1], c[2]) for c in d.values()], k),
+            )
+
         while heap:
             _, _, key = heapq.heappop(heap)
             if status.get(key) != _UNDECIDED:
@@ -380,23 +409,33 @@ class SnapshotEngine:
                 status[key] = _PRUNED
                 stats.pruned_entries += 1
                 stats.pruned_objects += cnt[key]
+                if trace is not None:
+                    t_record("prune", key, q_lo, q_hi)
                 del lists[key]
                 continue
             if decision > 0:
                 status[key] = _ACCEPTED
                 stats.accepted_entries += 1
                 stats.accepted_objects += cnt[key]
+                if trace is not None:
+                    t_record("accept", key, q_lo, q_hi)
                 del lists[key]
                 continue
             if is_obj[key]:
                 member = self._verify(key, q_hi, k, stats)
                 status[key] = _RESULT if member else _NONRESULT
                 stats.verified_objects += 1
+                if trace is not None:
+                    t_record(
+                        "verify-in" if member else "verify-out", key, q_lo, q_hi
+                    )
                 del lists[key]
                 continue
 
             # Expand: children inherit the parent's list; sibling/self
             # terms are computed fresh (same order as the seed).
+            if trace is not None:
+                t_record("expand", key, q_lo, q_hi)
             fc, lc = snap.first_child[key], snap.last_child[key]
             tree.buffer.get(snap.record_id[key], "node")
             stats.expansions += 1

@@ -1,0 +1,70 @@
+"""Named phase timers for build/freeze/group/walk/verify breakdowns.
+
+A :class:`PhaseTimer` accumulates wall-clock seconds under named phases
+so a benchmark (or the batch engine) can stamp a per-phase breakdown
+next to its headline numbers::
+
+    timer = PhaseTimer()
+    with timer.phase("build"):
+        tree = IURTree.build(dataset)
+    with timer.phase("freeze"):
+        tree.snapshot()
+    report["phases"] = timer.as_dict()
+
+Phases accumulate: re-entering a name adds to its total, so per-round
+loops need no bookkeeping.  :meth:`PhaseTimer.publish` mirrors the
+totals into a :class:`~repro.obs.metrics.MetricsRegistry` as
+``phase.<name>.seconds`` gauges for the Prometheus/JSON exporters.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+from .metrics import MetricsRegistry
+
+
+class PhaseTimer:
+    """Accumulating wall-clock timers keyed by phase name."""
+
+    __slots__ = ("_seconds",)
+
+    def __init__(self) -> None:
+        self._seconds: Dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Context manager timing one phase (re-entrant, accumulating)."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - started)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Accumulate ``seconds`` under ``name`` (for pre-timed spans)."""
+        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+
+    def seconds(self, name: str) -> float:
+        """Total seconds accumulated under ``name`` (0.0 if never timed)."""
+        return self._seconds.get(name, 0.0)
+
+    def as_dict(self) -> Dict[str, float]:
+        """``{phase: seconds}`` in first-use order, for report stamping."""
+        return dict(self._seconds)
+
+    def publish(
+        self, metrics: Optional[MetricsRegistry], prefix: str = "phase"
+    ) -> None:
+        """Mirror every phase total into ``metrics`` as a gauge.
+
+        Gauges are named ``<prefix>.<name>.seconds`` and *set* (not
+        added), so repeated publishes stay idempotent.  ``None`` is a
+        no-op.
+        """
+        if metrics is None:
+            return
+        for name, seconds in self._seconds.items():
+            metrics.gauge(f"{prefix}.{name}.seconds").set(seconds)

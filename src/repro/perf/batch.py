@@ -35,11 +35,13 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..config import BATCH_MODES, SimilarityConfig
+from ..config import BATCH_MODES, PerfConfig, SimilarityConfig
 from ..core.rstknn import RSTkNNSearcher, SearchResult
 from ..errors import QueryError
 from ..index.iurtree import IURTree
 from ..model.objects import STObject
+from ..obs.metrics import MetricsRegistry, record_search
+from ..obs.timers import PhaseTimer
 from .cache import DEFAULT_BOUND_CACHE_ENTRIES, BoundCache
 
 #: Per-process worker state: the unpickled index and its searcher.
@@ -86,6 +88,10 @@ class BatchStats:
     #: the run executed as requested) — e.g. parallel mode degrading to
     #: sequential because the index could not be pickled.
     fallback_reason: Optional[str] = None
+    #: Per-phase wall-clock breakdown (seconds): ``walk`` always; fused
+    #: runs add ``freeze`` (snapshot + engine setup) and ``group``
+    #: (locality ordering).  Schema documented in ``docs/TUNING.md``.
+    phases: Dict[str, float] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, float]:
         """Flat dict of the counters, for experiment logging."""
@@ -107,6 +113,8 @@ class BatchStats:
             out["fallback_reason"] = self.fallback_reason
         for key, value in self.cache.items():
             out[f"cache_{key}"] = value
+        for name, seconds in self.phases.items():
+            out[f"phase_{name}_seconds"] = seconds
         return out
 
 
@@ -145,6 +153,7 @@ class BatchSearcher:
         engine: Optional[str] = None,
         mode: str = "per-query",
         group_size: int = 8,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         """``workers=1`` runs sequentially with the shared bound cache;
         ``workers>1`` fans out over that many processes, each holding its
@@ -160,7 +169,10 @@ class BatchSearcher:
         of ``group_size`` queries share one snapshot walk (sequential
         only — fused mode is incompatible with ``workers>1`` and with
         ``engine="seed"``, since it is by construction a batch form of
-        the snapshot engine)."""
+        the snapshot engine).  ``metrics`` attaches a
+        :class:`repro.obs.MetricsRegistry`: each run then records
+        per-query counters/latencies, phase-timer gauges, and bound
+        cache gauges (``None`` records nothing)."""
         if workers < 1:
             raise QueryError(f"workers must be >= 1, got {workers}")
         if mode not in BATCH_MODES:
@@ -190,6 +202,7 @@ class BatchSearcher:
         self.engine = engine
         self.mode = mode
         self.group_size = group_size
+        self.metrics = metrics
         self.bound_cache = BoundCache(cache_entries)
         self._pickle_error: Optional[str] = None
         self._searcher = RSTkNNSearcher(
@@ -202,6 +215,41 @@ class BatchSearcher:
         if warm:
             tree.warm_kernels()
 
+    @classmethod
+    def from_perf_config(
+        cls,
+        tree: IURTree,
+        perf: PerfConfig,
+        config: Optional[SimilarityConfig] = None,
+        te_weight: float = 0.05,
+        warm: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> "BatchSearcher":
+        """Build a batch searcher from a :class:`~repro.config.PerfConfig`.
+
+        Applies the bundle's engine, worker, cache-size, and batch-mode
+        knobs; when ``perf.observability`` is true and no ``metrics``
+        registry is passed, a live
+        :class:`~repro.obs.metrics.MetricsRegistry` is created and
+        exposed as ``searcher.metrics`` for export after the run.
+        ``perf.kernel_backend`` is process-wide state — apply it
+        separately with :func:`repro.perf.set_backend`.
+        """
+        if metrics is None and perf.observability:
+            metrics = MetricsRegistry()
+        return cls(
+            tree,
+            config,
+            workers=perf.batch_workers,
+            cache_entries=perf.bound_cache_entries,
+            te_weight=te_weight,
+            warm=warm,
+            engine=perf.engine,
+            mode=perf.batch_mode,
+            group_size=perf.fused_group_size,
+            metrics=metrics,
+        )
+
     def invalidate(self) -> None:
         """Drop shared bounds (call after inserting/deleting objects)."""
         self.bound_cache.clear()
@@ -210,14 +258,16 @@ class BatchSearcher:
         """Execute the workload; results align with ``queries`` order."""
         queries = list(queries)
         started = time.perf_counter()
+        timer = PhaseTimer()
         workers_used = self.workers
         fallback_reason: Optional[str] = None
         groups: Optional[int] = None
         if self.mode == "fused" and queries:
             workers_used = 1
-            results, groups = self._run_fused(queries, k)
+            results, groups = self._run_fused(queries, k, timer)
         elif self.workers > 1 and len(queries) > 1:
-            results = self._run_parallel(queries, k)
+            with timer.phase("walk"):
+                results = self._run_parallel(queries, k)
             if results is None:  # unpicklable index — degrade gracefully
                 workers_used = 1
                 fallback_reason = (
@@ -229,10 +279,12 @@ class BatchSearcher:
                     RuntimeWarning,
                     stacklevel=2,
                 )
-                results = self._run_sequential(queries, k)
+                with timer.phase("walk"):
+                    results = self._run_sequential(queries, k)
         else:
             workers_used = 1
-            results = self._run_sequential(queries, k)
+            with timer.phase("walk"):
+                results = self._run_sequential(queries, k)
         elapsed = time.perf_counter() - started
         n = len(queries)
         fused = self.mode == "fused"
@@ -251,8 +303,31 @@ class BatchSearcher:
             group_size=self.group_size if fused else None,
             groups=groups,
             fallback_reason=fallback_reason,
+            phases=timer.as_dict(),
         )
+        self._record_run(results, timer, fused, workers_used)
         return BatchResult(results=results, stats=stats)
+
+    def _record_run(
+        self,
+        results: List[SearchResult],
+        timer: PhaseTimer,
+        fused: bool,
+        workers_used: int,
+    ) -> None:
+        """Mirror one run's outcome into the attached metrics registry."""
+        metrics = self.metrics
+        if metrics is None or not metrics.enabled:
+            return
+        if fused:
+            engine_label = "fused"
+        else:
+            engine_label = self._searcher._resolve_engine(None)
+        for result in results:
+            record_search(metrics, engine_label, result.stats)
+        timer.publish(metrics)
+        if workers_used == 1 and not fused:
+            self.bound_cache.publish(metrics)
 
     # ------------------------------------------------------------------
     # Execution modes
@@ -264,22 +339,25 @@ class BatchSearcher:
         return [self._searcher.search(query, k) for query in queries]
 
     def _run_fused(
-        self, queries: Sequence[STObject], k: int
+        self, queries: Sequence[STObject], k: int, timer: PhaseTimer
     ) -> Tuple[List[SearchResult], int]:
         """Run locality groups through the fused engine; input order."""
         from ..core.fused import make_groups
 
         searcher = self._searcher
-        snap = self.tree.snapshot()
-        engine = snap.fused_engine_for(
-            self.tree, searcher.measure, searcher.alpha, searcher.te_weight
-        )
+        with timer.phase("freeze"):
+            snap = self.tree.snapshot()
+            engine = snap.fused_engine_for(
+                self.tree, searcher.measure, searcher.alpha, searcher.te_weight
+            )
         results: List[Optional[SearchResult]] = [None] * len(queries)
-        groups = make_groups(queries, self.group_size)
-        for member_ids in groups:
-            group = [queries[i] for i in member_ids]
-            for i, result in zip(member_ids, engine.run_group(group, k)):
-                results[i] = result
+        with timer.phase("group"):
+            groups = make_groups(queries, self.group_size)
+        with timer.phase("walk"):
+            for member_ids in groups:
+                group = [queries[i] for i in member_ids]
+                for i, result in zip(member_ids, engine.run_group(group, k)):
+                    results[i] = result
         return [r for r in results if r is not None], len(groups)
 
     def _run_parallel(

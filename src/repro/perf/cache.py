@@ -175,3 +175,16 @@ class BoundCache:
             entries=len(self.pairs) + len(self.text) + len(self.exact),
             capacity=self.capacity,
         )
+
+    def publish(self, metrics, prefix: str = "cache") -> None:
+        """Mirror the combined counters into a metrics registry.
+
+        Sets one ``<prefix>.<counter>`` gauge per :meth:`CacheStats.as_dict`
+        key (gauges, not counters, because the stats are lifetime totals
+        — repeated publishes stay idempotent).  ``metrics`` is a
+        :class:`repro.obs.MetricsRegistry`; ``None`` is a no-op.
+        """
+        if metrics is None:
+            return
+        for key, value in self.stats().as_dict().items():
+            metrics.gauge(f"{prefix}.{key}").set(value)

@@ -132,14 +132,16 @@ class TestEngineResolution:
         searcher = RSTkNNSearcher(tree, bound_cache=BoundCache(64), engine="auto")
         assert searcher._resolve_engine(None) == "seed"
 
-    def test_traced_requests_run_seed(self, small_dataset):
+    def test_traced_requests_stay_on_snapshot(self, small_dataset):
+        # Since the TraceSink generalization (repro.obs), tracing works
+        # on every engine: a trace no longer downgrades the request.
         tree = IURTree.build(small_dataset)
         searcher = RSTkNNSearcher(tree, engine="snapshot")
         trace = SearchTrace()
-        assert searcher._resolve_engine(trace) == "seed"
+        assert searcher._resolve_engine(trace) == "snapshot"
         query = sample_queries(small_dataset, 1, seed=1)[0]
         result = searcher.search(query, 3, trace=trace)
-        assert trace.events  # the seed walk recorded decisions
+        assert trace.events  # the snapshot walk recorded decisions
         assert result.ids == RSTkNNSearcher(tree, engine="seed").search(
             query, 3
         ).ids

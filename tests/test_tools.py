@@ -1,4 +1,4 @@
-"""The repo's tooling: API doc generation and the docstring gate."""
+"""The repo's tooling: API doc generation, docstring and link gates."""
 
 import subprocess
 import sys
@@ -28,6 +28,95 @@ class TestGenApiDocs:
         committed = REPO / "docs" / "API.md"
         assert committed.exists()
         assert "RSTkNNSearcher" in committed.read_text()
+
+    def test_check_mode_passes_on_fresh_output(self, tmp_path):
+        out = tmp_path / "API.md"
+        gen = [sys.executable, str(REPO / "tools" / "gen_api_docs.py")]
+        subprocess.run(gen + [str(out)], check=True, cwd=REPO)
+        result = subprocess.run(
+            gen + ["--check", str(out)],
+            capture_output=True,
+            text=True,
+            cwd=REPO,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "up to date" in result.stdout
+
+    def test_check_mode_fails_on_drift(self, tmp_path):
+        out = tmp_path / "API.md"
+        out.write_text("# API reference\n\nstale\n")
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(REPO / "tools" / "gen_api_docs.py"),
+                "--check",
+                str(out),
+            ],
+            capture_output=True,
+            text=True,
+            cwd=REPO,
+        )
+        assert result.returncode == 1
+        assert "stale" in result.stderr
+
+    def test_committed_api_docs_are_current(self):
+        """The CI drift gate, run in-process: docs/API.md matches code."""
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(REPO / "tools" / "gen_api_docs.py"),
+                "--check",
+            ],
+            capture_output=True,
+            text=True,
+            cwd=REPO,
+        )
+        assert result.returncode == 0, (
+            "docs/API.md is stale — regenerate with "
+            "`python tools/gen_api_docs.py`\n" + result.stderr
+        )
+
+
+class TestLinkChecker:
+    def _run(self, *args):
+        return subprocess.run(
+            [sys.executable, str(REPO / "tools" / "check_links.py"), *args],
+            capture_output=True,
+            text=True,
+            cwd=REPO,
+        )
+
+    def test_repo_docs_links_resolve(self):
+        result = self._run()
+        assert result.returncode == 0, result.stderr
+        assert "all links ok" in result.stdout
+
+    def test_detects_broken_file_link(self, tmp_path):
+        doc = tmp_path / "page.md"
+        doc.write_text("see [missing](./no_such_file.md)\n")
+        result = self._run(str(doc))
+        assert result.returncode == 1
+        assert "broken link" in result.stderr
+
+    def test_detects_missing_anchor(self, tmp_path):
+        other = tmp_path / "other.md"
+        other.write_text("# Real heading\n")
+        doc = tmp_path / "page.md"
+        doc.write_text("see [anchor](other.md#not-a-heading)\n")
+        result = self._run(str(doc))
+        assert result.returncode == 1
+        assert "missing anchor" in result.stderr
+
+    def test_accepts_valid_anchor_and_external(self, tmp_path):
+        other = tmp_path / "other.md"
+        other.write_text("# Real Heading\n")
+        doc = tmp_path / "page.md"
+        doc.write_text(
+            "ok [anchor](other.md#real-heading) and "
+            "[ext](https://example.com/x)\n"
+        )
+        result = self._run(str(doc))
+        assert result.returncode == 0, result.stderr
 
 
 class TestDocstringGate:

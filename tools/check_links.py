@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Markdown link checker for the repo's documentation.
+
+Scans markdown files for inline links/images (``[text](target)``) and
+verifies that every *relative* target resolves to a file on disk, and
+that every in-file anchor (``#section``) matches a heading in the
+target document (GitHub-style slugs).  External schemes (``http://``,
+``https://``, ``mailto:``) are skipped — no network access.  Stdlib
+only:
+
+    python tools/check_links.py [paths...]
+
+Defaults to ``README.md`` plus every ``docs/*.md`` file; exits 1 when
+any link is broken, so CI can hold the line.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+#: Inline markdown link or image: ``[text](target)`` / ``![alt](target)``.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: ATX heading line: ``# Title`` .. ``###### Title``.
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+#: Schemes that are never checked (no network access in CI).
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug of one heading line."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # drop code spans
+    text = re.sub(r"[*_]", "", text)  # drop emphasis markers
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    """All heading anchors a markdown file defines."""
+    try:
+        text = path.read_text()
+    except (OSError, UnicodeDecodeError):
+        return set()
+    return {slugify(m.group(1)) for m in _HEADING_RE.finditer(text)}
+
+
+def check_file(path: Path) -> List[str]:
+    """Broken-link descriptions for one markdown file (empty = clean)."""
+    problems: List[str] = []
+    text = path.read_text()
+    # Strip fenced code blocks so example snippets are not treated as links.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(_SKIP_PREFIXES):
+            continue
+        target, _, anchor = target.partition("#")
+        if not target:  # same-file anchor
+            dest = path
+        else:
+            dest = (path.parent / target).resolve()
+            if not dest.exists():
+                problems.append(f"{path}: broken link -> {match.group(1)}")
+                continue
+        if anchor and dest.suffix == ".md":
+            if slugify(anchor) not in anchors_of(dest):
+                problems.append(
+                    f"{path}: missing anchor -> {match.group(1)}"
+                )
+    return problems
+
+
+def default_targets(root: Path) -> List[Path]:
+    """README.md plus every markdown file under docs/."""
+    targets = []
+    readme = root / "README.md"
+    if readme.exists():
+        targets.append(readme)
+    docs = root / "docs"
+    if docs.is_dir():
+        targets.extend(sorted(docs.glob("*.md")))
+    return targets
+
+
+def run(paths: Iterable[Path]) -> Tuple[int, List[str]]:
+    """Check every path; returns (files checked, problem list)."""
+    problems: List[str] = []
+    checked = 0
+    for path in paths:
+        checked += 1
+        problems.extend(check_file(path))
+    return checked, problems
+
+
+def main(argv: List[str]) -> int:
+    root = Path(__file__).resolve().parent.parent
+    paths = (
+        [Path(arg) for arg in argv] if argv else default_targets(root)
+    )
+    checked, problems = run(paths)
+    for line in problems:
+        print(line, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} broken link(s) in {checked} file(s)")
+        return 1
+    print(f"all links ok ({checked} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

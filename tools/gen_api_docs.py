@@ -6,16 +6,23 @@ function docstring summaries plus public signatures into one markdown
 reference.  Stdlib-only so it runs anywhere the library does:
 
     python tools/gen_api_docs.py [output.md]
+    python tools/gen_api_docs.py --check [output.md]
+
+``--check`` renders the reference in memory and exits 1 if the file on
+disk differs (drift gate for CI: the committed docs/API.md must match
+the code's docstrings).
 """
 
 from __future__ import annotations
 
+import argparse
 import importlib
 import inspect
 import pkgutil
+import re
 import sys
 from pathlib import Path
-from typing import List
+from typing import List, Tuple
 
 import repro
 
@@ -31,9 +38,26 @@ def first_paragraph(doc: str) -> str:
     return " ".join(lines)
 
 
+_SET_REPR_RE = re.compile(r"(frozenset\(\{|(?<![\w}])\{)([^{}]*)\}")
+
+
+def _stable_defaults(sig: str) -> str:
+    """Sort set-literal default reprs so output is hash-seed independent
+    (``frozenset({...})`` renders in iteration order otherwise)."""
+
+    def fix(match: "re.Match[str]") -> str:
+        body = match.group(2)
+        if ":" in body:  # dict literal — insertion-ordered already
+            return match.group(0)
+        items = sorted(part.strip() for part in body.split(",") if part.strip())
+        return match.group(1) + ", ".join(items) + "}"
+
+    return _SET_REPR_RE.sub(fix, sig)
+
+
 def signature_of(obj) -> str:
     try:
-        return str(inspect.signature(obj))
+        return _stable_defaults(str(inspect.signature(obj)))
     except (TypeError, ValueError):
         return "(...)"
 
@@ -106,12 +130,16 @@ def document_module(module, out: List[str]) -> None:
             out.append(doc + "\n")
 
 
-def generate(output: Path) -> int:
-    """Write the API reference; returns the number of modules covered."""
+def render() -> Tuple[str, int]:
+    """The full API reference text plus the number of modules covered."""
     out: List[str] = [
         "# API reference\n",
         "_Generated from docstrings by `tools/gen_api_docs.py`;"
         " regenerate after changing public signatures._\n",
+        "_Narrative companions: [ARCHITECTURE.md](ARCHITECTURE.md) (the"
+        " three engines and their dataflow),"
+        " [OBSERVABILITY.md](OBSERVABILITY.md) (metrics and trace sinks),"
+        " [TUNING.md](TUNING.md) (performance knobs)._\n",
     ]
     seen = 0
     names = [repro.__name__]
@@ -121,12 +149,38 @@ def generate(output: Path) -> int:
         module = importlib.import_module(name)
         document_module(module, out)
         seen += 1
-    output.write_text("\n".join(out) + "\n")
+    return "\n".join(out) + "\n", seen
+
+
+def generate(output: Path) -> int:
+    """Write the API reference; returns the number of modules covered."""
+    text, seen = render()
+    output.write_text(text)
     return seen
 
 
 def main() -> int:
-    target = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("docs/API.md")
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("output", nargs="?", default="docs/API.md")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if the on-disk reference differs from the rendered one",
+    )
+    args = parser.parse_args()
+    target = Path(args.output)
+    if args.check:
+        text, count = render()
+        on_disk = target.read_text() if target.exists() else ""
+        if on_disk != text:
+            print(
+                f"{target} is stale — regenerate with "
+                "`python tools/gen_api_docs.py`",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{target} is up to date ({count} modules)")
+        return 0
     target.parent.mkdir(parents=True, exist_ok=True)
     count = generate(target)
     print(f"documented {count} modules -> {target}")
