@@ -31,10 +31,14 @@ from .errors import (
     BufferPoolError,
     ConfigError,
     DatasetError,
+    DeadlineExceeded,
+    FaultInjected,
     IndexCorruptionError,
     PageFormatError,
     QueryError,
+    QueueFull,
     ReproError,
+    ServiceError,
     StorageError,
 )
 from .spatial import Point, Rect, SpatialProximity
@@ -65,6 +69,15 @@ from .core import (
 from .index.costmodel import CostEstimate, RSTkNNCostModel, estimate_rstknn_io
 from .io import load_dataset, load_index, save_dataset, save_index
 from .perf import BatchResult, BatchSearcher, BatchStats, BoundCache, CacheStats
+from .service import (
+    DEGRADATION_CHAIN,
+    CancelToken,
+    Deadline,
+    QueryService,
+    RetryPolicy,
+    ServiceBatchResult,
+    ServiceResult,
+)
 
 __version__ = "1.0.0"
 
@@ -80,10 +93,14 @@ __all__ = [
     "BufferPoolError",
     "ConfigError",
     "DatasetError",
+    "DeadlineExceeded",
+    "FaultInjected",
     "IndexCorruptionError",
     "PageFormatError",
     "QueryError",
+    "QueueFull",
     "ReproError",
+    "ServiceError",
     "StorageError",
     # spatial
     "Point",
@@ -134,4 +151,12 @@ __all__ = [
     "BatchStats",
     "BoundCache",
     "CacheStats",
+    # service
+    "DEGRADATION_CHAIN",
+    "CancelToken",
+    "Deadline",
+    "QueryService",
+    "RetryPolicy",
+    "ServiceBatchResult",
+    "ServiceResult",
 ]

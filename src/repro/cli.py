@@ -140,6 +140,69 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_batch(args: argparse.Namespace) -> int:
+    from .bench.harness import build_tree
+    from .obs import MetricsRegistry
+    from .service import QueryService, QueueFull
+    from .service.faults import current_plan
+
+    registry = MetricsRegistry()
+    dataset = gn_like(n=args.n)
+    tree = build_tree(dataset, args.method)
+    queries = sample_queries(dataset, args.queries)
+    service = QueryService(
+        tree,
+        deadline_seconds=args.deadline,
+        max_pending=args.max_pending,
+        metrics=registry,
+    )
+    plan = current_plan()
+    if plan is not None:
+        print(f"fault plan armed: {plan.describe()}")
+    shed = 0
+    for query in queries:
+        try:
+            service.submit(query, args.k)
+        except QueueFull:
+            shed += 1
+    batch = service.drain()
+    counters = registry.snapshot()["counters"]
+    latency = registry.histogram("service.latency_seconds")
+    rows = [
+        ["queries", len(queries)],
+        ["served", len(batch.results)],
+        ["degraded", batch.degraded_count],
+        ["shed", shed],
+        ["deadline expiries", counters.get("service.deadline_exceeded", 0)],
+        ["chain failures", counters.get("service.failed", 0)],
+        ["mean latency (ms)", f"{latency.mean() * 1000.0:.2f}"],
+    ]
+    if args.deadline is not None:
+        rows.insert(1, ["deadline (s)", args.deadline])
+    for result in batch.results:
+        if result.degraded:
+            rows.append(
+                [
+                    "degraded path",
+                    " -> ".join(result.degraded_path + (result.engine,)),
+                ]
+            )
+            break
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=(
+                f"serve-batch — {args.method} |D|={args.n}, "
+                f"{len(queries)} queries, k={args.k}"
+            ),
+        )
+    )
+    if args.format == "prom":
+        sys.stdout.write(registry.to_prometheus())
+    return 0
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     import json
 
@@ -263,6 +326,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="queries fused into one snapshot walk (fused mode only)",
     )
     p_batch.set_defaults(fn=_cmd_batch)
+
+    p_serve = sub.add_parser(
+        "serve-batch",
+        help="run a workload through the fault-tolerant query service "
+        "(deadlines, degradation chain, admission queue; honors "
+        "REPRO_FAULTS)",
+    )
+    p_serve.add_argument("--n", type=int, default=800)
+    p_serve.add_argument("--k", type=int, default=5)
+    p_serve.add_argument("--queries", type=int, default=20)
+    p_serve.add_argument(
+        "--method", choices=("iur", "ciur"), default="iur", help="index variant"
+    )
+    p_serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-query deadline in seconds (default: none)",
+    )
+    p_serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=1024,
+        help="admission-queue capacity; excess requests are shed",
+    )
+    p_serve.add_argument(
+        "--format",
+        choices=("table", "prom"),
+        default="table",
+        help="append Prometheus metrics text after the summary table",
+    )
+    p_serve.set_defaults(fn=_cmd_serve_batch)
 
     p_obs = sub.add_parser(
         "obs",

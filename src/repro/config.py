@@ -10,7 +10,7 @@ reproduced exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from .errors import ConfigError
 
@@ -166,6 +166,19 @@ class PerfConfig:
             decision counters, latency histograms, phase gauges) instead
             of recording nothing.  Off by default: the disabled path
             costs nothing (see ``docs/OBSERVABILITY.md``).
+        retry_attempts: Total tries (including the first) the batch
+            engine gives a query chunk lost to a crashed or erroring
+            pool worker before finishing it sequentially in the parent
+            (see ``docs/RELIABILITY.md``).
+        retry_base_delay: Backoff before the first such retry, in
+            seconds; later retries back off exponentially with
+            deterministic jitter.
+        service_max_pending: Admission-queue capacity of
+            :class:`repro.service.QueryService` — requests beyond it are
+            shed with :class:`repro.errors.QueueFull`.
+        service_deadline_seconds: Default per-query deadline of the
+            service (``None`` = no deadline unless a request carries
+            one).
     """
 
     kernel_backend: str = "python"
@@ -175,6 +188,10 @@ class PerfConfig:
     batch_mode: str = "per-query"
     fused_group_size: int = 8
     observability: bool = False
+    retry_attempts: int = 3
+    retry_base_delay: float = 0.05
+    service_max_pending: int = 1024
+    service_deadline_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.kernel_backend not in KERNEL_BACKENDS:
@@ -206,6 +223,25 @@ class PerfConfig:
         if not isinstance(self.observability, bool):
             raise ConfigError(
                 f"observability must be a bool, got {self.observability!r}"
+            )
+        if self.retry_attempts < 1:
+            raise ConfigError(
+                f"retry_attempts must be >= 1, got {self.retry_attempts}"
+            )
+        if self.retry_base_delay < 0.0:
+            raise ConfigError(
+                f"retry_base_delay must be >= 0, got {self.retry_base_delay}"
+            )
+        if self.service_max_pending < 1:
+            raise ConfigError(
+                f"service_max_pending must be >= 1, got {self.service_max_pending}"
+            )
+        if self.service_deadline_seconds is not None and not (
+            self.service_deadline_seconds > 0.0
+        ):
+            raise ConfigError(
+                "service_deadline_seconds must be > 0 or None, got "
+                f"{self.service_deadline_seconds}"
             )
 
 

@@ -67,6 +67,8 @@ from ..model.objects import STObject
 from ..perf import kernels
 from ..text.interval import IntervalVector
 from ..text.similarity import ExtendedJaccard
+from ..errors import DeadlineExceeded
+from .cancel import cancel_message
 from .contributions import _kth_largest
 from .rstknn import SearchResult, SearchStats
 from .traversal import tighten_width_for
@@ -498,6 +500,7 @@ class FusedBatchEngine:
         queries: Sequence[STObject],
         k: int,
         traces: Optional[Sequence[Optional["TraceSink"]]] = None,
+        cancel: Optional[object] = None,
     ) -> List[SearchResult]:
         """Search every query of one group; results in input order.
 
@@ -505,12 +508,25 @@ class FusedBatchEngine:
         per query (``None`` entries skip tracing for that query); each
         traced walk emits the same decision-event multiset the other
         engines produce for that query.
+
+        ``cancel`` is one cooperative cancellation token for the whole
+        group — group members share bound tables, so a finer grain would
+        tear shared state mid-build.  It is polled once per node
+        expansion of whichever member is walking; expiry raises
+        :class:`~repro.errors.DeadlineExceeded` with that member's
+        partial stats (completed members' results are discarded with the
+        group).  The service keeps per-query deadlines exact by serving
+        deadline-bearing queries as singleton groups.
         """
         gs = _GroupState(self, list(queries))
         if traces is None:
-            return [self._search_one(gs, g, k) for g in range(gs.G)]
+            return [
+                self._search_one(gs, g, k, cancel=cancel)
+                for g in range(gs.G)
+            ]
         return [
-            self._search_one(gs, g, k, trace=traces[g]) for g in range(gs.G)
+            self._search_one(gs, g, k, trace=traces[g], cancel=cancel)
+            for g in range(gs.G)
         ]
 
     # ------------------------------------------------------------------
@@ -788,6 +804,7 @@ class FusedBatchEngine:
         g: int,
         k: int,
         trace: Optional["TraceSink"] = None,
+        cancel: Optional[object] = None,
     ) -> SearchResult:
         """One query's branch-and-bound walk over the shared group state.
 
@@ -800,6 +817,8 @@ class FusedBatchEngine:
         """
         started = time.perf_counter()
         stats = SearchStats()
+        if cancel is not None and cancel.expired():
+            raise DeadlineExceeded(cancel_message(cancel), stats=stats)
         base = self.base
         hits0, misses0 = base.hits, base.misses
         snap = self.snap
@@ -900,6 +919,9 @@ class FusedBatchEngine:
             # Expand: children inherit the parent's book; sibling/self
             # rows come from the group template, query bounds from the
             # group block table.
+            if cancel is not None and cancel.expired():
+                stats.elapsed_seconds = time.perf_counter() - started
+                raise DeadlineExceeded(cancel_message(cancel), stats=stats)
             if trace is not None:
                 t_record("expand", key, q_lo, q_hi)
             fc, lc = snap.first_child[key], snap.last_child[key]

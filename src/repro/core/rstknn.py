@@ -43,7 +43,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..obs.trace import TraceSink
 
 from ..config import SimilarityConfig
-from ..errors import ConfigError, QueryError
+from ..errors import ConfigError, DeadlineExceeded, QueryError
+from .cancel import cancel_message
 from ..index.entry import Entry
 from ..index.iurtree import IURTree
 from ..model.objects import STObject
@@ -228,7 +229,11 @@ class RSTkNNSearcher:
     # ------------------------------------------------------------------
 
     def search(
-        self, query: STObject, k: int, trace: Optional["TraceSink"] = None
+        self,
+        query: STObject,
+        k: int,
+        trace: Optional["TraceSink"] = None,
+        cancel: Optional[object] = None,
     ) -> SearchResult:
         """All objects that count ``query`` among their top-k by SimST.
 
@@ -236,6 +241,13 @@ class RSTkNNSearcher:
         :class:`repro.core.explain.SearchTrace` — as ``trace`` to capture
         every group-level decision with its justifying bounds.  Tracing
         works on every engine and does not change engine resolution.
+
+        ``cancel`` is a cooperative cancellation token (anything with an
+        ``expired() -> bool`` method, e.g. a
+        :class:`repro.service.Deadline`), polled once per node expansion;
+        expiry raises :class:`~repro.errors.DeadlineExceeded` carrying
+        the partial :class:`SearchStats`.  ``None`` skips the polls
+        entirely.
         """
         if k < 1:
             raise QueryError(f"k must be >= 1, got {k}")
@@ -244,11 +256,13 @@ class RSTkNNSearcher:
             runner = snap.engine_for(
                 self.tree, self.measure, self.alpha, self.te_weight
             )
-            result = runner.search(query, k, trace=trace)
+            result = runner.search(query, k, trace=trace, cancel=cancel)
             record_search(self.metrics, "snapshot", result.stats)
             return result
         started = time.perf_counter()
         stats = SearchStats()
+        if cancel is not None and cancel.expired():
+            raise DeadlineExceeded(cancel_message(cancel), stats=stats)
         bounds = self._bound_computer()
         evictions_before = (
             self.bound_cache.stats().evictions
@@ -338,6 +352,9 @@ class RSTkNNSearcher:
             # sibling and self terms are computed fresh.  Other entries'
             # lists keep the parent's (valid) contribution and are only
             # rebuilt if they later pop undecided.
+            if cancel is not None and cancel.expired():
+                stats.elapsed_seconds = time.perf_counter() - started
+                raise DeadlineExceeded(cancel_message(cancel), stats=stats)
             if trace is not None:
                 self._record(trace, "expand", entry, q_lo, q_hi, lists[key], k)
             children = self.tree.children(entry)

@@ -54,6 +54,8 @@ from ..model.objects import STObject
 from ..perf import kernels
 from ..text.interval import IntervalVector
 from ..text.similarity import ExtendedJaccard
+from ..errors import DeadlineExceeded
+from .cancel import cancel_message
 from .contributions import _kth_largest
 from .rstknn import SearchResult, SearchStats
 
@@ -236,7 +238,11 @@ class SnapshotEngine:
     # ------------------------------------------------------------------
 
     def search(
-        self, query: STObject, k: int, trace: Optional["TraceSink"] = None
+        self,
+        query: STObject,
+        k: int,
+        trace: Optional["TraceSink"] = None,
+        cancel: Optional[object] = None,
     ) -> SearchResult:
         """Seed-identical RSTkNN search (see module docstring).
 
@@ -244,9 +250,16 @@ class SnapshotEngine:
         the same decision events (action, ref, bounds) the seed walk
         does — the multiset of events per query is identical across
         engines, which ``tests/test_obs.py`` asserts.
+
+        ``cancel`` is polled once at start and once per node expansion
+        (same protocol as :meth:`RSTkNNSearcher.search
+        <repro.core.rstknn.RSTkNNSearcher.search>`); expiry raises
+        :class:`~repro.errors.DeadlineExceeded` with partial stats.
         """
         started = time.perf_counter()
         stats = SearchStats()
+        if cancel is not None and cancel.expired():
+            raise DeadlineExceeded(cancel_message(cancel), stats=stats)
         hits0, misses0 = self.hits, self.misses
         snap = self.snap
         tree = self.tree
@@ -434,6 +447,9 @@ class SnapshotEngine:
 
             # Expand: children inherit the parent's list; sibling/self
             # terms are computed fresh (same order as the seed).
+            if cancel is not None and cancel.expired():
+                stats.elapsed_seconds = time.perf_counter() - started
+                raise DeadlineExceeded(cancel_message(cancel), stats=stats)
             if trace is not None:
                 t_record("expand", key, q_lo, q_hi)
             fc, lc = snap.first_child[key], snap.last_child[key]

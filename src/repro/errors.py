@@ -47,3 +47,40 @@ class BufferPoolError(StorageError):
 
 class QueryError(ReproError):
     """A query was issued with invalid parameters."""
+
+
+class ServiceError(ReproError):
+    """The query service could not complete a request.
+
+    Raised when every engine in the degradation chain failed; the
+    triggering engine failure is attached as ``__cause__``.
+    """
+
+
+class DeadlineExceeded(ServiceError):
+    """A query ran past its deadline (or was cooperatively cancelled).
+
+    Engines check the cancellation token at node-expansion granularity,
+    so the exception surfaces within one expansion of the limit and
+    carries the partial :class:`~repro.core.rstknn.SearchStats`
+    accumulated up to that point in :attr:`stats` (``None`` when the
+    deadline expired before any engine work started).
+    """
+
+    def __init__(self, message: str = "deadline exceeded", stats=None) -> None:
+        super().__init__(message)
+        #: Partial decision counters of the interrupted search.
+        self.stats = stats
+
+
+class QueueFull(ServiceError):
+    """The admission queue shed a request (``max_pending`` reached)."""
+
+
+class FaultInjected(ServiceError):
+    """A deterministic failure injected by :mod:`repro.service.faults`.
+
+    Only ever raised when the ``REPRO_FAULTS`` environment variable (or
+    an explicit :func:`repro.service.faults.set_plan`) arms a fault
+    plan; production runs never see it.
+    """

@@ -293,6 +293,10 @@ class IURTree:
         try:
             obj = self.dataset.get(oid)
         except DatasetError:
+            # The oid is gone from the dataset; make sure no stale
+            # cluster label survives it (a label without an object would
+            # desynchronize the ``labels`` view from the dataset).
+            self._label_by_oid.pop(oid, None)
             return False
         removed = self._rtree.delete(oid, obj.mbr())
         if not removed:

@@ -32,6 +32,7 @@ import pickle
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -42,10 +43,15 @@ from ..index.iurtree import IURTree
 from ..model.objects import STObject
 from ..obs.metrics import MetricsRegistry, record_search
 from ..obs.timers import PhaseTimer
+from ..service.faults import maybe_fail_worker
+from ..service.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from .cache import DEFAULT_BOUND_CACHE_ENTRIES, BoundCache
 
 #: Per-process worker state: the unpickled index and its searcher.
 _WORKER: Dict[str, RSTkNNSearcher] = {}
+
+#: Metric counted once per re-enqueued chunk (see ``docs/RELIABILITY.md``).
+RETRIES_COUNTER = "service.retries"
 
 
 def _init_worker(payload: bytes) -> None:
@@ -60,10 +66,21 @@ def _init_worker(payload: bytes) -> None:
     )
 
 
-def _run_one(task: Tuple[int, STObject, int]) -> Tuple[int, SearchResult]:
-    """Execute one query in a pool worker; returns (index, result)."""
-    i, query, k = task
-    return i, _WORKER["searcher"].search(query, k)
+def _run_chunk(
+    chunk: Sequence[Tuple[int, STObject, int, int]],
+) -> List[Tuple[int, SearchResult]]:
+    """Execute one chunk of ``(index, query, k, attempt)`` tasks.
+
+    ``attempt`` exists for :mod:`repro.service.faults`: armed worker
+    faults fire only on first attempts, so a retried chunk runs clean
+    and the batch result is byte-identical to a fault-free run.
+    """
+    searcher = _WORKER["searcher"]
+    out: List[Tuple[int, SearchResult]] = []
+    for i, query, k, attempt in chunk:
+        maybe_fail_worker(i, attempt)
+        out.append((i, searcher.search(query, k)))
+    return out
 
 
 @dataclass
@@ -88,6 +105,9 @@ class BatchStats:
     #: the run executed as requested) — e.g. parallel mode degrading to
     #: sequential because the index could not be pickled.
     fallback_reason: Optional[str] = None
+    #: Query chunks re-enqueued after transient worker failures
+    #: (crashed or erroring pool workers); 0 on clean runs.
+    retries: int = 0
     #: Per-phase wall-clock breakdown (seconds): ``walk`` always; fused
     #: runs add ``freeze`` (snapshot + engine setup) and ``group``
     #: (locality ordering).  Schema documented in ``docs/TUNING.md``.
@@ -111,6 +131,8 @@ class BatchStats:
             out["groups"] = self.groups
         if self.fallback_reason is not None:
             out["fallback_reason"] = self.fallback_reason
+        if self.retries:
+            out["retries"] = self.retries
         for key, value in self.cache.items():
             out[f"cache_{key}"] = value
         for name, seconds in self.phases.items():
@@ -154,6 +176,7 @@ class BatchSearcher:
         mode: str = "per-query",
         group_size: int = 8,
         metrics: Optional[MetricsRegistry] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         """``workers=1`` runs sequentially with the shared bound cache;
         ``workers>1`` fans out over that many processes, each holding its
@@ -172,7 +195,12 @@ class BatchSearcher:
         the snapshot engine).  ``metrics`` attaches a
         :class:`repro.obs.MetricsRegistry`: each run then records
         per-query counters/latencies, phase-timer gauges, and bound
-        cache gauges (``None`` records nothing)."""
+        cache gauges (``None`` records nothing).  ``retry_policy``
+        governs how parallel mode re-enqueues the query chunks a
+        crashed or erroring pool worker lost (``None`` uses
+        :data:`repro.service.retry.DEFAULT_RETRY_POLICY`); an exhausted
+        budget runs the surviving chunks sequentially in the parent, so
+        a batch always completes."""
         if workers < 1:
             raise QueryError(f"workers must be >= 1, got {workers}")
         if mode not in BATCH_MODES:
@@ -203,8 +231,13 @@ class BatchSearcher:
         self.mode = mode
         self.group_size = group_size
         self.metrics = metrics
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
+        )
         self.bound_cache = BoundCache(cache_entries)
         self._pickle_error: Optional[str] = None
+        self._last_retries = 0
+        self._retry_note: Optional[str] = None
         self._searcher = RSTkNNSearcher(
             tree,
             config,
@@ -248,6 +281,10 @@ class BatchSearcher:
             mode=perf.batch_mode,
             group_size=perf.fused_group_size,
             metrics=metrics,
+            retry_policy=RetryPolicy(
+                max_attempts=perf.retry_attempts,
+                base_delay=perf.retry_base_delay,
+            ),
         )
 
     def invalidate(self) -> None:
@@ -262,6 +299,8 @@ class BatchSearcher:
         workers_used = self.workers
         fallback_reason: Optional[str] = None
         groups: Optional[int] = None
+        self._last_retries = 0
+        self._retry_note = None
         if self.mode == "fused" and queries:
             workers_used = 1
             results, groups = self._run_fused(queries, k, timer)
@@ -273,6 +312,7 @@ class BatchSearcher:
                 fallback_reason = (
                     self._pickle_error or "index not picklable"
                 )
+                self._count_fallback("unpicklable")
                 warnings.warn(
                     "BatchSearcher parallel mode fell back to sequential "
                     f"execution: {fallback_reason}",
@@ -281,6 +321,17 @@ class BatchSearcher:
                 )
                 with timer.phase("walk"):
                     results = self._run_sequential(queries, k)
+            elif self._retry_note is not None:
+                # Retries ran out for some chunks; they completed
+                # sequentially in the parent (see _run_parallel).
+                fallback_reason = self._retry_note
+                self._count_fallback("retry_exhausted")
+                warnings.warn(
+                    "BatchSearcher parallel mode exhausted its retry "
+                    f"budget: {fallback_reason}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         else:
             workers_used = 1
             with timer.phase("walk"):
@@ -303,6 +354,7 @@ class BatchSearcher:
             group_size=self.group_size if fused else None,
             groups=groups,
             fallback_reason=fallback_reason,
+            retries=self._last_retries,
             phases=timer.as_dict(),
         )
         self._record_run(results, timer, fused, workers_used)
@@ -360,9 +412,27 @@ class BatchSearcher:
                     results[i] = result
         return [r for r in results if r is not None], len(groups)
 
+    def _count_fallback(self, reason: str) -> None:
+        """Publish a ``batch.fallback.<reason>`` counter increment."""
+        metrics = self.metrics
+        if metrics is not None and metrics.enabled:
+            metrics.counter(f"batch.fallback.{reason}").inc()
+
     def _run_parallel(
         self, queries: Sequence[STObject], k: int
     ) -> Optional[List[SearchResult]]:
+        """Fan the workload out over a process pool, retrying failures.
+
+        The workload is cut into index-contiguous chunks (one future
+        each).  A chunk whose worker raises — or whose worker process
+        dies, breaking the whole pool — is re-enqueued with a bumped
+        attempt number under :attr:`retry_policy` (backoff + jitter,
+        one ``service.retries`` tick per re-enqueue); chunks that
+        already completed keep their results, and a broken pool is
+        rebuilt before the retry round.  A chunk that exhausts its
+        attempts runs sequentially in the parent, so the batch always
+        completes with results byte-identical to a clean run.
+        """
         try:
             payload = pickle.dumps(
                 (
@@ -380,16 +450,75 @@ class BatchSearcher:
             return None
         n = len(queries)
         workers = min(self.workers, n)
-        tasks = [(i, query, k) for i, query in enumerate(queries)]
         results: List[Optional[SearchResult]] = [None] * n
         # Chunking keeps per-task IPC overhead low while still spreading
         # the workload; each worker's bound cache warms on its own chunk.
         chunksize = max(1, n // (workers * 4))
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_worker,
-            initargs=(payload,),
-        ) as pool:
-            for i, result in pool.map(_run_one, tasks, chunksize=chunksize):
-                results[i] = result
+        pending: List[Tuple[List[Tuple[int, STObject, int, int]], int]] = [
+            (
+                [(i, queries[i], k, 0) for i in range(lo, min(lo + chunksize, n))],
+                0,
+            )
+            for lo in range(0, n, chunksize)
+        ]
+        policy = self.retry_policy
+        exhausted: List[List[Tuple[int, STObject, int, int]]] = []
+        retries = 0
+
+        def new_pool() -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(payload,),
+            )
+
+        pool = new_pool()
+        try:
+            while pending:
+                round_chunks, pending = pending, []
+                futures = [
+                    (pool.submit(_run_chunk, chunk), chunk, attempt)
+                    for chunk, attempt in round_chunks
+                ]
+                broken = False
+                failed: List[Tuple[List[Tuple[int, STObject, int, int]], int]] = []
+                for future, chunk, attempt in futures:
+                    try:
+                        for i, result in future.result():
+                            results[i] = result
+                    except BrokenProcessPool:
+                        broken = True
+                        failed.append((chunk, attempt))
+                    except Exception:  # worker-side error; pool survives
+                        failed.append((chunk, attempt))
+                if broken:
+                    pool.shutdown(wait=False)
+                    pool = new_pool()
+                for chunk, attempt in failed:
+                    next_attempt = attempt + 1
+                    retried = [
+                        (i, query, k_, next_attempt) for i, query, k_, _ in chunk
+                    ]
+                    if next_attempt >= policy.max_attempts:
+                        exhausted.append(retried)
+                        continue
+                    retries += 1
+                    delay = policy.delay(next_attempt, salt=chunk[0][0])
+                    if delay > 0.0:
+                        time.sleep(delay)
+                    pending.append((retried, next_attempt))
+        finally:
+            pool.shutdown()
+        if exhausted:
+            searcher = self._searcher
+            for chunk in exhausted:
+                for i, query, k_, _ in chunk:
+                    results[i] = searcher.search(query, k_)
+            self._retry_note = (
+                f"retry budget exhausted ({policy.max_attempts} attempts); "
+                f"{sum(len(c) for c in exhausted)} queries ran sequentially"
+            )
+        self._last_retries = retries
+        if retries and self.metrics is not None and self.metrics.enabled:
+            self.metrics.counter(RETRIES_COUNTER).inc(retries)
         return [r for r in results if r is not None]

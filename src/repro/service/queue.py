@@ -1,0 +1,96 @@
+"""Bounded admission queue with load shedding.
+
+An overloaded service that accepts every request fails all of them
+slowly; one that sheds early fails a few of them fast.
+:class:`AdmissionQueue` is the front door of
+:class:`~repro.service.service.QueryService`: requests are admitted up
+to ``max_pending`` and refused beyond it with
+:class:`repro.errors.QueueFull` — the caller sees the rejection
+immediately instead of a deadline expiry later.
+
+Shedding and occupancy are observable through :mod:`repro.obs`: every
+refusal bumps the ``service.shed`` counter and every admit/take updates
+the ``service.queue_depth`` gauge, so a dashboard shows saturation as
+a flat-topped depth curve plus a rising shed count.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Deque, Optional
+
+from ..errors import ConfigError, QueueFull
+from ..obs import MetricsRegistry, registry_or_null
+
+#: Metric names this module emits.
+SHED_COUNTER = "service.shed"
+DEPTH_GAUGE = "service.queue_depth"
+
+
+class AdmissionQueue:
+    """A thread-safe FIFO that refuses work beyond ``max_pending``.
+
+    Args:
+        max_pending: Capacity; ``offer`` raises
+            :class:`~repro.errors.QueueFull` once this many items are
+            pending.  Must be positive.
+        metrics: Registry for the shed counter and depth gauge
+            (``None`` -> no-op instruments).
+    """
+
+    def __init__(
+        self,
+        max_pending: int,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if max_pending < 1:
+            raise ConfigError(f"max_pending must be >= 1, got {max_pending}")
+        self.max_pending = int(max_pending)
+        self.metrics = registry_or_null(metrics)
+        self._items: Deque[Any] = deque()
+        self._lock = threading.Lock()
+        self._shed = self.metrics.counter(SHED_COUNTER)
+        self._depth = self.metrics.gauge(DEPTH_GAUGE)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def depth(self) -> int:
+        """Number of pending items."""
+        return len(self._items)
+
+    def offer(self, item: Any) -> int:
+        """Admit ``item``, or shed it with :class:`QueueFull` when at capacity.
+
+        Returns the queue depth after admission.
+        """
+        with self._lock:
+            if len(self._items) >= self.max_pending:
+                self._shed.inc()
+                raise QueueFull(
+                    f"admission queue full ({self.max_pending} pending); "
+                    "request shed"
+                )
+            self._items.append(item)
+            depth = len(self._items)
+            self._depth.set(depth)
+        return depth
+
+    def take(self) -> Any:
+        """Pop the oldest pending item (raises ``LookupError`` if empty)."""
+        with self._lock:
+            if not self._items:
+                raise LookupError("admission queue is empty")
+            item = self._items.popleft()
+            self._depth.set(len(self._items))
+        return item
+
+    def drain(self) -> list:
+        """Pop every pending item at once (FIFO order)."""
+        with self._lock:
+            items = list(self._items)
+            self._items.clear()
+            self._depth.set(0)
+        return items

@@ -1,0 +1,98 @@
+"""Retry policy: exponential backoff with deterministic jitter.
+
+Transient failures — a crashed pool worker, an injected fault — are
+retried under a :class:`RetryPolicy`.  Delays grow exponentially and
+are de-synchronized with *deterministic* jitter: instead of
+``random.random()`` (process-global state, unseeded in workers) the
+jitter fraction comes from a tiny integer hash of ``(attempt, salt)``,
+so a retry schedule is reproducible run-to-run — which is what lets
+the fault-injection tests assert byte-identical batch results after a
+worker crash — while distinct salts (e.g. distinct failed slices)
+still spread out their wake-ups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+#: Knuth's multiplicative-hash constant; any odd 32-bit multiplier
+#: works, this one mixes small consecutive integers well.
+_MIX = 2654435761
+
+
+def _jitter_fraction(attempt: int, salt: int) -> float:
+    """Deterministic pseudo-random fraction in ``[0, 1)``."""
+    mixed = (attempt * _MIX + salt * 40503) & 0xFFFFFFFF
+    mixed = (mixed ^ (mixed >> 16)) * _MIX & 0xFFFFFFFF
+    return (mixed % 10000) / 10000.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How transient failures are retried.
+
+    Attributes:
+        max_attempts: Total tries including the first (``1`` disables
+            retries entirely).
+        base_delay: Backoff before the first retry, in seconds.
+        multiplier: Exponential growth factor between retries.
+        max_delay: Cap on any single backoff, in seconds.
+        jitter: Fraction of the delay randomized away (``0.1`` means the
+            actual sleep lands in ``[0.9 * d, d]``).  Deterministic per
+            ``(attempt, salt)`` — see module docstring.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0.0:
+            raise ConfigError(
+                f"base_delay must be >= 0, got {self.base_delay}"
+            )
+        if self.multiplier < 1.0:
+            raise ConfigError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if self.max_delay < self.base_delay:
+            raise ConfigError(
+                f"max_delay {self.max_delay} < base_delay {self.base_delay}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def delay(self, attempt: int, salt: int = 0) -> float:
+        """Backoff before retry number ``attempt`` (1-based).
+
+        ``salt`` de-synchronizes independent retry streams (e.g. one per
+        failed batch slice) without sacrificing determinism.
+        """
+        if attempt < 1:
+            raise ConfigError(f"attempt must be >= 1, got {attempt}")
+        base = self.base_delay * self.multiplier ** (attempt - 1)
+        if base > self.max_delay:
+            base = self.max_delay
+        return base * (1.0 - self.jitter * _jitter_fraction(attempt, salt))
+
+    def with_no_delay(self) -> "RetryPolicy":
+        """Copy with zero backoff (tests retry instantly)."""
+        return RetryPolicy(
+            max_attempts=self.max_attempts,
+            base_delay=0.0,
+            multiplier=1.0,
+            max_delay=0.0,
+            jitter=0.0,
+        )
+
+
+#: Library default: three attempts, 50ms -> 100ms backoff, 10% jitter.
+DEFAULT_RETRY_POLICY = RetryPolicy()

@@ -209,6 +209,19 @@ class TestStalenessAfterUpdates:
         tree.insert_object(obj)
         assert_parity(tree, sample_queries(ds, 3, seed=3), k=3)
 
+    def test_snapshot_engine_sees_deletes(self):
+        ds = STDataset.from_corpus(random_corpus(80, seed=31))
+        tree = IURTree.build(ds)
+        searcher = RSTkNNSearcher(tree, engine="snapshot")
+        query = sample_queries(ds, 1, seed=2)[0]
+        searcher.search(query, 3)  # freeze the pre-delete snapshot
+        victim = ds.objects[17]
+        assert tree.delete_object(victim.oid)
+        queries = sample_queries(ds, 3, seed=3)
+        for q in queries:
+            assert victim.oid not in searcher.search(q, 3).ids
+        assert_parity(tree, queries, k=3)
+
     def test_shared_cache_survives_inserts(self):
         # A shared BoundCache's entries are generation-salted, so bounds
         # computed before an insert can never serve the rebuilt tree.
@@ -221,6 +234,21 @@ class TestStalenessAfterUpdates:
             cached.search(query, 3)
         obj = ds.append_record(Point(61.0, 44.0), "curry noodles salad")
         tree.insert_object(obj)
+        fresh = RSTkNNSearcher(tree, engine="seed")
+        for query in sample_queries(ds, 3, seed=6):
+            assert cached.search(query, 3).ids == fresh.search(query, 3).ids
+
+    def test_shared_cache_survives_deletes(self):
+        # Deletes bump the generation exactly like inserts; pre-delete
+        # cached bounds must never serve the shrunken tree.
+        ds = STDataset.from_corpus(random_corpus(80, seed=37))
+        tree = IURTree.build(ds)
+        cache = BoundCache(4096)
+        cached = RSTkNNSearcher(tree, bound_cache=cache, engine="seed")
+        queries = sample_queries(ds, 3, seed=5)
+        for query in queries:
+            cached.search(query, 3)
+        assert tree.delete_object(ds.objects[11].oid)
         fresh = RSTkNNSearcher(tree, engine="seed")
         for query in sample_queries(ds, 3, seed=6):
             assert cached.search(query, 3).ids == fresh.search(query, 3).ids

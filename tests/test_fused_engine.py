@@ -217,6 +217,34 @@ class TestStalenessAfterInsert:
             fused.run(queries, 3).id_lists() == per.run(queries, 3).id_lists()
         )
 
+    def test_fused_run_never_reads_stale_matrix_after_delete(self):
+        dataset = STDataset.from_corpus(random_corpus(80, seed=43))
+        tree = IURTree.build(dataset)
+        fused = BatchSearcher(tree, mode="fused", group_size=3)
+        queries = sample_queries(dataset, 4, seed=7)
+        fused.run(queries, 3)  # freezes the pre-delete snapshot + matrix
+        before = tree.snapshot()
+        matrix_before = before.text_matrix()
+
+        victim = dataset.objects[23]
+        assert tree.delete_object(victim.oid)
+
+        # A delete bumps the generation exactly like an insert: the
+        # rebuilt snapshot owns a rebuilt (one-row-shorter) matrix.
+        after = tree.snapshot()
+        assert after is not before
+        matrix_after = after.text_matrix()
+        assert matrix_after is not matrix_before
+        assert matrix_after.generation > matrix_before.generation
+        assert matrix_after.n_obj_rows == matrix_before.n_obj_rows - 1
+
+        # Post-delete fused runs exclude the victim and match the
+        # per-query engine.
+        result = fused.run(queries, 3)
+        assert all(victim.oid not in ids for ids in result.id_lists())
+        per = BatchSearcher(tree, engine="snapshot")
+        assert result.id_lists() == per.run(queries, 3).id_lists()
+
 
 class TestLocalityGrouping:
     def test_order_is_permutation_and_deterministic(self):

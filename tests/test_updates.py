@@ -168,3 +168,49 @@ class TestClusteredUpdates:
         searcher = RSTkNNSearcher(tree)
         q = sample_queries(ds, 1, seed=13)[0]
         assert searcher.search(q, 3).ids == brute.search(q, 3)
+
+
+class TestDeleteInvalidation:
+    """Label-map and generation hygiene of ``delete_object``.
+
+    Snapshot/cache invalidation is keyed by ``tree.generation``, and the
+    ``labels`` view is keyed by ``_label_by_oid`` — a delete that leaves
+    either out of step silently corrupts downstream engines.
+    """
+
+    def test_unknown_but_cached_oid_drops_stale_label(self):
+        ds = fresh_dataset()
+        tree = IURTree.build(ds)
+        victim = ds.objects[7]
+        # Remove from the dataset behind the index's back: the oid is
+        # now unknown to delete_object but still cached in the label map.
+        ds.remove_object(victim.oid)
+        assert not tree.delete_object(victim.oid)
+        assert victim.oid not in tree._label_by_oid
+        assert len(tree.labels) == len(ds)
+
+    def test_failed_delete_leaves_generation_unchanged(self):
+        ds = fresh_dataset()
+        tree = IURTree.build(ds)
+        generation = tree.generation
+        assert not tree.delete_object(98765)
+        assert tree.generation == generation
+
+    def test_tree_path_delete_bumps_generation_exactly_once(self):
+        ds = fresh_dataset()
+        tree = IURTree.build(ds)
+        generation = tree.generation
+        assert tree.delete_object(ds.objects[5].oid)
+        assert tree.generation == generation + 1
+
+    def test_outlier_path_delete_bumps_generation_exactly_once(self):
+        ds = fresh_dataset(n=100, seed=12)
+        tree = CIURTree.build(
+            ds, IndexConfig(num_clusters=4, outlier_threshold=0.5)
+        )
+        assert tree.outliers, "fixture needs at least one outlier"
+        victim = tree.outliers[0]
+        generation = tree.generation
+        assert tree.delete_object(victim.oid)
+        assert tree.generation == generation + 1
+        assert victim.oid not in tree._label_by_oid
