@@ -92,7 +92,15 @@ def main(argv=None) -> int:
     parser.add_argument("--n", type=int, default=None, help="dataset size")
     parser.add_argument("--k", type=int, default=5)
     parser.add_argument("--out", default="BENCH_traversal.json")
+    parser.add_argument(
+        "--backend",
+        choices=kernels.KERNEL_BACKENDS,
+        default="auto",
+        help="kernel backend to bench (default: auto dispatch, the "
+        "production path — numpy kernels above the size cutover)",
+    )
     args = parser.parse_args(argv)
+    kernels.set_backend(args.backend)
 
     n = args.n if args.n is not None else (150 if args.quick else 400)
     n_queries = 4 if args.quick else 12
@@ -120,6 +128,8 @@ def main(argv=None) -> int:
         "quick": args.quick,
         "kernel_backend": kernels.backend_name(),
         "numpy_available": kernels.numpy_available(),
+        "numpy_kernels_active": kernels.numpy_available()
+        and kernels.backend_name() != "python",
         "snapshot": snapshot.describe(),
         "engines": engines,
     }

@@ -105,6 +105,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         engine=args.engine,
         mode=args.mode,
         group_size=args.group_size,
+        share=args.share,
     )
     batch = engine.run(queries, args.k)
     stats = batch.stats
@@ -120,6 +121,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if stats.groups is not None:
         rows.insert(2, ["groups", stats.groups])
         rows.insert(2, ["group size", stats.group_size])
+    if stats.share is not None:
+        rows.insert(3, ["share", stats.share])
+    if stats.worker_rss_bytes is not None:
+        rows.append(
+            ["worker peak RSS (MiB)", f"{stats.worker_rss_bytes / 2**20:.1f}"]
+        )
     if stats.fallback_reason:
         rows.append(["fallback", stats.fallback_reason])
     if stats.cache:
@@ -324,6 +331,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=8,
         help="queries fused into one snapshot walk (fused mode only)",
+    )
+    p_batch.add_argument(
+        "--share",
+        choices=("auto", "shm", "pickle"),
+        default="auto",
+        help="parallel-mode index transport: shared-memory snapshot "
+        "segment (zero-copy) or a pickled tree per worker",
     )
     p_batch.set_defaults(fn=_cmd_batch)
 

@@ -40,6 +40,13 @@ ENGINES = ("seed", "snapshot", "auto")
 #: index snapshot once per spatial-locality group of queries).
 BATCH_MODES = ("per-query", "fused")
 
+#: Index transports for parallel batch mode (:mod:`repro.perf.shm`).
+#: ``auto`` ships a zero-copy shared-memory snapshot segment when the
+#: platform supports it and falls back to pickling the tree otherwise;
+#: ``shm`` insists on the segment (falling back loudly); ``pickle``
+#: always ships the pickled object graph.
+BATCH_SHARE_MODES = ("auto", "shm", "pickle")
+
 
 @dataclass(frozen=True)
 class SimilarityConfig:
@@ -160,6 +167,11 @@ class PerfConfig:
             (``per-query`` or the fused group-traversal engine).
         fused_group_size: Queries fused into one snapshot walk when
             ``batch_mode="fused"`` (see ``docs/TUNING.md``).
+        batch_share: One of :data:`BATCH_SHARE_MODES`; how parallel
+            batch mode ships the index to its worker processes
+            (``auto`` prefers the zero-copy shared-memory snapshot
+            segment of :mod:`repro.perf.shm`, falling back to pickle
+            with the reason recorded on ``BatchStats``).
         observability: When True,
             :meth:`repro.perf.BatchSearcher.from_perf_config` attaches a
             live :class:`repro.obs.MetricsRegistry` (query counters,
@@ -187,6 +199,7 @@ class PerfConfig:
     engine: str = "auto"
     batch_mode: str = "per-query"
     fused_group_size: int = 8
+    batch_share: str = "auto"
     observability: bool = False
     retry_attempts: int = 3
     retry_base_delay: float = 0.05
@@ -215,6 +228,11 @@ class PerfConfig:
             raise ConfigError(
                 f"unknown batch mode {self.batch_mode!r}; "
                 f"expected one of {BATCH_MODES}"
+            )
+        if self.batch_share not in BATCH_SHARE_MODES:
+            raise ConfigError(
+                f"unknown batch share mode {self.batch_share!r}; "
+                f"expected one of {BATCH_SHARE_MODES}"
             )
         if self.fused_group_size < 1:
             raise ConfigError(

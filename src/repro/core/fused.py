@@ -71,7 +71,7 @@ from ..errors import DeadlineExceeded
 from .cancel import cancel_message
 from .contributions import _kth_largest
 from .rstknn import SearchResult, SearchStats
-from .traversal import tighten_width_for
+from .traversal import _frontier_lookahead_from_env, tighten_width_for
 
 #: Default number of queries fused into one group walk.
 DEFAULT_GROUP_SIZE = 8
@@ -490,6 +490,12 @@ class FusedBatchEngine:
         if np is not None and snap.np_xlo is None and snap.n_slots:
             np = None  # snapshot was frozen without numpy views
         self._np = np
+        #: Frontier nodes whose block tables share one spatial kernel
+        #: call (same knob/contract as the per-query engine's
+        #: :data:`~repro.core.traversal.DEFAULT_FRONTIER_LOOKAHEAD`).
+        self.frontier_lookahead = _frontier_lookahead_from_env()
+        #: batch size -> kernel calls (observability, never in stats).
+        self.frontier_hist: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -710,43 +716,99 @@ class FusedBatchEngine:
         root setup); the spatial components for all (query, child) cells
         come from one vectorized pass, the textual parts from the
         group's columnar text tables, and each cell is finished with the
-        scalar engine's exact clamp/blend expressions.
+        scalar engine's exact clamp/blend expressions.  Multi-key builds
+        go through :meth:`_build_blocks`, which shares the spatial pass
+        across several frontier nodes.
         """
         table = gs.blocks.get(key)
-        if table is not None:
-            return table
+        if table is None:
+            self._build_blocks(gs, [key])
+            table = gs.blocks[key]
+        return table
+
+    def _build_blocks(self, gs: _GroupState, keys: Sequence[int]) -> None:
+        """Build the block tables of several nodes in one spatial pass.
+
+        The concatenated child slots of every not-yet-built key feed a
+        single :func:`~repro.perf.kernels.group_spatial_components`
+        call; each key's ``(G, C)`` component tables are column slices
+        of the result (elementwise expressions, so every cell is
+        bit-identical to a per-key pass).  The textual side already
+        amortizes globally through the group's text tables.
+        """
+        pending = [key for key in keys if key not in gs.blocks]
+        if not pending:
+            return
         snap = self.snap
-        slots = self._block_slots(key)
+        alpha = self.alpha
+        np = self._np
+        slot_lists = [self._block_slots(key) for key in pending]
+        comps: List[Optional[Tuple]] = [None] * len(pending)
+        if alpha > 0.0:
+            self.frontier_hist[len(pending)] = (
+                self.frontier_hist.get(len(pending), 0) + 1
+            )
+            if np is not None and len(pending) > 1:
+                all_slots = [s for sl in slot_lists for s in sl]
+                if all_slots:
+                    idx = np.asarray(all_slots, dtype=np.intp)
+                    comp_all = kernels.group_spatial_components(
+                        gs.qxlo, gs.qylo, gs.qxhi, gs.qyhi,
+                        snap.np_xlo[idx], snap.np_ylo[idx],
+                        snap.np_xhi[idx], snap.np_yhi[idx], np,
+                    )
+                    off = 0
+                    for i, sl in enumerate(slot_lists):
+                        C = len(sl)
+                        if C:
+                            comps[i] = tuple(
+                                t[:, off : off + C] for t in comp_all
+                            )
+                        off += C
+            else:
+                for i, sl in enumerate(slot_lists):
+                    if sl:
+                        comps[i] = self._comp_for(gs, sl)
+
+        tables = tm = None
+        if alpha < 1.0 and self._ej and any(slot_lists):
+            tables = self._text_tables_for(gs)
+            tm = snap.text_matrix()
+        for key, sl, comp in zip(pending, slot_lists, comps):
+            gs.blocks[key] = self._finish_block(gs, sl, comp, tables, tm)
+
+    def _comp_for(self, gs: _GroupState, slots: List[int]):
+        """Single-node spatial component tables (both array backends)."""
+        snap = self.snap
+        np = self._np
+        if np is not None:
+            idx = np.asarray(slots, dtype=np.intp)
+            bxlo = snap.np_xlo[idx]
+            bylo = snap.np_ylo[idx]
+            bxhi = snap.np_xhi[idx]
+            byhi = snap.np_yhi[idx]
+        else:
+            bxlo = [snap.xlo[s] for s in slots]
+            bylo = [snap.ylo[s] for s in slots]
+            bxhi = [snap.xhi[s] for s in slots]
+            byhi = [snap.yhi[s] for s in slots]
+        return kernels.group_spatial_components(
+            gs.qxlo, gs.qylo, gs.qxhi, gs.qyhi, bxlo, bylo, bxhi, byhi, np
+        )
+
+    def _finish_block(
+        self, gs: _GroupState, slots: List[int], comp, tables, tm
+    ) -> List[List[Tuple[float, float]]]:
+        """Scalar clamp/blend finish of one node's block table."""
+        snap = self.snap
         alpha = self.alpha
         ej = self._ej
         G = gs.G
-        C = len(slots)
-        np = self._np
         fd = self.base._fd
         is_obj = snap.is_obj
-
-        comp = None
-        if alpha > 0.0 and C:
-            if np is not None:
-                idx = np.asarray(slots, dtype=np.intp)
-                bxlo = snap.np_xlo[idx]
-                bylo = snap.np_ylo[idx]
-                bxhi = snap.np_xhi[idx]
-                byhi = snap.np_yhi[idx]
-            else:
-                bxlo = [snap.xlo[s] for s in slots]
-                bylo = [snap.ylo[s] for s in slots]
-                bxhi = [snap.xhi[s] for s in slots]
-                byhi = [snap.yhi[s] for s in slots]
-            comp = kernels.group_spatial_components(
-                gs.qxlo, gs.qylo, gs.qxhi, gs.qyhi, bxlo, bylo, bxhi, byhi, np
-            )
-
-        tables = tm = None
-        if alpha < 1.0 and ej and C:
+        if tables is None and alpha < 1.0 and ej and slots:
             tables = self._text_tables_for(gs)
             tm = snap.text_matrix()
-
         measure = self.measure
         obj_vec = snap.obj_vec
         table = []
@@ -791,7 +853,6 @@ class FusedBatchEngine:
                             )
                         )
             table.append(row)
-        gs.blocks[key] = table
         return table
 
     # ------------------------------------------------------------------
@@ -931,6 +992,20 @@ class FusedBatchEngine:
             parent = books.pop(key)
             parent.kill(key)
             tmpl = self._template(gs, key)
+            if key not in gs.blocks and self.frontier_lookahead > 1:
+                batch_keys = [key]
+                for _p, _c, cand in heapq.nsmallest(
+                    self.frontier_lookahead, heap
+                ):
+                    if len(batch_keys) >= self.frontier_lookahead:
+                        break
+                    if (
+                        (undecided >> cand) & 1
+                        and not is_obj[cand]
+                        and cand not in gs.blocks
+                    ):
+                        batch_keys.append(cand)
+                self._build_blocks(gs, batch_keys)
             block_qb = self._block(gs, key)[g]
             for c in range(fc, lc):
                 undecided |= 1 << c

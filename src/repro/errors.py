@@ -45,6 +45,25 @@ class BufferPoolError(StorageError):
     """Buffer pool misuse: over-pinning, unpinning an unpinned page, etc."""
 
 
+class SnapshotSegmentError(StorageError):
+    """A shared-memory snapshot segment could not be created or attached.
+
+    Raised by :mod:`repro.perf.shm` when the zero-copy transport is
+    unavailable (no numpy, no ``multiprocessing.shared_memory``) or a
+    segment fails structural validation at attach time.
+    """
+
+
+class StaleSegmentError(SnapshotSegmentError):
+    """An attached segment's generation does not match the live index.
+
+    The parent stamps the tree's structural generation into the segment
+    header at export; workers verify it at attach.  A mismatch means the
+    index mutated after export — the segment must be re-created, never
+    served.
+    """
+
+
 class QueryError(ReproError):
     """A query was issued with invalid parameters."""
 

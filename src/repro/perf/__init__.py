@@ -13,10 +13,13 @@ Three layers, each usable on its own:
   out across worker processes;
 * :mod:`repro.perf.snapshot` — :class:`IndexSnapshot`, the immutable
   struct-of-arrays freeze of a built tree that the ``snapshot``
-  traversal engine (:mod:`repro.core.traversal`) runs over.
+  traversal engine (:mod:`repro.core.traversal`) runs over;
+* :mod:`repro.perf.shm` — :class:`SharedSnapshotSegment` /
+  :func:`attach`, the zero-copy shared-memory transport parallel batch
+  mode ships snapshots over instead of pickling the tree per worker.
 
-``batch`` and ``snapshot`` are imported lazily: they depend on layers
-that transitively use the kernels.
+``batch``, ``snapshot``, and ``shm`` are imported lazily: they depend
+on layers that transitively use the kernels.
 """
 
 from .cache import (
@@ -49,6 +52,10 @@ __all__ = [
     "BatchResult",
     "BatchStats",
     "IndexSnapshot",
+    "SharedSnapshotSegment",
+    "AttachedIndex",
+    "attach",
+    "shm_available",
 ]
 
 
@@ -62,4 +69,8 @@ def __getattr__(name: str):
         from .snapshot import IndexSnapshot
 
         return IndexSnapshot
+    if name in ("SharedSnapshotSegment", "AttachedIndex", "attach", "shm_available"):
+        from . import shm
+
+        return getattr(shm, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

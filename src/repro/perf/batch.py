@@ -8,13 +8,20 @@ Query *streams* are where the shared-cache and kernel work pays off:
   early queries are hits for later ones (the per-query caches of the
   seed recomputed them every time).
 * **Parallel mode** (``workers > 1``) fans the workload out over a
-  ``concurrent.futures.ProcessPoolExecutor``.  Each worker receives a
-  pickled copy of the index once (at pool start) and keeps its own
-  searcher + bound cache for the queries routed to it, so no state is
-  shared and results are bit-identical to sequential runs.  When the
-  tree cannot be pickled the engine falls back to sequential execution
-  rather than failing the workload (``BatchStats.fallback_reason``
-  records why, and a :class:`RuntimeWarning` is emitted).
+  ``concurrent.futures.ProcessPoolExecutor``.  The index reaches the
+  workers through one of two transports (``share=``): the default
+  ``auto`` exports the frozen snapshot into a shared-memory segment
+  (:mod:`repro.perf.shm`) that every worker maps zero-copy — the pool
+  initializer ships only the segment *name* — and falls back to
+  pickling the whole object graph when shared memory is unavailable
+  (``BatchStats.fallback_reason`` records why, e.g.
+  ``"shm_unavailable (numpy is not importable)"``).  Either way each
+  worker keeps its own searcher for the queries routed to it, so no
+  mutable state is shared and results are bit-identical to sequential
+  runs.  When the tree cannot be pickled either, the engine falls back
+  to sequential execution rather than failing the workload (reason
+  recorded, and a :class:`RuntimeWarning` is emitted once per
+  searcher).
 * **Fused mode** (``mode="fused"``) groups the workload by spatial
   locality (Morton order, ``group_size`` queries per group) and walks
   the index snapshot once per group through
@@ -28,15 +35,16 @@ throughput and cache statistics in :class:`BatchStats`.
 
 from __future__ import annotations
 
+import bisect
 import pickle
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from ..config import BATCH_MODES, PerfConfig, SimilarityConfig
+from ..config import BATCH_MODES, BATCH_SHARE_MODES, PerfConfig, SimilarityConfig
 from ..core.rstknn import RSTkNNSearcher, SearchResult
 from ..errors import QueryError
 from ..index.iurtree import IURTree
@@ -47,40 +55,76 @@ from ..service.faults import maybe_fail_worker
 from ..service.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from .cache import DEFAULT_BOUND_CACHE_ENTRIES, BoundCache
 
-#: Per-process worker state: the unpickled index and its searcher.
-_WORKER: Dict[str, RSTkNNSearcher] = {}
+#: Per-process worker state: the index handle (unpickled tree or
+#: shared-memory attachment) and the searcher built over it.
+_WORKER: Dict[str, object] = {}
 
 #: Metric counted once per re-enqueued chunk (see ``docs/RELIABILITY.md``).
 RETRIES_COUNTER = "service.retries"
 
+#: Bucket bounds of the ``engine.frontier.batch_size`` histogram —
+#: nodes per batched frontier kernel call; the lookahead default is 4
+#: and ``REPRO_FRONTIER_BATCH`` rarely exceeds a few dozen.
+FRONTIER_HIST_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+
 
 def _init_worker(payload: bytes) -> None:
-    """Pool initializer: build this worker's private index handle."""
-    tree, config, te_weight, cache_entries, engine = pickle.loads(payload)
-    _WORKER["searcher"] = RSTkNNSearcher(
-        tree,
-        config,
-        te_weight=te_weight,
-        bound_cache=BoundCache(cache_entries),
-        engine=engine,
-    )
+    """Pool initializer: build this worker's private index handle.
+
+    ``payload`` is a pickled, tagged tuple.  ``("pickle", ...)``
+    carries the whole object graph; ``("shm", name, generation, ...)``
+    carries only the name of a :mod:`repro.perf.shm` segment that this
+    worker maps zero-copy (generation-checked, so a segment exported
+    from a since-mutated index is refused rather than served).
+    """
+    spec = pickle.loads(payload)
+    if spec[0] == "shm":
+        _tag, name, generation, config, te_weight = spec
+        from .shm import attach  # noqa: PLC0415 — worker-side only
+
+        attached = attach(name, expected_generation=generation)
+        _WORKER["attached"] = attached
+        _WORKER["searcher"] = attached.searcher(config, te_weight=te_weight)
+    else:
+        _tag, tree, config, te_weight, cache_entries, engine = spec
+        _WORKER["searcher"] = RSTkNNSearcher(
+            tree,
+            config,
+            te_weight=te_weight,
+            bound_cache=BoundCache(cache_entries),
+            engine=engine,
+        )
+
+
+def _worker_rss_bytes() -> Optional[int]:
+    """This process's peak RSS in bytes (``None`` where unsupported)."""
+    try:
+        import resource  # noqa: PLC0415 — unix-only stdlib module
+
+        # ru_maxrss is KiB on Linux (bytes on macOS; close enough for a
+        # relative shm-vs-pickle comparison, and benches run on Linux).
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    except Exception:  # pragma: no cover - platform without getrusage
+        return None
 
 
 def _run_chunk(
     chunk: Sequence[Tuple[int, STObject, int, int]],
-) -> List[Tuple[int, SearchResult]]:
+) -> Tuple[List[Tuple[int, SearchResult]], Optional[int]]:
     """Execute one chunk of ``(index, query, k, attempt)`` tasks.
 
     ``attempt`` exists for :mod:`repro.service.faults`: armed worker
     faults fire only on first attempts, so a retried chunk runs clean
     and the batch result is byte-identical to a fault-free run.
+    Returns the results plus this worker's peak RSS, so the parent can
+    report how much memory the fan-out actually cost per process.
     """
     searcher = _WORKER["searcher"]
     out: List[Tuple[int, SearchResult]] = []
     for i, query, k, attempt in chunk:
         maybe_fail_worker(i, attempt)
         out.append((i, searcher.search(query, k)))
-    return out
+    return out, _worker_rss_bytes()
 
 
 @dataclass
@@ -102,9 +146,19 @@ class BatchStats:
     #: Number of fused groups executed (``None`` outside fused mode).
     groups: Optional[int] = None
     #: Why a requested execution strategy was downgraded (``None`` when
-    #: the run executed as requested) — e.g. parallel mode degrading to
-    #: sequential because the index could not be pickled.
+    #: the run executed as requested) — e.g. parallel mode shipping a
+    #: pickled tree because shared memory was unavailable
+    #: (``"shm_unavailable (...)"``), or degrading to sequential
+    #: because the index could not be pickled.
     fallback_reason: Optional[str] = None
+    #: Index transport parallel mode actually used (``"shm"`` or
+    #: ``"pickle"``; ``None`` outside parallel runs).
+    share: Optional[str] = None
+    #: Peak RSS of the busiest pool worker, in bytes (``None`` outside
+    #: parallel runs or where ``getrusage`` is unavailable).  Under the
+    #: shm transport this stays near the query working set; under
+    #: pickle it grows by a full private index copy per worker.
+    worker_rss_bytes: Optional[int] = None
     #: Query chunks re-enqueued after transient worker failures
     #: (crashed or erroring pool workers); 0 on clean runs.
     retries: int = 0
@@ -131,6 +185,10 @@ class BatchStats:
             out["groups"] = self.groups
         if self.fallback_reason is not None:
             out["fallback_reason"] = self.fallback_reason
+        if self.share is not None:
+            out["share"] = self.share
+        if self.worker_rss_bytes is not None:
+            out["worker_rss_bytes"] = self.worker_rss_bytes
         if self.retries:
             out["retries"] = self.retries
         for key, value in self.cache.items():
@@ -175,6 +233,7 @@ class BatchSearcher:
         engine: Optional[str] = None,
         mode: str = "per-query",
         group_size: int = 8,
+        share: str = "auto",
         metrics: Optional[MetricsRegistry] = None,
         retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
@@ -192,7 +251,17 @@ class BatchSearcher:
         of ``group_size`` queries share one snapshot walk (sequential
         only — fused mode is incompatible with ``workers>1`` and with
         ``engine="seed"``, since it is by construction a batch form of
-        the snapshot engine).  ``metrics`` attaches a
+        the snapshot engine).  ``share`` picks parallel mode's index
+        transport (one of :data:`repro.config.BATCH_SHARE_MODES`):
+        ``auto`` ships a zero-copy shared-memory snapshot segment when
+        numpy and ``multiprocessing.shared_memory`` are present and the
+        engine is not the seed walk, recording
+        ``fallback_reason="shm_unavailable (...)"`` when it has to
+        pickle instead; ``shm`` does the same but warns on fallback;
+        ``pickle`` always ships the pickled object graph (workers under
+        shm run the snapshot engine, which is bit-identical on results
+        and decision counters by the engine parity contract).
+        ``metrics`` attaches a
         :class:`repro.obs.MetricsRegistry`: each run then records
         per-query counters/latencies, phase-timer gauges, and bound
         cache gauges (``None`` records nothing).  ``retry_policy``
@@ -206,6 +275,11 @@ class BatchSearcher:
         if mode not in BATCH_MODES:
             raise QueryError(
                 f"unknown batch mode {mode!r}; expected one of {BATCH_MODES}"
+            )
+        if share not in BATCH_SHARE_MODES:
+            raise QueryError(
+                f"unknown batch share mode {share!r}; "
+                f"expected one of {BATCH_SHARE_MODES}"
             )
         if mode == "fused":
             if workers > 1:
@@ -230,6 +304,7 @@ class BatchSearcher:
         self.engine = engine
         self.mode = mode
         self.group_size = group_size
+        self.share = share
         self.metrics = metrics
         self.retry_policy = (
             retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
@@ -238,6 +313,10 @@ class BatchSearcher:
         self._pickle_error: Optional[str] = None
         self._last_retries = 0
         self._retry_note: Optional[str] = None
+        self._share_used: Optional[str] = None
+        self._share_note: Optional[str] = None
+        self._worker_rss: Optional[int] = None
+        self._warned_reasons: Set[str] = set()
         self._searcher = RSTkNNSearcher(
             tree,
             config,
@@ -280,6 +359,7 @@ class BatchSearcher:
             engine=perf.engine,
             mode=perf.batch_mode,
             group_size=perf.fused_group_size,
+            share=perf.batch_share,
             metrics=metrics,
             retry_policy=RetryPolicy(
                 max_attempts=perf.retry_attempts,
@@ -301,37 +381,51 @@ class BatchSearcher:
         groups: Optional[int] = None
         self._last_retries = 0
         self._retry_note = None
+        self._share_used = None
+        self._share_note = None
+        self._worker_rss = None
         if self.mode == "fused" and queries:
             workers_used = 1
             results, groups = self._run_fused(queries, k, timer)
         elif self.workers > 1 and len(queries) > 1:
-            with timer.phase("walk"):
-                results = self._run_parallel(queries, k)
+            results = self._run_parallel(queries, k, timer)
             if results is None:  # unpicklable index — degrade gracefully
                 workers_used = 1
                 fallback_reason = (
                     self._pickle_error or "index not picklable"
                 )
                 self._count_fallback("unpicklable")
-                warnings.warn(
+                self._warn_once(
                     "BatchSearcher parallel mode fell back to sequential "
-                    f"execution: {fallback_reason}",
-                    RuntimeWarning,
-                    stacklevel=2,
+                    f"execution: {fallback_reason}"
                 )
                 with timer.phase("walk"):
                     results = self._run_sequential(queries, k)
-            elif self._retry_note is not None:
-                # Retries ran out for some chunks; they completed
-                # sequentially in the parent (see _run_parallel).
-                fallback_reason = self._retry_note
-                self._count_fallback("retry_exhausted")
-                warnings.warn(
-                    "BatchSearcher parallel mode exhausted its retry "
-                    f"budget: {fallback_reason}",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
+            else:
+                if self._share_note is not None:
+                    # shm was requested (or the default) but pickle ran;
+                    # the reason is recorded either way and the warning
+                    # fires only on an explicit share="shm" request.
+                    fallback_reason = self._share_note
+                    self._count_fallback("shm_unavailable")
+                    if self.share == "shm":
+                        self._warn_once(
+                            "BatchSearcher shm transport unavailable; "
+                            f"shipped a pickled index: {fallback_reason}"
+                        )
+                if self._retry_note is not None:
+                    # Retries ran out for some chunks; they completed
+                    # sequentially in the parent (see _run_parallel).
+                    fallback_reason = (
+                        f"{fallback_reason}; {self._retry_note}"
+                        if fallback_reason
+                        else self._retry_note
+                    )
+                    self._count_fallback("retry_exhausted")
+                    self._warn_once(
+                        "BatchSearcher parallel mode exhausted its retry "
+                        f"budget: {self._retry_note}"
+                    )
         else:
             workers_used = 1
             with timer.phase("walk"):
@@ -354,6 +448,8 @@ class BatchSearcher:
             group_size=self.group_size if fused else None,
             groups=groups,
             fallback_reason=fallback_reason,
+            share=self._share_used,
+            worker_rss_bytes=self._worker_rss,
             retries=self._last_retries,
             phases=timer.as_dict(),
         )
@@ -380,6 +476,33 @@ class BatchSearcher:
         timer.publish(metrics)
         if workers_used == 1 and not fused:
             self.bound_cache.publish(metrics)
+        self._publish_frontier(metrics)
+
+    def _publish_frontier(self, metrics: MetricsRegistry) -> None:
+        """Drain engine frontier-batch histograms into the registry.
+
+        The snapshot/fused engines count how many node expansions each
+        batched kernel call covered (``engine.frontier_hist``); this
+        folds those counts into the ``engine.frontier.batch_size``
+        histogram and resets them, so repeated runs don't double-count.
+        """
+        snap = getattr(self.tree, "_snapshot_cache", None)
+        if snap is None:
+            return
+        hist = metrics.histogram(
+            "engine.frontier.batch_size", FRONTIER_HIST_BUCKETS
+        )
+        for engine in getattr(snap, "_engines", {}).values():
+            counts = getattr(engine, "frontier_hist", None)
+            if not counts:
+                continue
+            for size, times in counts.items():
+                # Bulk fold (observe() per expansion would loop over
+                # hundreds of thousands of events at bench scale).
+                hist.counts[bisect.bisect_left(hist.buckets, size)] += times
+                hist.sum += size * times
+                hist.count += times
+            counts.clear()
 
     # ------------------------------------------------------------------
     # Execution modes
@@ -418,35 +541,116 @@ class BatchSearcher:
         if metrics is not None and metrics.enabled:
             metrics.counter(f"batch.fallback.{reason}").inc()
 
-    def _run_parallel(
-        self, queries: Sequence[STObject], k: int
-    ) -> Optional[List[SearchResult]]:
-        """Fan the workload out over a process pool, retrying failures.
+    def _warn_once(self, message: str) -> None:
+        """Emit a degradation RuntimeWarning once per searcher.
 
-        The workload is cut into index-contiguous chunks (one future
-        each).  A chunk whose worker raises — or whose worker process
-        dies, breaking the whole pool — is re-enqueued with a bumped
-        attempt number under :attr:`retry_policy` (backoff + jitter,
-        one ``service.retries`` tick per re-enqueue); chunks that
-        already completed keep their results, and a broken pool is
-        rebuilt before the retry round.  A chunk that exhausts its
-        attempts runs sequentially in the parent, so the batch always
-        completes with results byte-identical to a clean run.
+        A long-lived searcher re-running a workload (or retrying chunk
+        after chunk) would otherwise repeat the identical warning; the
+        reason stays recorded on every run's ``BatchStats`` regardless.
         """
+        if message in self._warned_reasons:
+            return
+        self._warned_reasons.add(message)
+        warnings.warn(message, RuntimeWarning, stacklevel=3)
+
+    def _share_eligibility(self) -> Tuple[bool, str]:
+        """Whether the shm transport can serve this searcher's setup."""
+        from .shm import shm_available  # noqa: PLC0415 — lazy perf layer
+
+        if self.engine == "seed":
+            return False, "engine 'seed' walks the object graph, not a snapshot"
+        return shm_available()
+
+    def _prepare_payload(self, timer: PhaseTimer):
+        """Build the worker payload; segment-backed when possible.
+
+        Returns ``(payload, segment)`` — ``segment`` is the live
+        :class:`~repro.perf.shm.SharedSnapshotSegment` to unlink after
+        the pool drains (``None`` under the pickle transport), and
+        ``payload`` is ``None`` when even pickling failed (the caller
+        degrades to sequential).  Export/pickle time lands in the
+        ``share`` phase so it is visible next to ``walk``.
+        """
+        seg = None
+        why = ""
+        if self.share != "pickle":
+            ok, why = self._share_eligibility()
+            if ok:
+                from .shm import SharedSnapshotSegment  # noqa: PLC0415
+
+                try:
+                    with timer.phase("share"):
+                        seg = SharedSnapshotSegment.create(
+                            self.tree,
+                            config=self.config,
+                            te_weight=self.te_weight,
+                        )
+                        payload = pickle.dumps(
+                            (
+                                "shm",
+                                seg.name,
+                                seg.generation,
+                                self.config,
+                                self.te_weight,
+                            )
+                        )
+                    self._share_used = "shm"
+                    self._record_shm_created(seg)
+                    return payload, seg
+                except Exception as exc:  # degrade to pickle, loudly
+                    if seg is not None:
+                        seg.release()
+                        seg = None
+                    why = f"{type(exc).__name__}: {exc}"
+            self._share_note = f"shm_unavailable ({why})"
         try:
-            payload = pickle.dumps(
-                (
-                    self.tree,
-                    self.config,
-                    self.te_weight,
-                    self.cache_entries,
-                    self.engine,
+            with timer.phase("share"):
+                payload = pickle.dumps(
+                    (
+                        "pickle",
+                        self.tree,
+                        self.config,
+                        self.te_weight,
+                        self.cache_entries,
+                        self.engine,
+                    )
                 )
-            )
         except (pickle.PicklingError, TypeError, AttributeError) as exc:
             self._pickle_error = (
                 f"index not picklable ({type(exc).__name__}: {exc})"
             )
+            return None, None
+        self._share_used = "pickle"
+        return payload, None
+
+    def _record_shm_created(self, seg) -> None:
+        """Publish ``batch.shm.*`` instruments for one segment export."""
+        metrics = self.metrics
+        if metrics is not None and metrics.enabled:
+            metrics.counter("batch.shm.created").inc()
+            metrics.gauge("batch.shm.bytes").set(seg.nbytes)
+
+    def _run_parallel(
+        self, queries: Sequence[STObject], k: int, timer: PhaseTimer
+    ) -> Optional[List[SearchResult]]:
+        """Fan the workload out over a process pool, retrying failures.
+
+        The index reaches the pool via :meth:`_prepare_payload` — a
+        shared-memory snapshot segment whose *name* is the payload, or
+        a pickled tree when shm is unavailable.  The workload is cut
+        into index-contiguous chunks (one future each).  A chunk whose
+        worker raises — or whose worker process dies, breaking the
+        whole pool — is re-enqueued with a bumped attempt number under
+        :attr:`retry_policy` (backoff + jitter, one ``service.retries``
+        tick per re-enqueue); chunks that already completed keep their
+        results, and a broken pool is rebuilt before the retry round (a
+        rebuilt pool re-attaches the same still-linked segment).  A
+        chunk that exhausts its attempts runs sequentially in the
+        parent, so the batch always completes with results
+        byte-identical to a clean run.
+        """
+        payload, seg = self._prepare_payload(timer)
+        if payload is None:
             return None
         n = len(queries)
         workers = min(self.workers, n)
@@ -474,46 +678,64 @@ class BatchSearcher:
 
         pool = new_pool()
         try:
-            while pending:
-                round_chunks, pending = pending, []
-                futures = [
-                    (pool.submit(_run_chunk, chunk), chunk, attempt)
-                    for chunk, attempt in round_chunks
-                ]
-                broken = False
-                failed: List[Tuple[List[Tuple[int, STObject, int, int]], int]] = []
-                for future, chunk, attempt in futures:
-                    try:
-                        for i, result in future.result():
-                            results[i] = result
-                    except BrokenProcessPool:
-                        broken = True
-                        failed.append((chunk, attempt))
-                    except Exception:  # worker-side error; pool survives
-                        failed.append((chunk, attempt))
-                if broken:
-                    pool.shutdown(wait=False)
-                    pool = new_pool()
-                for chunk, attempt in failed:
-                    next_attempt = attempt + 1
-                    retried = [
-                        (i, query, k_, next_attempt) for i, query, k_, _ in chunk
+            with timer.phase("walk"):
+                while pending:
+                    round_chunks, pending = pending, []
+                    futures = [
+                        (pool.submit(_run_chunk, chunk), chunk, attempt)
+                        for chunk, attempt in round_chunks
                     ]
-                    if next_attempt >= policy.max_attempts:
-                        exhausted.append(retried)
-                        continue
-                    retries += 1
-                    delay = policy.delay(next_attempt, salt=chunk[0][0])
-                    if delay > 0.0:
-                        time.sleep(delay)
-                    pending.append((retried, next_attempt))
+                    broken = False
+                    failed: List[
+                        Tuple[List[Tuple[int, STObject, int, int]], int]
+                    ] = []
+                    for future, chunk, attempt in futures:
+                        try:
+                            chunk_results, rss = future.result()
+                        except BrokenProcessPool:
+                            broken = True
+                            failed.append((chunk, attempt))
+                            continue
+                        except Exception:  # worker-side error; pool survives
+                            failed.append((chunk, attempt))
+                            continue
+                        for i, result in chunk_results:
+                            results[i] = result
+                        if rss is not None and rss > (self._worker_rss or 0):
+                            self._worker_rss = rss
+                    if broken:
+                        pool.shutdown(wait=False)
+                        pool = new_pool()
+                    for chunk, attempt in failed:
+                        next_attempt = attempt + 1
+                        retried = [
+                            (i, query, k_, next_attempt)
+                            for i, query, k_, _ in chunk
+                        ]
+                        if next_attempt >= policy.max_attempts:
+                            exhausted.append(retried)
+                            continue
+                        retries += 1
+                        delay = policy.delay(next_attempt, salt=chunk[0][0])
+                        if delay > 0.0:
+                            time.sleep(delay)
+                        pending.append((retried, next_attempt))
         finally:
             pool.shutdown()
+            if seg is not None:
+                # Workers' mappings died with their processes; the
+                # parent's unlink is the last reference to the segment.
+                seg.release()
+        if seg is not None:
+            metrics = self.metrics
+            if metrics is not None and metrics.enabled:
+                metrics.counter("batch.shm.attach_workers").inc(workers)
         if exhausted:
             searcher = self._searcher
-            for chunk in exhausted:
-                for i, query, k_, _ in chunk:
-                    results[i] = searcher.search(query, k_)
+            with timer.phase("walk"):
+                for chunk in exhausted:
+                    for i, query, k_, _ in chunk:
+                        results[i] = searcher.search(query, k_)
             self._retry_note = (
                 f"retry budget exhausted ({policy.max_attempts} attempts); "
                 f"{sum(len(c) for c in exhausted)} queries ran sequentially"

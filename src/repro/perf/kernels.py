@@ -488,6 +488,32 @@ def group_spatial_components(
     return dxm_t, dym_t, dxM_t, dyM_t, pdx_t, pdy_t
 
 
+def frontier_spatial_components(
+    qxlo, qylo, qxhi, qyhi, bxlo, bylo, bxhi, byhi, np
+):
+    """Spatial bound components of ONE query rect vs a batch of rects.
+
+    The single-query row of :func:`group_spatial_components`: ``qxlo``…
+    are scalars, ``bxlo``… are aligned arrays gathered from any set of
+    snapshot slots (one node's children, or the concatenated children of
+    several frontier nodes — the batched-expansion path of
+    :class:`repro.core.traversal.SnapshotEngine`).  Returns six 1-D
+    arrays ``(dx_min, dy_min, dx_max, dy_max, pdx, pdy)``.  Every
+    expression mirrors the scalar ``q_st``/``q_exact`` call sites term
+    for term (subtraction, ``abs`` and ``max`` are exactly rounded, so
+    each element is bit-identical to its scalar counterpart); callers
+    finish with scalar ``math.hypot`` and clamps for full bit parity.
+    """
+    return (
+        np.maximum(np.maximum(qxlo - bxhi, 0.0), bxlo - qxhi),
+        np.maximum(np.maximum(qylo - byhi, 0.0), bylo - qyhi),
+        np.maximum(np.abs(qxhi - bxlo), np.abs(bxhi - qxlo)),
+        np.maximum(np.abs(qyhi - bylo), np.abs(byhi - qylo)),
+        qxlo - bxlo,
+        qylo - bylo,
+    )
+
+
 def dot(a, b) -> float:
     """``Σ_t a[t] * b[t]`` over two same-backend frozen vectors."""
     return a.dot(b)

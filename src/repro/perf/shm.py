@@ -1,0 +1,852 @@
+"""Zero-copy shared-memory snapshot transport for parallel workers.
+
+The parallel batch path used to pickle the whole tree into every pool
+worker: the object graph (nodes, entries, interval vectors, sparse
+vectors) is serialized once by the parent and materialized N times, once
+per worker — exactly the per-worker copy cost the flat struct-of-arrays
+:class:`~repro.perf.snapshot.IndexSnapshot` was designed to eliminate.
+
+This module serializes a frozen snapshot (and its
+:class:`~repro.perf.snapshot.SnapshotTextMatrix`) into **one**
+``multiprocessing.shared_memory`` segment of flat numpy-compatible
+arrays plus a small pickled header of integer offset tables:
+
+* the parent :meth:`SharedSnapshotSegment.create`\\ s the segment —
+  one memcpy of the columnar arrays, no object-graph walk at ship time;
+* each worker :func:`attach`\\ es by *name*: the coordinate, topology,
+  and postings columns are mapped in place (zero-copy ``memoryview``
+  casts and ``numpy.frombuffer`` views over the segment), and the
+  object-level forms the traversal engines need — ``SparseVector``,
+  ``IntervalVector``, frozen kernel forms — are materialized **lazily,
+  per touched slot**, so a worker's private RSS grows with the slots its
+  queries visit, not with the index;
+* the lifecycle is refcounted and generation-checked:
+  ``create`` stamps the tree's structural
+  :attr:`~repro.index.iurtree.IURTree.generation` into the segment
+  header, ``attach`` verifies it against the generation the parent
+  advertised, and a mismatch raises :class:`StaleSegmentError` — a
+  stale segment can never silently serve a mutated index.  The refcount
+  word is advisory (incremented on create/attach, decremented on
+  close) and surfaces in :meth:`SharedSnapshotSegment.describe` and
+  worker diagnostics; the parent always owns the single ``unlink``.
+
+Bit-parity: every float shipped through the segment is the exact IEEE
+value the parent computed (memcpy, not reformatting), and frozen kernel
+forms are rebuilt worker-side from the same sorted ``(ids, weights,
+norm_sq)`` triples the parent's vectors hold — identical construction
+order means identical dict/frozenset layouts and therefore identical
+reduction order, which is the same argument the pickle path relies on
+(:meth:`repro.text.vector.SparseVector.__setstate__`).  Result ids and
+decision counters of shm-backed workers are byte-identical to
+pickle-backed and sequential runs; only I/O cache temperature differs
+(each worker starts a cold private buffer mirror, as a freshly
+unpickled tree would after ``reset_io``).
+
+Availability: the transport needs numpy (for in-place array views) and
+an engine that runs over snapshots; :func:`shm_available` reports the
+reason when it cannot run, which
+:class:`~repro.perf.batch.BatchSearcher` records as
+``BatchStats.fallback_reason = "shm_unavailable (...)"`` while falling
+back to the pickle transport.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import SimilarityConfig
+from ..errors import SnapshotSegmentError, StaleSegmentError
+from ..storage.iostats import IOStats
+from ..text.interval import IntervalVector
+from ..text.similarity import make_measure
+from ..text.vector import SparseVector
+from . import kernels
+from .snapshot import IndexSnapshot, SnapshotTextMatrix
+
+#: First eight bytes of every segment (version-bumped on layout changes).
+SEGMENT_MAGIC = b"RSTSHM01"
+
+#: Byte offsets of the fixed-width header words (little-endian int64).
+_OFF_GENERATION = 8
+_OFF_REFCOUNT = 16
+_OFF_HEADER_START = 24
+_OFF_HEADER_LEN = 32
+_ARRAY_REGION = 64
+
+#: Scalar-array columns shipped for the snapshot proper, in layout order.
+_SNAP_COLUMNS = (
+    ("xlo", "d"),
+    ("ylo", "d"),
+    ("xhi", "d"),
+    ("yhi", "d"),
+    ("cnt", "q"),
+    ("ref", "q"),
+    ("first_child", "q"),
+    ("last_child", "q"),
+    ("record_id", "q"),
+    ("is_obj", "B"),
+    ("ent_root", "d"),
+    ("ent_child", "d"),
+)
+
+_DTYPE_SIZE = {"d": 8, "q": 8, "B": 1}
+
+
+def shm_available() -> Tuple[bool, str]:
+    """Whether the shared-memory transport can run here, and why not.
+
+    Needs numpy (segments are packed and mapped as flat float/int
+    arrays) and ``multiprocessing.shared_memory`` (present on every
+    supported Python, but probed so exotic platforms degrade to the
+    pickle transport instead of crashing the pool).
+    """
+    if kernels._numpy() is None:
+        return False, "numpy not importable"
+    try:
+        from multiprocessing import shared_memory  # noqa: F401,PLC0415
+    except ImportError:  # pragma: no cover - platform-dependent
+        return False, "multiprocessing.shared_memory not importable"
+    return True, ""
+
+
+def _read_word(buf, offset: int) -> int:
+    return struct.unpack_from("<q", buf, offset)[0]
+
+
+def _write_word(buf, offset: int, value: int) -> None:
+    struct.pack_into("<q", buf, offset, value)
+
+
+def _align(offset: int, granule: int = 16) -> int:
+    return (offset + granule - 1) // granule * granule
+
+
+class _VectorPool:
+    """Deduplicating CSR accumulator for the export's sparse vectors.
+
+    Tree summaries share ``SparseVector`` instances heavily (an object's
+    exact vector is also its leaf cluster's intersection *and* union),
+    so the pool keys on instance identity and stores each distinct
+    vector once.
+    """
+
+    def __init__(self) -> None:
+        self._index: Dict[int, int] = {}
+        self.indptr: List[int] = [0]
+        self.ids: List[int] = []
+        self.weights: List[float] = []
+        self.nsq: List[float] = []
+
+    def add(self, vec: SparseVector) -> int:
+        idx = self._index.get(id(vec))
+        if idx is None:
+            idx = len(self.nsq)
+            self._index[id(vec)] = idx
+            self.ids.extend(vec.term_ids())
+            self.weights.extend(w for _, w in vec.items())
+            self.indptr.append(len(self.ids))
+            self.nsq.append(vec.norm_squared)
+        return idx
+
+
+def _pack_postings(post, np):
+    """Flatten one ``term_id -> (rows, weights)`` map into CSR arrays."""
+    tids = sorted(post)
+    indptr = [0]
+    rows_parts = []
+    weight_parts = []
+    total = 0
+    for tid in tids:
+        rows, weights = post[tid]
+        total += len(rows)
+        indptr.append(total)
+        rows_parts.append(np.asarray(rows, dtype=np.int64))
+        weight_parts.append(np.asarray(weights, dtype=np.float64))
+    if rows_parts:
+        rows_flat = np.concatenate(rows_parts)
+        weights_flat = np.concatenate(weight_parts)
+    else:
+        rows_flat = np.zeros(0, dtype=np.int64)
+        weights_flat = np.zeros(0, dtype=np.float64)
+    return (
+        np.asarray(tids, dtype=np.int64),
+        np.asarray(indptr, dtype=np.int64),
+        rows_flat,
+        weights_flat,
+    )
+
+
+def _export_arrays(tree, snap: IndexSnapshot, matrix: SnapshotTextMatrix):
+    """The ``(name -> numpy array)`` table one segment carries."""
+    np = kernels._numpy()
+    arrays: "OrderedDict[str, object]" = OrderedDict()
+    for name, code in _SNAP_COLUMNS:
+        dtype = {"d": np.float64, "q": np.int64, "B": np.uint8}[code]
+        arrays[name] = np.frombuffer(
+            memoryview(getattr(snap, name)), dtype=dtype
+        )
+
+    pool = _VectorPool()
+    cl_int: List[int] = []
+    cl_uni: List[int] = []
+    cl_docs: List[int] = []
+    cl_indptr: List[int] = [0]
+    obj_vecidx: List[int] = []
+    for slot in range(snap.n_slots):
+        for iv, *_ in snap.clusters[slot]:
+            cl_int.append(pool.add(iv.intersection))
+            cl_uni.append(pool.add(iv.union))
+            cl_docs.append(iv.doc_count)
+        cl_indptr.append(len(cl_int))
+        vec = snap.obj_vec[slot]
+        obj_vecidx.append(-1 if vec is None else pool.add(vec))
+    arrays["vec_indptr"] = np.asarray(pool.indptr, dtype=np.int64)
+    arrays["vec_ids"] = np.asarray(pool.ids, dtype=np.int64)
+    arrays["vec_weights"] = np.asarray(pool.weights, dtype=np.float64)
+    arrays["vec_nsq"] = np.asarray(pool.nsq, dtype=np.float64)
+    arrays["cl_indptr"] = np.asarray(cl_indptr, dtype=np.int64)
+    arrays["cl_int"] = np.asarray(cl_int, dtype=np.int64)
+    arrays["cl_uni"] = np.asarray(cl_uni, dtype=np.int64)
+    arrays["cl_docs"] = np.asarray(cl_docs, dtype=np.int64)
+    arrays["obj_vecidx"] = np.asarray(obj_vecidx, dtype=np.int64)
+
+    # Text matrix: squared norms and the three postings families in CSR
+    # form, so attach builds zero-copy ``term -> (rows, weights)`` views.
+    arrays["tm_insq"] = np.asarray(matrix.insq, dtype=np.float64)
+    arrays["tm_unsq"] = np.asarray(matrix.unsq, dtype=np.float64)
+    arrays["tm_obj_row"] = np.asarray(matrix.obj_row, dtype=np.int64)
+    arrays["tm_obj_nsq"] = np.asarray(matrix.obj_nsq, dtype=np.float64)
+    for family, post in (
+        ("int", matrix.int_postings),
+        ("uni", matrix.uni_postings),
+        ("obj", matrix.obj_postings),
+    ):
+        terms, indptr, rows, weights = _pack_postings(post, np)
+        arrays[f"tm_{family}_terms"] = terms
+        arrays[f"tm_{family}_indptr"] = indptr
+        arrays[f"tm_{family}_rows"] = rows
+        arrays[f"tm_{family}_weights"] = weights
+
+    # Record page table: the worker-side buffer mirror charges the same
+    # page spans the live tree's DiskManager would.
+    rids = sorted({int(r) for r in snap.record_id if r >= 0})
+    arrays["rpt_ids"] = np.asarray(rids, dtype=np.int64)
+    arrays["rpt_pages"] = np.asarray(
+        [tree.disk.record_pages(r) for r in rids], dtype=np.int64
+    )
+    return arrays
+
+
+class SharedSnapshotSegment:
+    """Parent-side owner handle of one exported snapshot segment.
+
+    Created with :meth:`create`, shipped to workers by :attr:`name`,
+    and torn down with :meth:`close` + :meth:`unlink` (or one
+    :meth:`release` call / ``with`` block).  The creating process is the
+    only one that may unlink.
+    """
+
+    def __init__(self, shm, generation: int, nbytes: int) -> None:
+        self.shm = shm
+        self.generation = generation
+        self.nbytes = nbytes
+        self._released = False
+
+    @property
+    def name(self) -> str:
+        """The segment name workers pass to :func:`attach`."""
+        return self.shm.name
+
+    @classmethod
+    def create(
+        cls,
+        tree,
+        config: Optional[SimilarityConfig] = None,
+        te_weight: float = 0.05,
+        name: Optional[str] = None,
+    ) -> "SharedSnapshotSegment":
+        """Export ``tree``'s current snapshot into a fresh segment.
+
+        Freezes the snapshot and its text matrix if the tree has not
+        already (both are generation-memoized, so repeated exports of an
+        unchanged tree only pay the memcpy).  ``config``/``te_weight``
+        are stamped into the header so workers reconstruct the exact
+        similarity setting without touching the tree.
+        """
+        ok, why = shm_available()
+        if not ok:
+            raise SnapshotSegmentError(f"shared-memory transport unavailable: {why}")
+        from multiprocessing import shared_memory  # noqa: PLC0415
+
+        np = kernels._numpy()
+        snap = tree.snapshot()
+        matrix = snap.text_matrix()
+        arrays = _export_arrays(tree, snap, matrix)
+
+        offset = _ARRAY_REGION
+        table: Dict[str, Tuple[int, str, int]] = {}
+        for array_name, arr in arrays.items():
+            offset = _align(offset)
+            table[array_name] = (offset, arr.dtype.str, int(arr.shape[0]))
+            offset += arr.nbytes
+
+        cfg = config if config is not None else tree.dataset.config
+        header = {
+            "generation": snap.generation,
+            "kind": snap.kind,
+            "maxD": snap.maxD,
+            "n_slots": snap.n_slots,
+            "root_slots": tuple(int(r) for r in snap.root_slots),
+            "kernel_backend": snap.kernel_backend,
+            "n_rows": matrix.n_rows,
+            "n_obj_rows": matrix.n_obj_rows,
+            "sim_config": cfg,
+            "te_weight": te_weight,
+            "use_entropy_priority": tree.config.use_entropy_priority,
+            "buffer_pages": tree.config.buffer_pages,
+            "arrays": table,
+        }
+        header_bytes = pickle.dumps(header)
+        header_start = _align(offset)
+        total = header_start + len(header_bytes)
+
+        if name is None:
+            name = f"repro_snap_{os.getpid():x}_{os.urandom(4).hex()}"
+        shm = shared_memory.SharedMemory(name=name, create=True, size=total)
+        try:
+            buf = shm.buf
+            buf[: len(SEGMENT_MAGIC)] = SEGMENT_MAGIC
+            _write_word(buf, _OFF_GENERATION, snap.generation)
+            _write_word(buf, _OFF_REFCOUNT, 1)
+            _write_word(buf, _OFF_HEADER_START, header_start)
+            _write_word(buf, _OFF_HEADER_LEN, len(header_bytes))
+            for array_name, arr in arrays.items():
+                start, dtype_str, length = table[array_name]
+                dest = np.frombuffer(
+                    buf, dtype=np.dtype(dtype_str), count=length, offset=start
+                )
+                dest[:] = arr
+                del dest
+            buf[header_start : header_start + len(header_bytes)] = header_bytes
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            raise
+        return cls(shm, snap.generation, total)
+
+    def refcount(self) -> int:
+        """Advisory attach count (creator holds one reference)."""
+        return _read_word(self.shm.buf, _OFF_REFCOUNT)
+
+    def describe(self) -> Dict[str, object]:
+        """Summary counters for logs and benchmark reports."""
+        return {
+            "name": self.name,
+            "generation": self.generation,
+            "nbytes": self.nbytes,
+            "refcount": self.refcount(),
+        }
+
+    def close(self) -> None:
+        """Unmap the parent's view (workers keep theirs)."""
+        if not self._released:
+            _write_word(
+                self.shm.buf, _OFF_REFCOUNT, self.refcount() - 1
+            )
+        self.shm.close()
+
+    def unlink(self) -> None:
+        """Remove the segment name; memory frees when the last view closes."""
+        self.shm.unlink()
+
+    def release(self) -> None:
+        """Close and unlink (idempotent); the standard parent teardown."""
+        if self._released:
+            return
+        self.close()
+        self._released = True
+        self.unlink()
+
+    def __enter__(self) -> "SharedSnapshotSegment":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.release()
+
+
+_MISSING = object()
+
+#: SharedMemory handles whose unmap was deferred because the caller
+#: still held zero-copy views at close time (see AttachedIndex.close).
+#: Drained at interpreter exit, when those views are collectable.
+_DEFERRED_UNMAPS: List[object] = []
+
+
+def _drain_deferred_unmaps() -> None:  # pragma: no cover - atexit path
+    import contextlib
+    import gc
+
+    gc.collect()
+    while _DEFERRED_UNMAPS:
+        handle = _DEFERRED_UNMAPS.pop()
+        with contextlib.suppress(BufferError, OSError):
+            handle.close()
+
+
+import atexit  # noqa: E402 — registered next to the list it drains
+
+atexit.register(_drain_deferred_unmaps)
+
+
+class _LazySeq:
+    """List-like over ``n`` lazily built, cached elements.
+
+    The attach-side representation of per-slot object forms: element
+    ``i`` is materialized by ``build(i)`` on first access only, so a
+    worker pays reconstruction cost for the slots its queries actually
+    touch — the core of the per-worker RSS win.
+    """
+
+    __slots__ = ("_cache", "_build")
+
+    def __init__(self, n: int, build) -> None:
+        self._cache: List[object] = [_MISSING] * n
+        self._build = build
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def __getitem__(self, i: int):
+        value = self._cache[i]
+        if value is _MISSING:
+            value = self._build(i)
+            self._cache[i] = value
+        return value
+
+    def materialized(self) -> int:
+        """How many elements have been built (diagnostics)."""
+        return sum(1 for v in self._cache if v is not _MISSING)
+
+
+class AttachedTextMatrix(SnapshotTextMatrix):
+    """Text matrix mapped from a segment: postings zero-copy, frozen
+    rows lazy (same contract as :class:`SnapshotTextMatrix`)."""
+
+    __slots__ = ()
+
+    @classmethod
+    def from_segment(cls, snap: "AttachedSnapshot", header, views) -> "AttachedTextMatrix":
+        """Rebuild the matrix over segment-backed columns (no copies)."""
+        matrix = cls.__new__(cls)
+        matrix.generation = header["generation"]
+        matrix.n_rows = header["n_rows"]
+        matrix.n_obj_rows = header["n_obj_rows"]
+        matrix.indptr = views.cast("cl_indptr", "q")
+        matrix.insq = views.cast("tm_insq", "d")
+        matrix.unsq = views.cast("tm_unsq", "d")
+        matrix.obj_row = views.cast("tm_obj_row", "q")
+        matrix.obj_nsq = views.cast("tm_obj_nsq", "d")
+        matrix.backend = "numpy"
+
+        cl_int = views.cast("cl_int", "q")
+        cl_uni = views.cast("cl_uni", "q")
+        matrix.int_frozen = _LazySeq(
+            matrix.n_rows, lambda r: snap._frozen_vector(cl_int[r])
+        )
+        matrix.uni_frozen = _LazySeq(
+            matrix.n_rows, lambda r: snap._frozen_vector(cl_uni[r])
+        )
+        obj_vecidx = views.cast("obj_vecidx", "q")
+        obj_vec_rows = [v for v in obj_vecidx if v >= 0]
+        matrix.obj_frozen = _LazySeq(
+            matrix.n_obj_rows, lambda r: snap._frozen_vector(obj_vec_rows[r])
+        )
+        for family, attr in (
+            ("int", "int_postings"),
+            ("uni", "uni_postings"),
+            ("obj", "obj_postings"),
+        ):
+            terms = views.np(f"tm_{family}_terms")
+            indptr = views.np(f"tm_{family}_indptr")
+            rows = views.np(f"tm_{family}_rows")
+            weights = views.np(f"tm_{family}_weights")
+            post = {
+                int(tid): (
+                    rows[indptr[i] : indptr[i + 1]],
+                    weights[indptr[i] : indptr[i + 1]],
+                )
+                for i, tid in enumerate(terms)
+            }
+            setattr(matrix, attr, post)
+        return matrix
+
+
+class _SegmentViews:
+    """Zero-copy accessors over one attached segment's array region."""
+
+    def __init__(self, shm, table) -> None:
+        self._shm = shm
+        self._table = table
+        self._np = kernels._numpy()
+
+    def cast(self, name: str, code: str):
+        """A ``memoryview`` cast — scalar indexing yields Python
+        floats/ints, matching the :mod:`array`-backed snapshot exactly."""
+        offset, _dtype, length = self._table[name]
+        size = _DTYPE_SIZE[code] * length
+        return self._shm.buf[offset : offset + size].cast(code)
+
+    def np(self, name: str):
+        """A numpy view over the same bytes (vectorized passes)."""
+        np = self._np
+        offset, dtype_str, length = self._table[name]
+        return np.frombuffer(
+            self._shm.buf, dtype=np.dtype(dtype_str), count=length, offset=offset
+        )
+
+
+class AttachedSnapshot(IndexSnapshot):
+    """An :class:`IndexSnapshot` mapped in place from a shared segment.
+
+    Scalar columns are ``memoryview`` casts (zero-copy, Python-scalar
+    indexing), the ``np_*`` views are ``numpy.frombuffer`` over the same
+    bytes, and the object-level sequences (``clusters``, ``obj_vec``,
+    ``obj_frozen``) rebuild lazily per slot from the segment's
+    deduplicated vector pool.  Engine memoization, collect plans, and
+    the engine factories are inherited unchanged.
+    """
+
+    __slots__ = ("_views", "_seg_header", "_vec_cache", "_frozen_cache",
+                 "_vec_indptr", "_vec_ids", "_vec_weights", "_vec_nsq")
+
+    def __init__(self, header, views: _SegmentViews) -> None:
+        IndexSnapshot.__init__(self)
+        self._seg_header = header
+        self.generation = header["generation"]
+        self.kind = header["kind"]
+        self.kernel_backend = header["kernel_backend"]
+        self.n_slots = header["n_slots"]
+        self.maxD = header["maxD"]
+        self.root_slots = header["root_slots"]
+        self._views = views
+        for name, code in _SNAP_COLUMNS:
+            setattr(self, name, views.cast(name, code))
+        self.np_xlo = views.np("xlo")
+        self.np_ylo = views.np("ylo")
+        self.np_xhi = views.np("xhi")
+        self.np_yhi = views.np("yhi")
+
+        self._vec_indptr = views.cast("vec_indptr", "q")
+        self._vec_ids = views.cast("vec_ids", "q")
+        self._vec_weights = views.cast("vec_weights", "d")
+        self._vec_nsq = views.cast("vec_nsq", "d")
+        n_vecs = len(self._vec_nsq)
+        self._vec_cache: List[object] = [_MISSING] * n_vecs
+        self._frozen_cache: List[object] = [_MISSING] * n_vecs
+
+        cl_indptr = views.cast("cl_indptr", "q")
+        cl_int = views.cast("cl_int", "q")
+        cl_uni = views.cast("cl_uni", "q")
+        cl_docs = views.cast("cl_docs", "q")
+        obj_vecidx = views.cast("obj_vecidx", "q")
+
+        def build_clusters(slot: int):
+            out = []
+            for row in range(cl_indptr[slot], cl_indptr[slot + 1]):
+                ivec = self._vector(cl_int[row])
+                uvec = self._vector(cl_uni[row])
+                iv = object.__new__(IntervalVector)
+                iv.intersection = ivec
+                iv.union = uvec
+                iv.doc_count = cl_docs[row]
+                out.append(
+                    (
+                        iv,
+                        self._frozen_vector(cl_int[row]),
+                        self._frozen_vector(cl_uni[row]),
+                        ivec.norm_squared,
+                        uvec.norm_squared,
+                    )
+                )
+            return tuple(out)
+
+        def build_obj_vec(slot: int):
+            idx = obj_vecidx[slot]
+            return None if idx < 0 else self._vector(idx)
+
+        def build_obj_frozen(slot: int):
+            idx = obj_vecidx[slot]
+            return None if idx < 0 else self._frozen_vector(idx)
+
+        self.clusters = _LazySeq(self.n_slots, build_clusters)
+        self.obj_vec = _LazySeq(self.n_slots, build_obj_vec)
+        self.obj_frozen = _LazySeq(self.n_slots, build_obj_frozen)
+
+    # ------------------------------------------------------------------
+    # Lazy reconstruction
+    # ------------------------------------------------------------------
+
+    def _vector(self, idx: int) -> SparseVector:
+        """Pool vector ``idx`` as a real :class:`SparseVector` (cached).
+
+        Rebuilt exactly like unpickling: slots assigned directly from
+        the already-sorted id/weight columns and the parent's precomputed
+        squared norm, frozen form left lazy.
+        """
+        vec = self._vec_cache[idx]
+        if vec is _MISSING:
+            lo, hi = self._vec_indptr[idx], self._vec_indptr[idx + 1]
+            vec = SparseVector.__new__(SparseVector)
+            vec._ids = tuple(self._vec_ids[lo:hi])
+            vec._weights = tuple(self._vec_weights[lo:hi])
+            vec._norm_sq = self._vec_nsq[idx]
+            vec._frozen = None
+            self._vec_cache[idx] = vec
+        return vec
+
+    def _frozen_vector(self, idx: int):
+        """Pool vector ``idx``'s frozen kernel form (cached).
+
+        Built through :func:`repro.perf.kernels.freeze` from the sorted
+        columns, i.e. the identical construction order the parent used —
+        the frozen-set iteration-order parity argument of the module
+        docstring.
+        """
+        form = self._frozen_cache[idx]
+        if form is _MISSING:
+            vec = self._vector(idx)
+            form = vec.frozen()
+            self._frozen_cache[idx] = form
+        return form
+
+    def text_matrix(self) -> SnapshotTextMatrix:
+        matrix = self._text_matrix
+        if matrix is None:
+            matrix = AttachedTextMatrix.from_segment(
+                self, self._seg_header, self._views
+            )
+            self._text_matrix = matrix
+        return matrix
+
+    def materialized_slots(self) -> int:
+        """Slots whose cluster tuples have been built (RSS diagnostics)."""
+        return self.clusters.materialized()
+
+    def nbytes(self) -> int:
+        """Mapped bytes are shared; count only private lazily built state.
+
+        The columnar arrays live in the segment (one copy machine-wide),
+        so the snapshot-specific resident cost of an attached worker is
+        the reconstructed vectors — reported here as an estimate from
+        the materialized counts.
+        """
+        vec_bytes = 0
+        for idx, vec in enumerate(self._vec_cache):
+            if vec is not _MISSING:
+                lo, hi = self._vec_indptr[idx], self._vec_indptr[idx + 1]
+                vec_bytes += 64 + 16 * (hi - lo)
+        return vec_bytes
+
+
+class _ShmBufferMirror:
+    """Cold LRU mirror of the parent's :class:`BufferPool` accounting.
+
+    Charges the same page spans per record through a private
+    :class:`~repro.storage.iostats.IOStats`, so worker-side ``SearchResult.io``
+    dictionaries have the shape the rest of the system expects.  Record
+    payloads are not shipped (the engines never read them), so ``get``
+    returns ``b""``.
+    """
+
+    def __init__(self, io: IOStats, pages: Dict[int, int], capacity_pages: int) -> None:
+        self.io = io
+        self._pages = pages
+        self.capacity_pages = capacity_pages
+        self._cache: "OrderedDict[int, int]" = OrderedDict()
+        self._pages_used = 0
+
+    def get(self, record_id: int, tag: str = "") -> bytes:
+        record_id = int(record_id)
+        pages = self._pages.get(record_id, 1)
+        if record_id in self._cache:
+            self._cache.move_to_end(record_id)
+            self.io.record_hit(pages)
+            return b""
+        self.io.record_read(pages, tag)
+        if pages > self.capacity_pages:
+            return b""  # oversized records are served uncached
+        while self._pages_used + pages > self.capacity_pages and self._cache:
+            _, evicted = self._cache.popitem(last=False)
+            self._pages_used -= evicted
+        self._cache[record_id] = pages
+        self._pages_used += pages
+        return b""
+
+    def contains(self, record_id: int) -> bool:
+        return int(record_id) in self._cache
+
+    def clear(self) -> None:
+        self._cache.clear()
+        self._pages_used = 0
+
+
+class _ShmStubTree:
+    """The minimal tree facade the snapshot engines require.
+
+    Provides exactly the surface :class:`~repro.core.traversal.SnapshotEngine`
+    touches — ``buffer.get``, ``io.snapshot``, ``generation`` — backed
+    by the segment's record page table instead of a live index.
+    """
+
+    def __init__(self, snap: AttachedSnapshot, header, views: _SegmentViews) -> None:
+        self.kind = snap.kind
+        self.generation = snap.generation
+        self.io = IOStats()
+        rpt_ids = views.cast("rpt_ids", "q")
+        rpt_pages = views.cast("rpt_pages", "q")
+        pages = dict(zip(rpt_ids, rpt_pages))
+        self.buffer = _ShmBufferMirror(self.io, pages, header["buffer_pages"])
+
+    def reset_io(self, cold: bool = True) -> None:
+        self.io.reset()
+        if cold:
+            self.buffer.clear()
+
+
+class ShmSearcher:
+    """Worker-side searcher over one attached segment.
+
+    The drop-in replacement for the pickle transport's
+    :class:`~repro.core.rstknn.RSTkNNSearcher`: it runs the snapshot
+    engine of the header's similarity setting (result ids and decision
+    counters are engine-parity-identical to the seed walk, which the
+    engine test suite enforces).
+    """
+
+    def __init__(self, attached: "AttachedIndex", config: Optional[SimilarityConfig],
+                 te_weight: float) -> None:
+        header = attached.header
+        cfg = config if config is not None else header["sim_config"]
+        self.config = cfg
+        self.measure = make_measure(cfg.text_measure)
+        self.alpha = cfg.alpha
+        self.te_weight = te_weight if header["use_entropy_priority"] else 0.0
+        self.tree = attached.tree
+        self.engine = attached.snapshot.engine_for(
+            attached.tree, self.measure, self.alpha, self.te_weight
+        )
+
+    def search(self, query, k: int):
+        """Run one RSTkNN query on the attached snapshot engine."""
+        return self.engine.search(query, k)
+
+
+class AttachedIndex:
+    """One worker's view of a segment: snapshot, stub tree, lifecycle."""
+
+    def __init__(self, shm, header, views, snapshot, tree) -> None:
+        self.shm = shm
+        self.header = header
+        self.generation = header["generation"]
+        self._views = views
+        self.snapshot = snapshot
+        self.tree = tree
+        self._closed = False
+
+    def searcher(
+        self,
+        config: Optional[SimilarityConfig] = None,
+        te_weight: Optional[float] = None,
+    ) -> ShmSearcher:
+        """A searcher over this attachment (header defaults apply)."""
+        te = self.header["te_weight"] if te_weight is None else te_weight
+        return ShmSearcher(self, config, te)
+
+    def refcount(self) -> int:
+        """Advisory reference count stored in the segment."""
+        return _read_word(self.shm.buf, _OFF_REFCOUNT)
+
+    def close(self) -> None:
+        """Decrement the refcount and unmap this process's view.
+
+        The attachment drops its own zero-copy views (memoryview casts,
+        numpy buffers) and is unusable afterwards.  If the *caller*
+        still holds live views — a searcher kept past the attachment,
+        say — the unmap is deferred to process exit (CPython refuses to
+        unmap a buffer with exported pointers); the refcount decrement
+        happens either way, so diagnostics stay truthful.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        _write_word(self.shm.buf, _OFF_REFCOUNT, self.refcount() - 1)
+        # Drop exported buffer views so SharedMemory.close() can unmap.
+        self.snapshot = None
+        self.tree = None
+        self._views = None
+        self.header = None
+        import gc  # noqa: PLC0415 — collect dropped buffer exports
+
+        gc.collect()
+        try:
+            self.shm.close()
+        except BufferError:
+            # Someone outside this handle still exports segment memory;
+            # parking the handle keeps SharedMemory.__del__ from warning
+            # and leaves the unmap to process teardown.  The segment
+            # itself is unlinked by its creating process regardless.
+            _DEFERRED_UNMAPS.append(self.shm)
+
+
+def attach(name: str, expected_generation: Optional[int] = None) -> AttachedIndex:
+    """Map a segment by name and build the worker-side index view.
+
+    ``expected_generation`` is the generation the parent advertised when
+    it shipped the name; a mismatch against the segment header raises
+    :class:`StaleSegmentError` before any engine can run — defense in
+    depth on top of the parent re-exporting after mutations.
+
+    Resource-tracker note: attaching registers the name with the
+    tracker again, but fork-started workers share the parent's tracker
+    and its name set deduplicates, so the creator's single ``unlink``
+    still unregisters exactly once — and if the creator dies without
+    unlinking, the tracker reaps the segment at shutdown instead of
+    leaking it.
+    """
+    ok, why = shm_available()
+    if not ok:
+        raise SnapshotSegmentError(f"shared-memory transport unavailable: {why}")
+    from multiprocessing import shared_memory  # noqa: PLC0415
+
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        magic = bytes(shm.buf[: len(SEGMENT_MAGIC)])
+        if magic != SEGMENT_MAGIC:
+            raise SnapshotSegmentError(
+                f"segment {name!r} is not a snapshot segment "
+                f"(magic {magic!r})"
+            )
+        generation = _read_word(shm.buf, _OFF_GENERATION)
+        if expected_generation is not None and generation != expected_generation:
+            raise StaleSegmentError(
+                f"segment {name!r} holds generation {generation}, "
+                f"expected {expected_generation}; the index mutated after "
+                "export and the segment must be re-created"
+            )
+        header_start = _read_word(shm.buf, _OFF_HEADER_START)
+        header_len = _read_word(shm.buf, _OFF_HEADER_LEN)
+        header = pickle.loads(
+            bytes(shm.buf[header_start : header_start + header_len])
+        )
+        _write_word(shm.buf, _OFF_REFCOUNT, _read_word(shm.buf, _OFF_REFCOUNT) + 1)
+        views = _SegmentViews(shm, header["arrays"])
+        snapshot = AttachedSnapshot(header, views)
+        tree = _ShmStubTree(snapshot, header, views)
+        return AttachedIndex(shm, header, views, snapshot, tree)
+    except BaseException:
+        shm.close()
+        raise

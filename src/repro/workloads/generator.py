@@ -13,6 +13,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Sequence, Tuple
 
 from ..errors import ConfigError
@@ -80,7 +81,7 @@ def generate_corpus(spec: WorkloadSpec) -> List[Tuple[Point, str]]:
     rng = random.Random(spec.seed)
     centers = _cluster_centers(spec, rng)
     vocab = [f"t{i:04d}" for i in range(spec.vocab_size)]
-    global_cum = _zipf_cumulative(spec.vocab_size, spec.zipf_s)
+    global_cum = _zipf_cumulative_cached(spec.vocab_size, spec.zipf_s)
     topic_slices = _topic_slices(spec.vocab_size, spec.n_topics)
 
     records: List[Tuple[Point, str]] = []
@@ -162,14 +163,36 @@ def _sample_length(mean: float, rng: random.Random) -> int:
 
 
 def _zipf_cumulative(n: int, s: float) -> List[float]:
+    """The cumulative Zipf(``s``) distribution over ``n`` ranks.
+
+    The numpy path keeps scalar ``pow`` for the weights (numpy's SIMD
+    ``power`` differs from libm by an ulp on some inputs) and vectorizes
+    only the running sums, whose ``cumsum`` is sequentially accumulated
+    — so both backends yield bitwise-identical tables and a workload
+    generated with numpy installed matches one generated without it,
+    term for term.
+    """
     weights = [1.0 / (rank**s) for rank in range(1, n + 1)]
-    total = sum(weights)
-    cum: List[float] = []
-    acc = 0.0
-    for w in weights:
-        acc += w / total
-        cum.append(acc)
-    return cum
+    try:  # pragma: no cover - exercised on numpy-equipped runs
+        import numpy as np  # noqa: PLC0415
+
+        w = np.array(weights)
+        cum_w = np.cumsum(w)  # sequential, matches sum(weights)
+        return list(np.cumsum(w / cum_w[-1]))
+    except ImportError:
+        total = sum(weights)
+        cum: List[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            cum.append(acc)
+        return cum
+
+
+@lru_cache(maxsize=128)
+def _zipf_cumulative_cached(n: int, s: float) -> Sequence[float]:
+    """Memoized cumulative table; callers must not mutate the result."""
+    return _zipf_cumulative(n, s)
 
 
 def _sample_cumulative(cum: Sequence[float], rng: random.Random) -> int:
@@ -185,19 +208,19 @@ def _sample_cumulative(cum: Sequence[float], rng: random.Random) -> int:
 
 
 def _zipf_index(n: int, s: float, rng: random.Random) -> int:
-    """A cheap Zipf draw over ``range(n)`` by inverse-power transform."""
+    """A Zipf draw over ``range(n)`` by inversion of the cached CDF.
+
+    Draw-identical to the former per-call harmonic walk: the cumulative
+    table holds the same running sums the walk accumulated, exactly one
+    ``rng.random()`` is consumed, and the bisection returns the first
+    index whose cumulative mass reaches ``u`` — but an O(n) rebuild per
+    *term* becomes an O(log n) lookup against a table built once per
+    ``(n, s)``, which is what makes 10^5-object corpora generate in
+    seconds (see ``benchmarks/bench_scale.py``).
+    """
     if n <= 1:
         return 0
-    # Rejection-free approximation: u^(1/(1-s)) heavy-heads for s>1 is
-    # awkward; a bounded harmonic walk is accurate enough at these sizes.
-    u = rng.random()
-    acc = 0.0
-    total = sum(1.0 / (r**s) for r in range(1, n + 1))
-    for i in range(n):
-        acc += (1.0 / ((i + 1) ** s)) / total
-        if u <= acc:
-            return i
-    return n - 1
+    return _sample_cumulative(_zipf_cumulative_cached(n, s), rng)
 
 
 def _topic_slices(vocab_size: int, n_topics: int) -> List[Tuple[int, int]]:
