@@ -89,19 +89,25 @@ def bench_modes(
     # Hard gate (also warms the snapshot, its engines, and every cache).
     parity_gate(snapshot_bs, fused_bs, queries, k)
 
-    def round_for(bs):
+    def round_for(bs, latency_sink):
         def run_round() -> float:
             started = time.perf_counter()
-            bs.run(queries, k)
+            run = bs.run(queries, k)
+            latency_sink.clear()
+            latency_sink.update(run.stats.latency_ms)
             return time.perf_counter() - started
 
         return run_round
 
     n = len(queries)
-    seed_qps = _median_qps(round_for(per_seed), n, rounds)
-    shared_qps = _median_qps(round_for(shared), n, rounds)
-    snapshot_qps = _median_qps(round_for(snapshot_bs), n, rounds)
-    fused_qps = _median_qps(round_for(fused_bs), n, rounds)
+    seed_lat: Dict[str, float] = {}
+    shared_lat: Dict[str, float] = {}
+    snapshot_lat: Dict[str, float] = {}
+    fused_lat: Dict[str, float] = {}
+    seed_qps = _median_qps(round_for(per_seed, seed_lat), n, rounds)
+    shared_qps = _median_qps(round_for(shared, shared_lat), n, rounds)
+    snapshot_qps = _median_qps(round_for(snapshot_bs, snapshot_lat), n, rounds)
+    fused_qps = _median_qps(round_for(fused_bs, fused_lat), n, rounds)
     return {
         "queries": n,
         "k": k,
@@ -111,6 +117,10 @@ def bench_modes(
         "shared_cache_qps": shared_qps,
         "snapshot_qps": snapshot_qps,
         "fused_qps": fused_qps,
+        "per_query_seed_latency_ms": dict(seed_lat),
+        "shared_cache_latency_ms": dict(shared_lat),
+        "snapshot_latency_ms": dict(snapshot_lat),
+        "fused_latency_ms": dict(fused_lat),
         "speedup_fused_vs_snapshot": fused_qps / snapshot_qps,
         "speedup_fused_vs_shared_cache": fused_qps / shared_qps,
         "speedup_fused_vs_seed": fused_qps / seed_qps,

@@ -136,6 +136,7 @@ def bench_cell(
         stats = run.stats
         cell[share] = {
             "qps": stats.queries_per_second,
+            "latency_ms": stats.latency_ms,
             "elapsed_seconds": stats.elapsed_seconds,
             "share_used": stats.share,
             "worker_rss_bytes": stats.worker_rss_bytes,
@@ -188,6 +189,7 @@ def bench_scale(
                 "k": k,
                 "workers": 1,
                 "sequential_qps": reference.stats.queries_per_second,
+                "sequential_latency_ms": reference.stats.latency_ms,
             }
         )
         for workers in workers_list:

@@ -70,6 +70,21 @@ def bench_engines(tree, queries, k: int, rounds: int) -> Dict[str, object]:
             RSTkNNSearcher(tree, engine="snapshot").search(q, k)
         return time.perf_counter() - started
 
+    def latency_ms(searcher) -> dict:
+        # One instrumented pass: per-query wall clock -> nearest-rank
+        # percentiles, the tail-latency companion to the QPS medians.
+        from repro.obs import latency_percentiles
+
+        samples = []
+        for q in queries:
+            started = time.perf_counter()
+            searcher.search(q, k)
+            samples.append(time.perf_counter() - started)
+        return {
+            point: seconds * 1000.0
+            for point, seconds in latency_percentiles(samples).items()
+        }
+
     n = len(queries)
     seed_qps = _median_qps(seed_round, n, rounds)
     snap_qps = _median_qps(snap_round, n, rounds)
@@ -83,6 +98,8 @@ def bench_engines(tree, queries, k: int, rounds: int) -> Dict[str, object]:
         "snapshot_fresh_searcher_qps": fresh_qps,
         "speedup_snapshot_vs_seed": snap_qps / seed_qps,
         "speedup_fresh_vs_seed": fresh_qps / seed_qps,
+        "seed_latency_ms": latency_ms(seed),
+        "snapshot_latency_ms": latency_ms(snap),
     }
 
 

@@ -147,18 +147,40 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_chain(engine: str):
+    """Map a ``--engine`` choice to a degradation chain.
+
+    ``auto``/``fused`` keep the full chain; ``snapshot`` and ``seed``
+    start the chain at that engine (later hops remain available — every
+    chain engine is parity-identical, so this only pins the first
+    attempt, never the answer).
+    """
+    from .service import DEGRADATION_CHAIN
+
+    if engine in ("auto", "fused"):
+        return DEGRADATION_CHAIN
+    return DEGRADATION_CHAIN[DEGRADATION_CHAIN.index(engine):]
+
+
 def _cmd_serve_batch(args: argparse.Namespace) -> int:
     from .bench.harness import build_tree
+    from .config import SimilarityConfig
     from .obs import MetricsRegistry
     from .service import QueryService, QueueFull
     from .service.faults import current_plan
 
     registry = MetricsRegistry()
-    dataset = gn_like(n=args.n)
+    config = (
+        SimilarityConfig(alpha=args.alpha) if args.alpha is not None else None
+    )
+    dataset = gn_like(n=args.n, config=config)
     tree = build_tree(dataset, args.method)
     queries = sample_queries(dataset, args.queries)
+    if args.workers > 1:
+        return _serve_batch_parallel(args, tree, queries, registry)
     service = QueryService(
         tree,
+        chain=_service_chain(args.engine),
         deadline_seconds=args.deadline,
         max_pending=args.max_pending,
         metrics=registry,
@@ -175,6 +197,7 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     batch = service.drain()
     counters = registry.snapshot()["counters"]
     latency = registry.histogram("service.latency_seconds")
+    percentiles = batch.latency_percentiles
     rows = [
         ["queries", len(queries)],
         ["served", len(batch.results)],
@@ -184,6 +207,11 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         ["chain failures", counters.get("service.failed", 0)],
         ["mean latency (ms)", f"{latency.mean() * 1000.0:.2f}"],
     ]
+    for point in ("p50", "p95", "p99"):
+        if point in percentiles:
+            rows.append(
+                [f"latency {point} (ms)", f"{percentiles[point] * 1000.0:.2f}"]
+            )
     if args.deadline is not None:
         rows.insert(1, ["deadline (s)", args.deadline])
     for result in batch.results:
@@ -207,6 +235,185 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     )
     if args.format == "prom":
         sys.stdout.write(registry.to_prometheus())
+    return 0
+
+
+def _serve_batch_parallel(args, tree, queries, registry) -> int:
+    """``serve-batch --workers N``: the pool/shm configuration leg.
+
+    Deadlines are polled in-process per node expansion, which a worker
+    pool cannot honor, so ``--deadline`` with ``--workers > 1`` is
+    rejected up front instead of silently ignored.
+    """
+    from .perf import BatchSearcher
+
+    if args.deadline is not None:
+        print(
+            "serve-batch: --deadline requires the sequential service path "
+            "(drop --workers)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.engine == "fused":
+        print(
+            "serve-batch: fused mode runs in-process only; "
+            "--engine fused cannot combine with --workers > 1",
+            file=sys.stderr,
+        )
+        return 2
+    engine = BatchSearcher(
+        tree,
+        workers=args.workers,
+        engine=None if args.engine == "auto" else args.engine,
+        share=args.share,
+        metrics=registry,
+    )
+    batch = engine.run(queries, args.k)
+    stats = batch.stats
+    rows = [
+        ["queries", stats.queries],
+        ["workers", stats.workers],
+        ["share", stats.share or "-"],
+        ["elapsed (s)", f"{stats.elapsed_seconds:.3f}"],
+        ["throughput (q/s)", f"{stats.queries_per_second:.1f}"],
+        ["mean latency (ms)", f"{stats.mean_ms:.2f}"],
+    ]
+    for point in ("p50", "p95", "p99"):
+        if point in stats.latency_ms:
+            rows.append(
+                [f"latency {point} (ms)", f"{stats.latency_ms[point]:.2f}"]
+            )
+    if stats.fallback_reason:
+        rows.append(["fallback", stats.fallback_reason])
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=(
+                f"serve-batch (parallel) — {args.method} |D|={args.n}, "
+                f"{stats.queries} queries, k={args.k}"
+            ),
+        )
+    )
+    if args.format == "prom":
+        sys.stdout.write(registry.to_prometheus())
+    return 0
+
+
+def _cmd_serve_http(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .config import SimilarityConfig
+    from .index.ciurtree import CIURTree
+    from .obs import MetricsRegistry
+    from .shard import ScatterGatherSearcher, build_sharded_index
+    from .shard.http import ShardHttpServer, ShardQueryService
+
+    config = (
+        SimilarityConfig(alpha=args.alpha) if args.alpha is not None else None
+    )
+    dataset = gn_like(n=args.n, config=config)
+    tree_cls = CIURTree if args.method == "ciur" else IURTree
+    index = build_sharded_index(dataset, args.shards, tree_cls=tree_cls)
+    registry = MetricsRegistry()
+    searcher = ScatterGatherSearcher(
+        index,
+        workers=args.workers,
+        share=args.share,
+        metrics=registry,
+    )
+    service = ShardQueryService(
+        searcher,
+        deadline_seconds=args.deadline,
+        max_pending=args.max_pending,
+        metrics=registry,
+    )
+    server = ShardHttpServer(
+        service,
+        host=args.host,
+        port=args.port,
+        default_k=args.k,
+        max_pending=args.max_pending,
+        metrics=registry,
+    )
+    try:
+        if args.self_test:
+            return _serve_http_self_test(args, dataset, tree_cls, service, server)
+
+        async def run() -> None:
+            await server.start()
+            print(
+                f"serving {args.shards} shard(s) over |D|={args.n} "
+                f"on http://{server.host}:{server.port} (Ctrl-C to stop)"
+            )
+            await server._server.serve_forever()
+
+        try:
+            asyncio.run(run())
+        except KeyboardInterrupt:
+            pass
+        return 0
+    finally:
+        searcher.close()
+
+
+def _serve_http_self_test(args, dataset, tree_cls, service, server) -> int:
+    """Boot the server in-process, query it over real HTTP, and gate
+    the answers against both the direct service path and the unsharded
+    snapshot engine (bit-identical ids or a non-zero exit)."""
+    import asyncio
+
+    from .shard.http import fetch_json
+    from .text.similarity import make_measure
+
+    tree = tree_cls.build(dataset)
+    measure = make_measure(dataset.config.text_measure)
+    engine = tree.snapshot().engine_for(
+        tree, measure, dataset.config.alpha, 0.0
+    )
+    queries = sample_queries(dataset, max(args.queries, 1))
+    failures: List[str] = []
+
+    server.port = 0  # ephemeral bind: self-tests must not collide
+
+    async def main() -> None:
+        await server.start()
+        host, port = server.host, server.port
+        status, body = await fetch_json(host, port, "/healthz")
+        if status != 200 or body.get("shards") != args.shards:
+            failures.append(f"healthz: {status} {body}")
+        for i, q in enumerate(queries):
+            m = q.mbr()
+            x, y, text = m.xlo, m.ylo, " ".join(q.keywords)
+            query = service.make_query(x, y, text)
+            direct, _ = service.serve(query, args.k)
+            reference = engine.search(query, args.k).ids
+            status, body = await fetch_json(
+                host, port, "/search",
+                {"x": x, "y": y, "text": text, "k": args.k},
+            )
+            if status != 200:
+                failures.append(f"query {i}: HTTP {status} {body}")
+            elif body.get("ids") != list(direct.ids):
+                failures.append(
+                    f"query {i}: http {body.get('ids')} != direct {direct.ids}"
+                )
+            elif list(direct.ids) != list(reference):
+                failures.append(
+                    f"query {i}: sharded {direct.ids} != unsharded {reference}"
+                )
+        await server.stop()
+
+    asyncio.run(main())
+    if failures:
+        for line in failures:
+            print(f"FAIL {line}", file=sys.stderr)
+        return 1
+    print(
+        f"serve-http self-test PASSED: {len(queries)} queries over HTTP, "
+        f"{args.shards} shard(s), parity with direct serve and the "
+        "unsharded snapshot engine"
+    )
     return 0
 
 
@@ -371,7 +578,93 @@ def build_parser() -> argparse.ArgumentParser:
         default="table",
         help="append Prometheus metrics text after the summary table",
     )
+    p_serve.add_argument(
+        "--engine",
+        choices=("fused", "snapshot", "seed", "auto"),
+        default="auto",
+        help="first engine of the degradation chain (auto = full "
+        "fused -> snapshot -> seed chain)",
+    )
+    p_serve.add_argument(
+        "--alpha",
+        type=float,
+        default=None,
+        help="spatial/textual blend of the workload's similarity config",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process fan-out; > 1 runs the workload through the "
+        "parallel batch engine (incompatible with --deadline)",
+    )
+    p_serve.add_argument(
+        "--share",
+        choices=("auto", "shm", "pickle"),
+        default="auto",
+        help="parallel-mode index transport (see `batch --share`)",
+    )
     p_serve.set_defaults(fn=_cmd_serve_batch)
+
+    p_http = sub.add_parser(
+        "serve-http",
+        help="serve sharded scatter-gather RSTkNN over HTTP (asyncio "
+        "front door; POST /search, GET /healthz, GET /metrics)",
+    )
+    p_http.add_argument("--n", type=int, default=2000)
+    p_http.add_argument("--k", type=int, default=5, help="default k")
+    p_http.add_argument(
+        "--shards", type=int, default=4, help="Morton shard count"
+    )
+    p_http.add_argument("--host", default="127.0.0.1")
+    p_http.add_argument("--port", type=int, default=8764)
+    p_http.add_argument(
+        "--method", choices=("iur", "ciur"), default="iur", help="index variant"
+    )
+    p_http.add_argument(
+        "--alpha",
+        type=float,
+        default=None,
+        help="spatial/textual blend of the served similarity config",
+    )
+    p_http.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="scatter worker processes (0 = in-process scatter)",
+    )
+    p_http.add_argument(
+        "--share",
+        choices=("auto", "shm", "pickle"),
+        default="auto",
+        help="shard snapshot transport for the worker pool",
+    )
+    p_http.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-query deadline in seconds, spanning the whole "
+        "scatter-gather (default: none)",
+    )
+    p_http.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="concurrent in-flight request cap; excess sheds with 503",
+    )
+    p_http.add_argument(
+        "--queries",
+        type=int,
+        default=3,
+        help="self-test query count (ignored when serving)",
+    )
+    p_http.add_argument(
+        "--self-test",
+        action="store_true",
+        help="boot on an ephemeral port, run queries over HTTP, gate "
+        "parity against direct serve and the unsharded engine, exit",
+    )
+    p_http.set_defaults(fn=_cmd_serve_http)
 
     p_obs = sub.add_parser(
         "obs",

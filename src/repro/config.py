@@ -191,6 +191,12 @@ class PerfConfig:
         service_deadline_seconds: Default per-query deadline of the
             service (``None`` = no deadline unless a request carries
             one).
+        shard_count: Number of Morton shards the scatter–gather layer
+            partitions the dataset into (``1`` = unsharded; see
+            :mod:`repro.shard`).
+        shard_kmax: Largest ``k`` the per-shard admission-pruning
+            tables cover — queries with bigger ``k`` scatter to every
+            shard (still exact, just unpruned).
     """
 
     kernel_backend: str = "python"
@@ -205,6 +211,8 @@ class PerfConfig:
     retry_base_delay: float = 0.05
     service_max_pending: int = 1024
     service_deadline_seconds: Optional[float] = None
+    shard_count: int = 1
+    shard_kmax: int = 16
 
     def __post_init__(self) -> None:
         if self.kernel_backend not in KERNEL_BACKENDS:
@@ -260,6 +268,14 @@ class PerfConfig:
             raise ConfigError(
                 "service_deadline_seconds must be > 0 or None, got "
                 f"{self.service_deadline_seconds}"
+            )
+        if self.shard_count < 1:
+            raise ConfigError(
+                f"shard_count must be >= 1, got {self.shard_count}"
+            )
+        if self.shard_kmax < 1:
+            raise ConfigError(
+                f"shard_kmax must be >= 1, got {self.shard_kmax}"
             )
 
 

@@ -24,6 +24,7 @@ contract, and ``docs/ARCHITECTURE.md`` for where the hooks attach.
 from .metrics import (
     BOUND_GAP_BUCKETS,
     DEFAULT_LATENCY_BUCKETS,
+    LATENCY_PERCENTILE_POINTS,
     NOOP_COUNTER,
     NOOP_GAUGE,
     NOOP_HISTOGRAM,
@@ -33,6 +34,7 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     NullRegistry,
+    latency_percentiles,
     record_search,
     registry_or_null,
 )
@@ -42,6 +44,7 @@ from .trace import CountingSink, MetricsSink, TeeSink, TraceSink
 __all__ = [
     "BOUND_GAP_BUCKETS",
     "DEFAULT_LATENCY_BUCKETS",
+    "LATENCY_PERCENTILE_POINTS",
     "NOOP_COUNTER",
     "NOOP_GAUGE",
     "NOOP_HISTOGRAM",
@@ -51,6 +54,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NullRegistry",
+    "latency_percentiles",
     "record_search",
     "registry_or_null",
     "PhaseTimer",

@@ -66,6 +66,32 @@ BOUND_GAP_BUCKETS: Tuple[float, ...] = (
 )
 
 
+#: Percentile points every latency summary reports.
+LATENCY_PERCENTILE_POINTS: Tuple[int, ...] = (50, 95, 99)
+
+
+def latency_percentiles(
+    samples: Sequence[float],
+    points: Sequence[int] = LATENCY_PERCENTILE_POINTS,
+) -> Dict[str, float]:
+    """Nearest-rank percentiles of raw samples: ``{"p50": .., ...}``.
+
+    Nearest-rank (not interpolated) so every reported value is an
+    actually observed latency — tail figures stay honest at small
+    sample counts, where interpolation would invent values between the
+    worst and second-worst observation.  Empty input yields ``{}``.
+    """
+    if not samples:
+        return {}
+    ordered = sorted(samples)
+    n = len(ordered)
+    out: Dict[str, float] = {}
+    for p in points:
+        rank = max(1, -(-p * n // 100))  # ceil(p/100 * n) in integers
+        out[f"p{p}"] = ordered[min(rank, n) - 1]
+    return out
+
+
 class Counter:
     """A monotonically increasing count (events, objects, decisions)."""
 

@@ -49,7 +49,7 @@ from ..core.rstknn import RSTkNNSearcher, SearchResult
 from ..errors import QueryError
 from ..index.iurtree import IURTree
 from ..model.objects import STObject
-from ..obs.metrics import MetricsRegistry, record_search
+from ..obs.metrics import MetricsRegistry, latency_percentiles, record_search
 from ..obs.timers import PhaseTimer
 from ..service.faults import maybe_fail_worker
 from ..service.retry import DEFAULT_RETRY_POLICY, RetryPolicy
@@ -166,6 +166,11 @@ class BatchStats:
     #: runs add ``freeze`` (snapshot + engine setup) and ``group``
     #: (locality ordering).  Schema documented in ``docs/TUNING.md``.
     phases: Dict[str, float] = field(default_factory=dict)
+    #: Per-query latency percentiles in milliseconds (``p50``/``p95``/
+    #: ``p99``, nearest-rank over each query's own ``elapsed_seconds``)
+    #: — the tail-latency companion to the throughput figures above.
+    #: Fused runs report group-walk time per member query.
+    latency_ms: Dict[str, float] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, float]:
         """Flat dict of the counters, for experiment logging."""
@@ -195,6 +200,8 @@ class BatchStats:
             out[f"cache_{key}"] = value
         for name, seconds in self.phases.items():
             out[f"phase_{name}_seconds"] = seconds
+        for point, ms in self.latency_ms.items():
+            out[f"latency_{point}_ms"] = ms
         return out
 
 
@@ -452,6 +459,12 @@ class BatchSearcher:
             worker_rss_bytes=self._worker_rss,
             retries=self._last_retries,
             phases=timer.as_dict(),
+            latency_ms={
+                point: seconds * 1000.0
+                for point, seconds in latency_percentiles(
+                    [r.stats.elapsed_seconds for r in results]
+                ).items()
+            },
         )
         self._record_run(results, timer, fused, workers_used)
         return BatchResult(results=results, stats=stats)

@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.rstknn import RSTkNNSearcher, SearchResult
 from ..errors import ConfigError, DeadlineExceeded, QueryError, ServiceError
@@ -112,6 +112,15 @@ class ServiceBatchResult:
     def degraded_count(self) -> int:
         """How many of the served queries took at least one fallback."""
         return sum(1 for r in self.results if r.degraded)
+
+    @property
+    def latency_percentiles(self) -> Dict[str, float]:
+        """Service-level latency percentiles in seconds (``p50``/``p95``/
+        ``p99``, nearest-rank over each query's ``elapsed_seconds``,
+        failed hops included) — empty on an empty drain."""
+        from ..obs.metrics import latency_percentiles  # noqa: PLC0415
+
+        return latency_percentiles([r.elapsed_seconds for r in self.results])
 
 
 class QueryService:
