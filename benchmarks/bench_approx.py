@@ -1,0 +1,271 @@
+"""Approx-tier benchmark: frozen kNNL floors + the sketch-filter engine.
+
+Runs the E3-style single-query workload (gn-like dataset, sampled
+queries) through four tiers of
+:class:`repro.core.rstknn.RSTkNNSearcher` over a ``k x alpha`` sweep —
+
+* ``snapshot`` — the exact columnar engine (the parity reference);
+* ``warm`` — the same engine seeded with frozen kNNL warm-start floors
+  (``warm_floors=True``): **bit-identical ids by construction**, only
+  pruning gets earlier;
+* ``approx verified`` — ``engine="approx", verify=True``: the sketch
+  filter generates a conservative candidate superset, every survivor is
+  verified exactly (**byte-identical ids**);
+* ``approx raw`` — ``engine="approx", verify=False``: the raw filter
+  output, with recall/precision measured against the exact reference —
+
+and writes ``BENCH_approx.json`` with QPS, speedups, recall/precision,
+the sketch build cost (time and bytes, also under
+``report["phases"]``), and the filter counters.
+
+**Three hard gates** (the run exits non-zero on any failure):
+
+1. warm floors and verified approx must return ids identical to the
+   exact snapshot engine in every cell — always armed, ``--quick``
+   included;
+2. raw-filter recall must be >= 0.95 in every cell — always armed (the
+   conservative sketch makes it 1.0 by construction, so any dip is a
+   soundness bug, not a tuning miss);
+3. warm-floor single-query QPS must be >= 1.2x the snapshot engine in
+   the headline cell — armed at ``n >= 50_000`` (floors only matter
+   once contribution lists dominate).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_approx.py [--quick] [--n N]
+        [--k K [K ...]] [--alpha A [A ...]] [--out F]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List
+
+from repro.bench.gates import ids_gate, median_qps, report_header, timed
+from repro.config import SimilarityConfig
+from repro.core.rstknn import RSTkNNSearcher
+from repro.index.iurtree import IURTree
+from repro.obs import MetricsRegistry
+from repro.perf import kernels
+from repro.workloads import gn_like, sample_queries
+
+#: The warm-floor QPS gate only arms at scale — below this, walks are
+#: too short for freeze-time floors to beat their own bookkeeping.
+GATE_N = 50_000
+WARM_SPEEDUP_GATE = 1.2
+RECALL_GATE = 0.95
+
+
+def recall_precision(
+    reference: List[List[int]], got: List[List[int]]
+) -> Dict[str, float]:
+    """Micro-averaged recall/precision of ``got`` against ``reference``."""
+    hits = ref_total = got_total = 0
+    for ref_ids, got_ids in zip(reference, got):
+        ref_set = set(ref_ids)
+        hits += sum(1 for i in got_ids if i in ref_set)
+        ref_total += len(ref_ids)
+        got_total += len(got_ids)
+    return {
+        "recall": hits / ref_total if ref_total else 1.0,
+        "precision": hits / got_total if got_total else 1.0,
+        "reference_results": ref_total,
+        "returned_results": got_total,
+    }
+
+
+def bench_cell(
+    tree, queries, k: int, alpha: float, rounds: int, metrics
+) -> Dict[str, object]:
+    """Gates + QPS for one ``(k, alpha)`` cell of the sweep."""
+    config = SimilarityConfig(alpha=alpha)
+    base = RSTkNNSearcher(tree, config=config, engine="snapshot")
+    warm = RSTkNNSearcher(
+        tree, config=config, engine="snapshot", warm_floors=True
+    )
+    verified = RSTkNNSearcher(
+        tree, config=config, engine="approx", approx_verify=True
+    )
+    raw = RSTkNNSearcher(
+        tree,
+        config=config,
+        engine="approx",
+        approx_verify=False,
+        metrics=metrics,
+    )
+    label = f"k={k} alpha={alpha}"
+
+    # Hard gates first (also warms every engine, sketch, and memo).
+    reference = [base.search(q, k).ids for q in queries]
+    ids_gate(
+        reference,
+        [warm.search(q, k).ids for q in queries],
+        f"warm floors vs snapshot, {label}",
+    )
+    ids_gate(
+        reference,
+        [verified.search(q, k).ids for q in queries],
+        f"approx verify=True vs snapshot, {label}",
+    )
+    quality = recall_precision(
+        reference, [raw.search(q, k).ids for q in queries]
+    )
+    if quality["recall"] < RECALL_GATE:
+        raise SystemExit(
+            f"recall gate FAILED ({label}): "
+            f"{quality['recall']:.4f} < {RECALL_GATE}"
+        )
+    metrics.gauge("approx.recall").set(quality["recall"])
+
+    n = len(queries)
+
+    def sweep(searcher):
+        def run() -> None:
+            for q in queries:
+                searcher.search(q, k)
+
+        return median_qps(timed(run), n, rounds)
+
+    snapshot_qps = sweep(base)
+    warm_qps = sweep(warm)
+    verified_qps = sweep(verified)
+    raw_qps = sweep(raw)
+
+    # The memoized filter engine exposes its cumulative counters.
+    snap = tree.snapshot()
+    filter_counters = dict(
+        snap.approx_engine_for(
+            tree, raw.measure, raw.alpha, raw.te_weight, verify=False
+        ).counters
+    )
+
+    return {
+        "k": k,
+        "alpha": alpha,
+        "queries": n,
+        "parity": "ok",
+        "recall": quality["recall"],
+        "precision": quality["precision"],
+        "reference_results": quality["reference_results"],
+        "returned_results": quality["returned_results"],
+        "snapshot_qps": snapshot_qps,
+        "warm_floors_qps": warm_qps,
+        "approx_verified_qps": verified_qps,
+        "approx_raw_qps": raw_qps,
+        "speedup_warm_vs_snapshot": warm_qps / snapshot_qps,
+        "speedup_verified_vs_snapshot": verified_qps / snapshot_qps,
+        "speedup_raw_vs_snapshot": raw_qps / snapshot_qps,
+        "filter_counters": filter_counters,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized run")
+    parser.add_argument("--n", type=int, default=None, help="dataset size")
+    parser.add_argument(
+        "--k", type=int, nargs="+", default=None, help="k sweep values"
+    )
+    parser.add_argument(
+        "--alpha",
+        type=float,
+        nargs="+",
+        default=None,
+        help="alpha sweep values",
+    )
+    parser.add_argument("--queries", type=int, default=None)
+    parser.add_argument("--out", default="BENCH_approx.json")
+    parser.add_argument(
+        "--backend",
+        choices=kernels.KERNEL_BACKENDS,
+        default="auto",
+        help="kernel backend to bench (default: auto dispatch, the "
+        "production path)",
+    )
+    args = parser.parse_args(argv)
+    kernels.set_backend(args.backend)
+
+    n = args.n if args.n is not None else (400 if args.quick else 100_000)
+    ks = args.k if args.k is not None else ([4] if args.quick else [4, 8])
+    alphas = (
+        args.alpha
+        if args.alpha is not None
+        else ([0.5] if args.quick else [0.3, 0.6])
+    )
+    n_queries = (
+        args.queries if args.queries is not None else (4 if args.quick else 8)
+    )
+    rounds = 1 if args.quick else 3
+
+    from repro.obs import PhaseTimer
+
+    timer = PhaseTimer()
+    dataset = gn_like(n=n)
+    with timer.phase("build"):
+        tree = IURTree.build(dataset)
+    with timer.phase("freeze"):
+        tree.warm_kernels()
+        snapshot = tree.snapshot()
+    queries = sample_queries(dataset, n_queries, seed=99)
+
+    # Build the sketch for every sweep setting inside one timed phase so
+    # the report separates freeze-time cost from per-query wins.
+    sketches = []
+    with timer.phase("sketch"):
+        for alpha in alphas:
+            config = SimilarityConfig(alpha=alpha)
+            s = RSTkNNSearcher(tree, config=config, engine="snapshot")
+            sketch = snapshot.sketch_for(
+                snapshot.engine_for(tree, s.measure, s.alpha, s.te_weight)
+            )
+            sketches.append(dict(sketch.describe(), alpha=alpha))
+
+    metrics = MetricsRegistry()
+    with timer.phase("walk"):
+        cells = [
+            bench_cell(tree, queries, k, alpha, rounds, metrics)
+            for k in ks
+            for alpha in alphas
+        ]
+
+    headline = cells[0]
+    gate_armed = n >= GATE_N
+    if gate_armed and (
+        headline["speedup_warm_vs_snapshot"] < WARM_SPEEDUP_GATE
+    ):
+        raise SystemExit(
+            f"warm-floor QPS gate FAILED (k={headline['k']} "
+            f"alpha={headline['alpha']}): "
+            f"{headline['speedup_warm_vs_snapshot']:.3f}x < "
+            f"{WARM_SPEEDUP_GATE}x at n={n}"
+        )
+
+    report = report_header(n, args.quick, timer=timer, snapshot=snapshot)
+    report["gates"] = {
+        "parity": "ok",
+        "recall_gate": RECALL_GATE,
+        "warm_speedup_gate": WARM_SPEEDUP_GATE,
+        "warm_speedup_gate_armed": gate_armed,
+        "warm_speedup_gate_n": GATE_N,
+    }
+    report["sketches"] = sketches
+    report["cells"] = cells
+    report["approx_metrics"] = metrics.snapshot()
+
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {args.out}")
+    print(
+        f"headline (k={headline['k']} alpha={headline['alpha']}): "
+        f"warm floors {headline['speedup_warm_vs_snapshot']:.2f}x, "
+        f"approx raw {headline['speedup_raw_vs_snapshot']:.2f}x vs "
+        f"snapshot; recall {headline['recall']:.4f}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

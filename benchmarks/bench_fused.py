@@ -28,51 +28,20 @@ import argparse
 import json
 import sys
 import time
-from typing import Dict, List
+from typing import Dict
 
+from repro.bench.gates import median_qps, report_header, results_gate
 from repro.index.iurtree import IURTree
 from repro.perf import kernels
 from repro.perf.batch import BatchSearcher
 from repro.workloads import gn_like, sample_queries
-
-#: Wall time and memo-locality counters legitimately differ per engine.
-_TIMING_KEYS = {
-    "elapsed_seconds",
-    "cache_hits",
-    "cache_misses",
-    "cache_evictions",
-}
-
-
-def _decisions(result) -> Dict[str, float]:
-    return {
-        key: value
-        for key, value in result.stats.as_dict().items()
-        if key not in _TIMING_KEYS
-    }
 
 
 def parity_gate(snapshot_bs, fused_bs, queries, k: int) -> None:
     """Exit non-zero on any per-query divergence from the snapshot engine."""
     per = snapshot_bs.run(queries, k).results
     fused = fused_bs.run(queries, k).results
-    mismatches: List[str] = []
-    for i, (a, b) in enumerate(zip(per, fused)):
-        if a.ids != b.ids:
-            mismatches.append(f"query {i}: ids {a.ids} != {b.ids}")
-        elif _decisions(a) != _decisions(b):
-            mismatches.append(
-                f"query {i}: decisions {_decisions(a)} != {_decisions(b)}"
-            )
-    if mismatches:
-        raise SystemExit(
-            "fused parity FAILED:\n  " + "\n  ".join(mismatches)
-        )
-
-
-def _median_qps(run_round, n_queries: int, rounds: int) -> float:
-    rates = sorted(n_queries / run_round() for _ in range(rounds))
-    return rates[rounds // 2]
+    results_gate(per, fused, "fused vs snapshot")
 
 
 def bench_modes(
@@ -104,10 +73,10 @@ def bench_modes(
     shared_lat: Dict[str, float] = {}
     snapshot_lat: Dict[str, float] = {}
     fused_lat: Dict[str, float] = {}
-    seed_qps = _median_qps(round_for(per_seed, seed_lat), n, rounds)
-    shared_qps = _median_qps(round_for(shared, shared_lat), n, rounds)
-    snapshot_qps = _median_qps(round_for(snapshot_bs, snapshot_lat), n, rounds)
-    fused_qps = _median_qps(round_for(fused_bs, fused_lat), n, rounds)
+    seed_qps = median_qps(round_for(per_seed, seed_lat), n, rounds)
+    shared_qps = median_qps(round_for(shared, shared_lat), n, rounds)
+    snapshot_qps = median_qps(round_for(snapshot_bs, snapshot_lat), n, rounds)
+    fused_qps = median_qps(round_for(fused_bs, fused_lat), n, rounds)
     return {
         "queries": n,
         "k": k,
@@ -169,21 +138,9 @@ def main(argv=None) -> int:
     with timer.phase("walk"):
         modes = bench_modes(tree, queries, args.k, rounds, group_size)
 
-    from repro.bench.meta import bench_metadata
-
-    report = {
-        "meta": bench_metadata(),
-        "phases": timer.as_dict(),
-        "n": n,
-        "quick": args.quick,
-        "kernel_backend": kernels.backend_name(),
-        "numpy_available": kernels.numpy_available(),
-        "numpy_kernels_active": kernels.numpy_available()
-        and kernels.backend_name() != "python",
-        "snapshot": snapshot.describe(),
-        "text_matrix": snapshot.text_matrix().describe(),
-        "modes": modes,
-    }
+    report = report_header(n, args.quick, timer=timer, snapshot=snapshot)
+    report["text_matrix"] = snapshot.text_matrix().describe()
+    report["modes"] = modes
 
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)

@@ -37,42 +37,18 @@ import sys
 import time
 from typing import Dict, List, Optional
 
+from repro.bench.gates import report_header, results_gate
 from repro.index.iurtree import IURTree
 from repro.perf import kernels
 from repro.perf.batch import BatchSearcher
 from repro.workloads import gn_like, sample_queries
 
-#: Wall time and memo-locality counters legitimately differ per engine.
-_TIMING_KEYS = {
-    "elapsed_seconds",
-    "cache_hits",
-    "cache_misses",
-    "cache_evictions",
-}
-
-
-def _decisions(result) -> Dict[str, float]:
-    return {
-        key: value
-        for key, value in result.stats.as_dict().items()
-        if key not in _TIMING_KEYS
-    }
-
 
 def parity_gate(reference, candidate, label: str) -> None:
     """Exit non-zero on any per-query divergence from the reference."""
-    mismatches: List[str] = []
-    for i, (a, b) in enumerate(zip(reference.results, candidate.results)):
-        if a.ids != b.ids:
-            mismatches.append(f"query {i}: ids {a.ids} != {b.ids}")
-        elif _decisions(a) != _decisions(b):
-            mismatches.append(
-                f"query {i}: decisions {_decisions(a)} != {_decisions(b)}"
-            )
-    if mismatches:
-        raise SystemExit(
-            f"scale parity FAILED ({label}):\n  " + "\n  ".join(mismatches)
-        )
+    results_gate(
+        reference.results, candidate.results, f"scale {label}"
+    )
 
 
 def _parent_rss_bytes() -> Optional[int]:
@@ -252,19 +228,8 @@ def main(argv=None) -> int:
             headline = cell
             break
 
-    from repro.bench.meta import bench_metadata
-
-    report = {
-        "meta": bench_metadata(),
-        "quick": args.quick,
-        "kernel_backend": kernels.backend_name(),
-        "numpy_available": kernels.numpy_available(),
-        "numpy_kernels_active": kernels.numpy_available()
-        and kernels.backend_name() != "python",
-        "parity": "ok",
-        "rows": rows,
-        "headline": headline,
-    }
+    report = report_header(ns[-1], args.quick)
+    report.update({"parity": "ok", "rows": rows, "headline": headline})
 
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)

@@ -36,6 +36,7 @@ import sys
 import time
 from typing import Dict, List
 
+from repro.bench.gates import ids_gate, report_header
 from repro.config import SimilarityConfig
 from repro.index.iurtree import IURTree
 from repro.obs import latency_percentiles
@@ -43,19 +44,6 @@ from repro.perf import kernels
 from repro.shard import ScatterGatherSearcher, build_sharded_index
 from repro.text.similarity import make_measure
 from repro.workloads import gn_like, sample_queries
-
-
-def parity_gate(reference: List[List[int]], got: List[List[int]], label: str) -> None:
-    """Exit non-zero on any id divergence from the unsharded engine."""
-    mismatches = [
-        f"query {i}: {a} != {b}"
-        for i, (a, b) in enumerate(zip(reference, got))
-        if list(a) != list(b)
-    ]
-    if mismatches:
-        raise SystemExit(
-            f"shard parity FAILED ({label}):\n  " + "\n  ".join(mismatches)
-        )
 
 
 def _run_leg(searcher, queries, k: int) -> Dict[str, object]:
@@ -121,7 +109,7 @@ def bench_alpha(
         summary_seconds = time.perf_counter() - started
 
         leg = _run_leg(searcher, queries, k)
-        parity_gate(reference, leg.pop("ids"), f"alpha={alpha} shards={s}")
+        ids_gate(reference, leg.pop("ids"), f"alpha={alpha} shards={s}")
         row: Dict[str, object] = {
             "shards": s,
             "summary_seconds": summary_seconds,
@@ -137,7 +125,7 @@ def bench_alpha(
                 index, config, workers=workers, share="auto"
             ) as parallel:
                 pleg = _run_leg(parallel, queries, k)
-                parity_gate(
+                ids_gate(
                     reference,
                     pleg.pop("ids"),
                     f"alpha={alpha} shards={s} workers={workers}",
@@ -239,24 +227,17 @@ def main(argv=None) -> int:
             "prune rate on the clustered workload"
         )
 
-    from repro.bench.meta import bench_metadata
-
-    report = {
-        "meta": bench_metadata(),
-        "quick": args.quick,
-        "kernel_backend": kernels.backend_name(),
-        "numpy_available": kernels.numpy_available(),
-        "numpy_kernels_active": kernels.numpy_available()
-        and kernels.backend_name() != "python",
-        "parity": "ok",
-        "n": n,
-        "k": args.k,
-        "shard_counts": shard_counts,
-        "phases": timer.as_dict(),
-        "shard_build_seconds": shard_build_seconds,
-        "max_prune_rate": max_prune,
-        "settings": settings,
-    }
+    report = report_header(n, args.quick, timer=timer)
+    report.update(
+        {
+            "parity": "ok",
+            "k": args.k,
+            "shard_counts": shard_counts,
+            "shard_build_seconds": shard_build_seconds,
+            "max_prune_rate": max_prune,
+            "settings": settings,
+        }
+    )
 
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)

@@ -19,17 +19,13 @@ import argparse
 import json
 import sys
 import time
-from typing import Dict, List
+from typing import Dict
 
+from repro.bench.gates import ids_gate, median_qps, report_header
 from repro.core.rstknn import RSTkNNSearcher
 from repro.index.iurtree import IURTree
 from repro.perf import kernels
 from repro.workloads import gn_like, sample_queries
-
-
-def _median_qps(run_round, n_queries: int, rounds: int) -> float:
-    rates = sorted(n_queries / run_round() for _ in range(rounds))
-    return rates[rounds // 2]
 
 
 def bench_engines(tree, queries, k: int, rounds: int) -> Dict[str, object]:
@@ -38,16 +34,11 @@ def bench_engines(tree, queries, k: int, rounds: int) -> Dict[str, object]:
     snap = RSTkNNSearcher(tree, engine="snapshot")
 
     # Parity gate first (also warms the snapshot + both searchers).
-    mismatches: List[int] = []
-    for i, query in enumerate(queries):
-        a = seed.search(query, k)
-        b = snap.search(query, k)
-        if a.ids != b.ids:
-            mismatches.append(i)
-    if mismatches:
-        raise SystemExit(
-            f"engine parity FAILED for query indices {mismatches}"
-        )
+    ids_gate(
+        [seed.search(q, k).ids for q in queries],
+        [snap.search(q, k).ids for q in queries],
+        "snapshot vs seed",
+    )
 
     def seed_round() -> float:
         started = time.perf_counter()
@@ -86,9 +77,9 @@ def bench_engines(tree, queries, k: int, rounds: int) -> Dict[str, object]:
         }
 
     n = len(queries)
-    seed_qps = _median_qps(seed_round, n, rounds)
-    snap_qps = _median_qps(snap_round, n, rounds)
-    fresh_qps = _median_qps(snap_fresh_round, n, rounds)
+    seed_qps = median_qps(seed_round, n, rounds)
+    snap_qps = median_qps(snap_round, n, rounds)
+    fresh_qps = median_qps(snap_fresh_round, n, rounds)
     return {
         "queries": n,
         "k": k,
@@ -136,20 +127,8 @@ def main(argv=None) -> int:
     with timer.phase("walk"):
         engines = bench_engines(tree, queries, args.k, rounds)
 
-    from repro.bench.meta import bench_metadata
-
-    report = {
-        "meta": bench_metadata(),
-        "phases": timer.as_dict(),
-        "n": n,
-        "quick": args.quick,
-        "kernel_backend": kernels.backend_name(),
-        "numpy_available": kernels.numpy_available(),
-        "numpy_kernels_active": kernels.numpy_available()
-        and kernels.backend_name() != "python",
-        "snapshot": snapshot.describe(),
-        "engines": engines,
-    }
+    report = report_header(n, args.quick, timer=timer, snapshot=snapshot)
+    report["engines"] = engines
 
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)

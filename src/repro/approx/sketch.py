@@ -1,0 +1,351 @@
+"""Frozen kNNL sketches: per-object k-distance floors for pruning.
+
+A :class:`KnnlSketch` is computed once per snapshot and similarity
+setting and holds, for every slot of the snapshot, a *provably
+conservative* lower bound on the k-th best ``SimST`` of every object
+under that slot — the frozen analogue of the competitor floors the
+exact branch-and-bound walk tightens lazily per query.  Two components
+are combined:
+
+* **node floors** (exact machinery): a frontier of up to
+  ``budget`` slots is peeled off the snapshot (largest-count first, a
+  complete antichain over the objects), and for each frontier node
+  ``f`` the weighted k-th largest of the pairwise ``MinST(f, g)``
+  lower bounds (weight ``cnt[g]``; self term ``cnt[f] - 1``) is taken
+  through :func:`repro.core.contributions._kth_largest`.  Every object
+  under ``f`` has at least ``cnt[g]`` competitors at similarity
+  ``>= MinST(f, g)``, so the row lower-bounds its true k-th competitor
+  similarity ``s_k``.  Slots under ``f`` inherit ``f``'s row; slots
+  above the frontier use the *global* row (the elementwise minimum over
+  all rows, which is valid for every object of the snapshot).
+
+* **object curves** (nonlinear k-distance fit, after Obermeier et
+  al., arXiv:2011.01773): a sampled kNN pass over object slots in
+  layout order (window of ``pool`` neighbours per object — layout
+  order is spatially clustered, so the window catches strong
+  competitors) yields each object's top-``kmax`` sampled competitor
+  similarities; a monomial ``c * k**-b`` is least-squares fitted in
+  log space and then *rescaled down* so the fitted value never exceeds
+  a sampled one.  Sampled similarities are a subset of the true
+  competitor multiset, so sampled ``s_k`` <= true ``s_k`` and the
+  rescaled curve is conservative at every ``k <= kmax``.  Objects with
+  fewer than ``kmax`` sampled competitors get no curve (``c = 0``) —
+  the count-aware degenerate case, mirroring ``_kth_largest``'s 0.0.
+
+The floors feed three consumers: warm-start pruning in the exact
+engines (:class:`~repro.core.traversal.SnapshotEngine` /
+:class:`~repro.core.fused.FusedBatchEngine`, results bit-identical
+because a pruned slot provably holds no result), tightened
+:class:`~repro.shard.summaries.ShardSummary` admission floors, and the
+``engine="approx"`` filter tier (:class:`~repro.approx.engine.ApproxEngine`).
+
+Soundness rule (used by every consumer): a query with upper bound
+``q_hi`` on a slot may skip that slot iff ``q_hi < floor`` — then for
+every object ``o`` under the slot, ``SimST(q, o) < floor <= s_k(o)``,
+so at least ``k`` competitors are strictly more similar to ``o`` than
+the query and ``q`` cannot be in ``o``'s reverse k-NN set.  For
+``k > kmax`` every floor reads 0.0 and nothing is ever skipped.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+from array import array
+from typing import Dict, List, Tuple
+
+from ..core.contributions import _kth_largest
+
+#: Largest ``k`` the sketch covers; beyond it floors read 0.0 (never
+#: prune).  Matches the shard admission default.
+DEFAULT_SKETCH_KMAX = 16
+
+#: Target frontier width for the node-floor rows: more nodes mean
+#: tighter per-subtree floors at quadratic pair-bound build cost.
+DEFAULT_SKETCH_BUDGET = 256
+
+#: Per-object sample-pool size for the k-distance curve fit (each
+#: object sees roughly ``pool`` sampled competitors).
+DEFAULT_SKETCH_POOL = 32
+
+#: Multiplicative safety margin applied to the fitted curve so float
+#: re-evaluation of ``c * k**-b`` can never creep above the sampled
+#: similarity it was fitted under.
+_CURVE_MARGIN = 1.0 - 1e-12
+
+
+class KnnlSketch:
+    """Frozen per-slot kNNL floors plus per-object k-distance curves.
+
+    Attributes:
+        kmax: Largest ``k`` covered; all floors are 0.0 beyond it.
+        budget: Frontier budget the sketch was built with.
+        pool: Curve sample-pool size the sketch was built with.
+        frontier: The peeled antichain slots (row ``i`` of the floor
+            table belongs to ``frontier[i]``'s subtree).
+        floor_idx: Per-slot row index into :attr:`floor_table`
+            (``array('q')``, length ``n_slots``); slots above the
+            frontier point at the global row.
+        floor_table: Row-major ``(len(frontier) + 1) x kmax`` floors
+            (``array('d')``); the last row is the global row.
+        curve_c: Per-slot monomial coefficient (``array('d')``; 0.0
+            for directory slots and objects without a conservative fit).
+        curve_b: Per-slot monomial exponent (``array('d')``).
+        build_seconds: Wall-clock cost of the freeze-time build.
+    """
+
+    __slots__ = (
+        "kmax",
+        "budget",
+        "pool",
+        "frontier",
+        "floor_idx",
+        "floor_table",
+        "curve_c",
+        "curve_b",
+        "build_seconds",
+    )
+
+    def __init__(
+        self,
+        kmax: int,
+        budget: int,
+        pool: int,
+        frontier: Tuple[int, ...],
+        floor_idx,
+        floor_table,
+        curve_c,
+        curve_b,
+        build_seconds: float,
+    ) -> None:
+        self.kmax = kmax
+        self.budget = budget
+        self.pool = pool
+        self.frontier = frontier
+        self.floor_idx = floor_idx
+        self.floor_table = floor_table
+        self.curve_c = curve_c
+        self.curve_b = curve_b
+        self.build_seconds = build_seconds
+
+    def node_floor(self, slot: int, k: int) -> float:
+        """Conservative lower bound on ``s_k`` of every object under
+        ``slot`` (0.0 when ``k > kmax``, which never prunes)."""
+        if k > self.kmax:
+            return 0.0
+        return self.floor_table[self.floor_idx[slot] * self.kmax + (k - 1)]
+
+    def obj_floor(self, slot: int, k: int) -> float:
+        """Conservative lower bound on object ``slot``'s own ``s_k``:
+        the node floor sharpened by the object's fitted curve."""
+        if k > self.kmax:
+            return 0.0
+        floor = self.floor_table[self.floor_idx[slot] * self.kmax + (k - 1)]
+        c = self.curve_c[slot]
+        if c > 0.0:
+            curve = c * k ** -self.curve_b[slot]
+            if curve > floor:
+                return curve
+        return floor
+
+    def global_floor(self, k: int) -> float:
+        """Lower bound on ``s_k`` valid for *every* object (last row)."""
+        if k > self.kmax:
+            return 0.0
+        return self.floor_table[len(self.frontier) * self.kmax + (k - 1)]
+
+    def nbytes(self) -> int:
+        """Resident bytes of the sketch arrays."""
+        return (
+            self.floor_idx.itemsize * len(self.floor_idx)
+            + self.floor_table.itemsize * len(self.floor_table)
+            + self.curve_c.itemsize * len(self.curve_c)
+            + self.curve_b.itemsize * len(self.curve_b)
+        )
+
+    def describe(self) -> Dict[str, object]:
+        """Summary counters for logs and benchmark reports."""
+        curves = sum(1 for c in self.curve_c if c > 0.0)
+        return {
+            "kmax": self.kmax,
+            "budget": self.budget,
+            "pool": self.pool,
+            "frontier_size": len(self.frontier),
+            "curves_fitted": curves,
+            "nbytes": self.nbytes(),
+            "build_seconds": self.build_seconds,
+        }
+
+
+def _peel_frontier(snap, budget: int) -> List[int]:
+    """Largest-count-first antichain of roughly ``budget`` slots.
+
+    Same discipline as the shard admission peel
+    (:func:`repro.shard.summaries._peel_frontier`): every object of the
+    snapshot lies under exactly one returned slot, which is what makes
+    the per-row floors complete.
+    """
+    frontier: List[int] = []
+    heap: List[Tuple[int, int]] = []  # (-cnt, slot) for directory slots
+    for r in snap.root_slots:
+        if snap.is_obj[r]:
+            frontier.append(r)
+        else:
+            heapq.heappush(heap, (-snap.cnt[r], r))
+    while heap:
+        _neg_cnt, slot = heapq.heappop(heap)
+        children = range(snap.first_child[slot], snap.last_child[slot])
+        fanout = len(children)
+        if len(frontier) + len(heap) + fanout > budget or fanout == 0:
+            frontier.append(slot)
+            frontier.extend(s for _, s in heap)
+            break
+        for c in children:
+            if snap.is_obj[c]:
+                frontier.append(c)
+            else:
+                heapq.heappush(heap, (-snap.cnt[c], c))
+    return frontier
+
+
+def _fit_curve(ys: List[float]) -> Tuple[float, float]:
+    """Conservative monomial fit ``c * k**-b`` under sampled ``ys``.
+
+    ``ys[k-1]`` is the sampled k-th largest competitor similarity,
+    zero-padded to ``kmax``.  The least-squares fit in log space is
+    rescaled so the curve never exceeds a sampled value; any zero in
+    ``ys`` (fewer samples than ``kmax``) disables the curve entirely —
+    the monomial is positive everywhere, so no positive coefficient
+    could stay conservative at the zero point.
+    """
+    if not ys or min(ys) <= 0.0:
+        return 0.0, 0.0
+    kmax = len(ys)
+    if kmax == 1:
+        return ys[0] * _CURVE_MARGIN, 0.0
+    xs = [math.log(k) for k in range(1, kmax + 1)]
+    zs = [math.log(y) for y in ys]
+    mean_x = sum(xs) / kmax
+    mean_z = sum(zs) / kmax
+    var = sum((x - mean_x) ** 2 for x in xs)
+    cov = sum((x - mean_x) * (z - mean_z) for x, z in zip(xs, zs))
+    slope = cov / var if var > 0.0 else 0.0
+    b = max(0.0, -slope)
+    c0 = math.exp(mean_z + b * mean_x)
+    if c0 <= 0.0:
+        return 0.0, 0.0
+    ratio = min(
+        ys[k - 1] / (c0 * k ** -b) for k in range(1, kmax + 1)
+    )
+    c = c0 * ratio * _CURVE_MARGIN
+    return (c, b) if c > 0.0 else (0.0, 0.0)
+
+
+def build_sketch(
+    engine,
+    kmax: int = DEFAULT_SKETCH_KMAX,
+    budget: int = DEFAULT_SKETCH_BUDGET,
+    pool: int = DEFAULT_SKETCH_POOL,
+) -> KnnlSketch:
+    """Compute one snapshot's :class:`KnnlSketch` from its exact engine.
+
+    ``engine`` is the :class:`~repro.core.traversal.SnapshotEngine` of
+    the similarity setting being served; its memoized ``_st`` pair table
+    supplies every ``MinST`` lower bound (and keeps the values it
+    computes warm for the query-time walks to reuse).
+    """
+    started = time.perf_counter()
+    snap = engine.snap
+    n_slots = snap.n_slots
+    cnt = snap.cnt
+    is_obj = snap.is_obj
+    ref = snap.ref
+    st = engine._st
+
+    frontier = _peel_frontier(snap, budget)
+    n_rows = len(frontier)
+
+    # Node-floor rows: one row per frontier slot plus the global row.
+    floor_table = array("d", [0.0] * ((n_rows + 1) * kmax))
+    for row, f in enumerate(frontier):
+        contribs: List[Tuple[float, int]] = []
+        for g in frontier:
+            if g == f:
+                continue
+            lo, _hi = st(f, g)
+            contribs.append((lo, cnt[g]))
+        cf = cnt[f]
+        if cf >= 2:
+            lo, _hi = st(f, f)
+            contribs.append((lo, cf - 1))
+        base = row * kmax
+        for k in range(1, kmax + 1):
+            floor_table[base + k - 1] = _kth_largest(contribs, k)
+
+    # Object curves: sampled kNN pass over object slots in layout order.
+    objs = [s for s in range(n_slots) if is_obj[s]]
+    window = max(kmax, pool // 2)
+    samples: Dict[int, List[float]] = {s: [] for s in objs}
+    exact = engine._exact
+    for i, a in enumerate(objs):
+        for j in range(i + 1, min(i + 1 + window, len(objs))):
+            b = objs[j]
+            if ref[a] == ref[b]:
+                continue
+            sim = exact(a, b)
+            samples[a].append(sim)
+            samples[b].append(sim)
+
+    curve_c = array("d", [0.0] * n_slots)
+    curve_b = array("d", [0.0] * n_slots)
+    for s in objs:
+        ys = heapq.nlargest(kmax, samples[s])
+        ys.extend([0.0] * (kmax - len(ys)))
+        c, b_exp = _fit_curve(ys)
+        curve_c[s] = c
+        curve_b[s] = b_exp
+
+    # Global row: elementwise minimum over the frontier rows (valid for
+    # every object), sharpened by the minimum fitted curve when every
+    # object carries one.
+    gbase = n_rows * kmax
+    all_curves = bool(objs) and all(curve_c[s] > 0.0 for s in objs)
+    for k in range(1, kmax + 1):
+        row_min = min(
+            (floor_table[row * kmax + k - 1] for row in range(n_rows)),
+            default=0.0,
+        )
+        curve_min = 0.0
+        if all_curves:
+            curve_min = min(
+                curve_c[s] * k ** -curve_b[s] for s in objs
+            )
+        floor_table[gbase + k - 1] = max(row_min, curve_min)
+
+    # Every slot starts on the global row; frontier subtrees then claim
+    # their own rows (the frontier is an antichain, so no overlap).
+    floor_idx = array("q", [n_rows] * n_slots)
+    first_child = snap.first_child
+    last_child = snap.last_child
+    for row, f in enumerate(frontier):
+        stack = [f]
+        while stack:
+            s = stack.pop()
+            floor_idx[s] = row
+            if not is_obj[s]:
+                fc, lc = first_child[s], last_child[s]
+                if fc >= 0:
+                    stack.extend(range(fc, lc))
+
+    return KnnlSketch(
+        kmax=kmax,
+        budget=budget,
+        pool=pool,
+        frontier=tuple(frontier),
+        floor_idx=floor_idx,
+        floor_table=floor_table,
+        curve_c=curve_c,
+        curve_b=curve_b,
+        build_seconds=time.perf_counter() - started,
+    )

@@ -1,5 +1,15 @@
 """Benchmark harness: method registry, runners, and table reporting."""
 
+from .gates import (
+    TIMING_KEYS,
+    decisions,
+    ids_gate,
+    latency_ms_of,
+    median_qps,
+    report_header,
+    results_gate,
+    timed,
+)
 from .harness import (
     METHODS,
     QueryRun,
@@ -13,9 +23,17 @@ from .report import format_table
 __all__ = [
     "METHODS",
     "QueryRun",
+    "TIMING_KEYS",
     "build_tree",
+    "decisions",
+    "ids_gate",
+    "latency_ms_of",
     "make_searcher",
+    "median_qps",
+    "report_header",
+    "results_gate",
     "run_baseline_queries",
     "run_queries",
+    "timed",
     "format_table",
 ]

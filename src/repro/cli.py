@@ -106,6 +106,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         mode=args.mode,
         group_size=args.group_size,
         share=args.share,
+        warm_floors=True if args.warm_floors else None,
+        approx_verify=not args.approx_raw,
     )
     batch = engine.run(queries, args.k)
     stats = batch.stats
@@ -153,12 +155,16 @@ def _service_chain(engine: str):
     ``auto``/``fused`` keep the full chain; ``snapshot`` and ``seed``
     start the chain at that engine (later hops remain available — every
     chain engine is parity-identical, so this only pins the first
-    attempt, never the answer).
+    attempt, never the answer).  ``approx`` prepends the sketch-guided
+    filter to the full chain: the service runs it with exact
+    verification, so its answers match the others bit for bit.
     """
     from .service import DEGRADATION_CHAIN
 
     if engine in ("auto", "fused"):
         return DEGRADATION_CHAIN
+    if engine == "approx":
+        return ("approx",) + DEGRADATION_CHAIN
     return DEGRADATION_CHAIN[DEGRADATION_CHAIN.index(engine):]
 
 
@@ -522,9 +528,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_batch.add_argument(
         "--engine",
-        choices=("seed", "snapshot", "auto"),
+        choices=("seed", "snapshot", "auto", "approx"),
         default=None,
-        help="traversal engine (default: REPRO_ENGINE, then auto)",
+        help="traversal engine (default: REPRO_ENGINE, then auto); "
+        "approx runs the sketch-guided filter of repro.approx",
+    )
+    p_batch.add_argument(
+        "--warm-floors",
+        action="store_true",
+        help="arm frozen kNNL floors on exact snapshot/fused walks "
+        "(bit-identical results, earlier pruning; also REPRO_WARM_FLOORS)",
+    )
+    p_batch.add_argument(
+        "--approx-raw",
+        action="store_true",
+        help="with --engine approx: skip exact verification and return "
+        "the raw conservative candidate set (a superset of the answer)",
     )
     p_batch.add_argument(
         "--mode",
@@ -580,10 +599,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--engine",
-        choices=("fused", "snapshot", "seed", "auto"),
+        choices=("fused", "snapshot", "seed", "auto", "approx"),
         default="auto",
         help="first engine of the degradation chain (auto = full "
-        "fused -> snapshot -> seed chain)",
+        "fused -> snapshot -> seed chain; approx prepends the "
+        "verified sketch filter)",
     )
     p_serve.add_argument(
         "--alpha",
@@ -676,7 +696,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_obs.add_argument("--queries", type=int, default=10)
     p_obs.add_argument(
         "--engine",
-        choices=("seed", "snapshot", "auto"),
+        choices=("seed", "snapshot", "auto", "approx"),
         default="auto",
         help="traversal engine the workload runs on",
     )
@@ -694,7 +714,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_demo.add_argument("--queries", type=int, default=3)
     p_demo.add_argument(
         "--engine",
-        choices=("seed", "snapshot", "auto"),
+        choices=("seed", "snapshot", "auto", "approx"),
         default=None,
         help="traversal engine (default: REPRO_ENGINE, then auto)",
     )

@@ -32,8 +32,9 @@ KERNEL_BACKENDS = ("python", "numpy", "auto")
 
 #: Traversal engines supported by :class:`repro.core.rstknn.RSTkNNSearcher`
 #: (``auto`` runs the columnar snapshot engine whenever the request does
-#: not need the seed object-graph walk).
-ENGINES = ("seed", "snapshot", "auto")
+#: not need the seed object-graph walk; ``approx`` filters against the
+#: frozen kNNL sketch tier of :mod:`repro.approx`).
+ENGINES = ("seed", "snapshot", "auto", "approx")
 
 #: Batch execution modes of :class:`repro.perf.BatchSearcher`
 #: (``per-query`` runs one traversal per query; ``fused`` walks the
@@ -197,6 +198,24 @@ class PerfConfig:
         shard_kmax: Largest ``k`` the per-shard admission-pruning
             tables cover — queries with bigger ``k`` scatter to every
             shard (still exact, just unpruned).
+        warm_floors: Seed the exact engines (snapshot/fused, and the
+            shard admission summaries) with the frozen kNNL floors of
+            :mod:`repro.approx` — result ids are unchanged by
+            construction, subtrees and candidates below the floor are
+            pruned before any contribution-list work.  The
+            ``REPRO_WARM_FLOORS`` environment variable overrides the
+            library default at process level.
+        approx_verify: When ``engine="approx"``, route every
+            sketch-surviving candidate through the exact verification
+            probe (byte-identical results).  ``False`` returns the raw
+            conservative filter output (recall 1.0 by construction,
+            measured precision; see ``docs/TUNING.md``).
+        sketch_kmax: Largest ``k`` the frozen kNNL sketch covers;
+            floors read 0.0 (never prune) beyond it.
+        sketch_budget: Frontier width of the sketch's node-floor rows
+            (build cost is quadratic in it).
+        sketch_pool: Per-object sample-pool size of the sketch's
+            k-distance curve fit.
     """
 
     kernel_backend: str = "python"
@@ -213,6 +232,11 @@ class PerfConfig:
     service_deadline_seconds: Optional[float] = None
     shard_count: int = 1
     shard_kmax: int = 16
+    warm_floors: bool = False
+    approx_verify: bool = True
+    sketch_kmax: int = 16
+    sketch_budget: int = 256
+    sketch_pool: int = 32
 
     def __post_init__(self) -> None:
         if self.kernel_backend not in KERNEL_BACKENDS:
@@ -276,6 +300,26 @@ class PerfConfig:
         if self.shard_kmax < 1:
             raise ConfigError(
                 f"shard_kmax must be >= 1, got {self.shard_kmax}"
+            )
+        if not isinstance(self.warm_floors, bool):
+            raise ConfigError(
+                f"warm_floors must be a bool, got {self.warm_floors!r}"
+            )
+        if not isinstance(self.approx_verify, bool):
+            raise ConfigError(
+                f"approx_verify must be a bool, got {self.approx_verify!r}"
+            )
+        if self.sketch_kmax < 1:
+            raise ConfigError(
+                f"sketch_kmax must be >= 1, got {self.sketch_kmax}"
+            )
+        if self.sketch_budget < 1:
+            raise ConfigError(
+                f"sketch_budget must be >= 1, got {self.sketch_budget}"
+            )
+        if self.sketch_pool < 1:
+            raise ConfigError(
+                f"sketch_pool must be >= 1, got {self.sketch_pool}"
             )
 
 

@@ -475,12 +475,26 @@ class FusedBatchEngine:
     setting, sharing its pair memo and verification probe.
     """
 
-    def __init__(self, tree, snap, measure, alpha: float, te_weight: float) -> None:
+    def __init__(
+        self,
+        tree,
+        snap,
+        measure,
+        alpha: float,
+        te_weight: float,
+        floors=None,
+    ) -> None:
         self.tree = tree
         self.snap = snap
         self.measure = measure
         self.alpha = alpha
         self.te_weight = te_weight
+        #: Optional frozen :class:`~repro.approx.sketch.KnnlSketch`
+        #: (same warm-start floor contract as
+        #: :class:`~repro.core.traversal.SnapshotEngine`: ids unchanged,
+        #: decision counters differ, memoized separately via
+        #: :meth:`IndexSnapshot.warm_fused_engine_for`).
+        self.floors = floors
         self.base = snap.engine_for(tree, measure, alpha, te_weight)
         self._ej = isinstance(measure, ExtendedJaccard)
         #: (key, expanded slot) -> columnar substitution row batch;
@@ -903,16 +917,43 @@ class FusedBatchEngine:
         counter = itertools.count()
         heap: List[Tuple[float, int, int]] = []
 
+        # Warm-start floors (see SnapshotEngine.search): slots whose
+        # query upper bound cannot reach the frozen kNNL floor are
+        # dropped before any book is built; they keep contributing to
+        # their siblings' books through the full-range group template.
+        floors = self.floors
+        use_floors = floors is not None and k <= floors.kmax
+        if use_floors:
+            f_idx = floors.floor_idx
+            f_tbl = floors.floor_table
+            f_kmax = floors.kmax
+            f_koff = k - 1
+            f_curve_c = floors.curve_c
+            f_curve_b = floors.curve_b
+
+            def floor_of(slot: int) -> float:
+                fl = f_tbl[f_idx[slot] * f_kmax + f_koff]
+                if is_obj[slot]:
+                    c = f_curve_c[slot]
+                    if c > 0.0:
+                        curve = c * k ** -f_curve_b[slot]
+                        if curve > fl:
+                            return curve
+                return fl
+
         root_tmpl = self._template(gs, _ROOT_BLOCK)
         root_qb = self._block(gs, _ROOT_BLOCK)[g]
-        for r in roots:
+        for i, r in enumerate(roots):
+            qb = root_qb[i]
+            if use_floors and qb[1] < floor_of(r):
+                stats.pruned_entries += 1
+                stats.pruned_objects += cnt[r]
+                continue
             undecided |= 1 << r
             order.append(r)
-        for i, r in enumerate(roots):
             book = self._new_book(len(roots) + 1)
             book.extend(root_tmpl[i])
             books[r] = book
-            qb = root_qb[i]
             qbounds[r] = qb
             if te == 0.0 or is_obj[r]:
                 prio = qb[1]
@@ -1007,15 +1048,20 @@ class FusedBatchEngine:
                         batch_keys.append(cand)
                 self._build_blocks(gs, batch_keys)
             block_qb = self._block(gs, key)[g]
-            for c in range(fc, lc):
-                undecided |= 1 << c
-                order.append(c)
             span = lc - fc
             for i, c in enumerate(range(fc, lc)):
+                qb = block_qb[i]
+                if use_floors and qb[1] < floor_of(c):
+                    # Floored child: no bit, no book, no heap entry —
+                    # still a contributor in its siblings' templates.
+                    stats.pruned_entries += 1
+                    stats.pruned_objects += cnt[c]
+                    continue
+                undecided |= 1 << c
+                order.append(c)
                 book = parent.clone(span)
                 book.extend(tmpl[i])
                 books[c] = book
-                qb = block_qb[i]
                 qbounds[c] = qb
                 if te == 0.0 or is_obj[c]:
                     prio = qb[1]

@@ -48,7 +48,7 @@ from .cancel import cancel_message
 from ..index.entry import Entry
 from ..index.iurtree import IURTree
 from ..model.objects import STObject
-from ..obs.metrics import record_search
+from ..obs.metrics import record_approx, record_search
 from ..perf.cache import BoundCache
 from ..text import make_measure
 from ..text.entropy import normalized_cluster_entropy
@@ -65,15 +65,32 @@ _NONRESULT = "nonresult"
 #: Traversal engine knob values: ``seed`` is the reference object-graph
 #: walk below; ``snapshot`` runs the columnar SnapshotEngine
 #: (:mod:`repro.core.traversal`); ``auto`` picks snapshot whenever the
-#: request has no feature that requires the seed walk.  Since the
-#: observability layer (:mod:`repro.obs`) generalized tracing into the
-#: TraceSink protocol, every engine emits decision events, so a trace no
-#: longer forces ``seed`` — only an attached cross-query BoundCache
-#: does (its cache-stat contract belongs to the seed's BoundComputer).
-ENGINE_CHOICES = ("seed", "snapshot", "auto")
+#: request has no feature that requires the seed walk; ``approx`` runs
+#: the sketch-guided candidate filter (:mod:`repro.approx`) — exact
+#: answers when ``approx_verify`` is on, a measured-recall candidate
+#: set when it is off.  Since the observability layer
+#: (:mod:`repro.obs`) generalized tracing into the TraceSink protocol,
+#: every engine emits decision events, so a trace no longer forces
+#: ``seed`` — only an attached cross-query BoundCache does (its
+#: cache-stat contract belongs to the seed's BoundComputer).
+ENGINE_CHOICES = ("seed", "snapshot", "auto", "approx")
 
 #: Environment override for the default engine.
 ENGINE_ENV_VAR = "REPRO_ENGINE"
+
+#: Environment override that arms kNNL warm-start floors on the exact
+#: snapshot/fused engines (``1``/``true``/``yes`` arm, anything else
+#: leaves them off).  Floors never change result ids, only how early
+#: subtrees are discarded, so this is safe to flip fleet-wide.
+WARM_FLOORS_ENV_VAR = "REPRO_WARM_FLOORS"
+
+
+def _default_warm_floors() -> bool:
+    """Warm-floor default from ``REPRO_WARM_FLOORS`` (off when unset)."""
+    raw = os.environ.get(WARM_FLOORS_ENV_VAR)
+    if raw is None:
+        return False
+    return raw.strip().lower() in ("1", "true", "yes", "on")
 
 
 def _default_engine() -> str:
@@ -168,6 +185,11 @@ class RSTkNNSearcher:
         bound_cache: Optional[BoundCache] = None,
         engine: Optional[str] = None,
         metrics: Optional["MetricsRegistry"] = None,
+        warm_floors: Optional[bool] = None,
+        approx_verify: bool = True,
+        sketch_kmax: Optional[int] = None,
+        sketch_budget: Optional[int] = None,
+        sketch_pool: Optional[int] = None,
     ) -> None:
         """``bound_cache`` shares tree-pair bounds across this searcher's
         queries (see :class:`repro.perf.cache.BoundCache`); ``None`` keeps
@@ -177,7 +199,17 @@ class RSTkNNSearcher:
         ``metrics`` attaches a :class:`repro.obs.MetricsRegistry`: each
         search then records per-engine query counters, decision
         counters, and a latency histogram (``None`` records nothing —
-        see ``docs/OBSERVABILITY.md``)."""
+        see ``docs/OBSERVABILITY.md``).
+
+        ``warm_floors`` arms the frozen kNNL floor sketch
+        (:mod:`repro.approx`) on the exact snapshot engine — results
+        stay bit-identical, only pruning gets earlier; ``None`` defers
+        to ``REPRO_WARM_FLOORS`` and then off.  ``approx_verify``
+        applies when ``engine="approx"``: ``True`` verifies every
+        candidate exactly (byte-identical ids), ``False`` returns the
+        raw conservative candidate set.  The three ``sketch_*`` knobs
+        override the sketch build parameters (``None`` keeps the
+        :mod:`repro.approx.sketch` defaults)."""
         self.tree = tree
         cfg = config if config is not None else tree.dataset.config
         self.config = cfg
@@ -193,6 +225,13 @@ class RSTkNNSearcher:
             )
         self.engine = engine
         self.metrics = metrics
+        if warm_floors is None:
+            warm_floors = _default_warm_floors()
+        self.warm_floors = bool(warm_floors)
+        self.approx_verify = bool(approx_verify)
+        self.sketch_kmax = sketch_kmax
+        self.sketch_budget = sketch_budget
+        self.sketch_pool = sketch_pool
 
     def _bound_computer(self) -> BoundComputer:
         """A per-query computer attached to the shared cache, if any."""
@@ -220,7 +259,7 @@ class RSTkNNSearcher:
             if self.bound_cache is not None or not can_snapshot:
                 return "seed"
             return "snapshot"
-        if engine == "snapshot" and not can_snapshot:
+        if engine in ("snapshot", "approx") and not can_snapshot:
             return "seed"
         return engine
 
@@ -251,13 +290,41 @@ class RSTkNNSearcher:
         """
         if k < 1:
             raise QueryError(f"k must be >= 1, got {k}")
-        if self._resolve_engine(trace) == "snapshot":
+        resolved = self._resolve_engine(trace)
+        if resolved == "snapshot":
             snap = self.tree.snapshot()
-            runner = snap.engine_for(
-                self.tree, self.measure, self.alpha, self.te_weight
-            )
+            if self.warm_floors:
+                runner = snap.warm_engine_for(
+                    self.tree,
+                    self.measure,
+                    self.alpha,
+                    self.te_weight,
+                    kmax=self.sketch_kmax,
+                    budget=self.sketch_budget,
+                    pool=self.sketch_pool,
+                )
+            else:
+                runner = snap.engine_for(
+                    self.tree, self.measure, self.alpha, self.te_weight
+                )
             result = runner.search(query, k, trace=trace, cancel=cancel)
             record_search(self.metrics, "snapshot", result.stats)
+            return result
+        if resolved == "approx":
+            snap = self.tree.snapshot()
+            runner = snap.approx_engine_for(
+                self.tree,
+                self.measure,
+                self.alpha,
+                self.te_weight,
+                verify=self.approx_verify,
+                kmax=self.sketch_kmax,
+                budget=self.sketch_budget,
+                pool=self.sketch_pool,
+            )
+            result = runner.search(query, k, trace=trace, cancel=cancel)
+            record_search(self.metrics, "approx", result.stats)
+            record_approx(self.metrics, runner.last_filter)
             return result
         started = time.perf_counter()
         stats = SearchStats()

@@ -141,12 +141,28 @@ class SnapshotEngine:
     persistent pair-bound memo for that setting.
     """
 
-    def __init__(self, tree, snap, measure, alpha: float, te_weight: float) -> None:
+    def __init__(
+        self,
+        tree,
+        snap,
+        measure,
+        alpha: float,
+        te_weight: float,
+        floors=None,
+    ) -> None:
         self.tree = tree
         self.snap = snap
         self.measure = measure
         self.alpha = alpha
         self.te_weight = te_weight
+        #: Optional frozen :class:`~repro.approx.sketch.KnnlSketch`: when
+        #: set, slots whose query upper bound falls below the sketch's
+        #: conservative kNNL floor are pruned *before* any contribution
+        #: list is built.  Result ids are unchanged (a floored slot
+        #: provably holds no result); decision counters differ, so
+        #: floored engines are memoized separately from the parity
+        #: engine (:meth:`IndexSnapshot.warm_engine_for`).
+        self.floors = floors
         self._ej = isinstance(measure, ExtendedJaccard)
         #: Symmetric tree-pair memo: canonical key ``min*n + max`` over
         #: slots -> blended ``(MinST, MaxST)`` (exact pairs store
@@ -408,9 +424,41 @@ class SnapshotEngine:
         counter = itertools.count()
         heap: List[Tuple[float, int, int]] = []
 
+        # Warm-start floors: a slot whose optimistic query bound cannot
+        # reach the frozen kNNL floor of its subtree holds no result
+        # (>= k competitors strictly beat the query for every object
+        # there), so it is pruned before any contribution-list work.
+        # ``q_st`` never touches the pair memo, so evaluating it ahead
+        # of the list build leaves all cached-bound accounting intact.
+        floors = self.floors
+        use_floors = floors is not None and k <= floors.kmax
+        if use_floors:
+            f_idx = floors.floor_idx
+            f_tbl = floors.floor_table
+            f_kmax = floors.kmax
+            f_koff = k - 1
+            f_curve_c = floors.curve_c
+            f_curve_b = floors.curve_b
+
+            def floor_of(slot: int) -> float:
+                fl = f_tbl[f_idx[slot] * f_kmax + f_koff]
+                if is_obj[slot]:
+                    c = f_curve_c[slot]
+                    if c > 0.0:
+                        curve = c * k ** -f_curve_b[slot]
+                        if curve > fl:
+                            return curve
+                return fl
+
         for r in roots:
             status[r] = _UNDECIDED
         for r in roots:
+            qb = q_st(r)
+            if use_floors and qb[1] < floor_of(r):
+                status[r] = _PRUNED
+                stats.pruned_entries += 1
+                stats.pruned_objects += cnt[r]
+                continue
             d: Dict[int, _Contrib] = {}
             tight: Set[int] = set()
             for o in roots:
@@ -424,7 +472,6 @@ class SnapshotEngine:
                 d[r] = (lo, hi, cnt[r] - 1)
                 tight.add(r)
             lists[r] = _CList(d, tight)
-            qb = q_st(r)
             qbounds[r] = qb
             # Root-site priority: the seed's default num_clusters=1 makes
             # the entropy divisor 2 (ent_root); objects get no boost.
@@ -578,20 +625,10 @@ class SnapshotEngine:
 
             parent_d = parent.d
             for i, c in enumerate(children):
-                d = dict(parent_d)
-                tight = set()
-                for sib in children:
-                    if sib == c:
-                        continue
-                    lo, hi = st(c, sib)
-                    d[sib] = (lo, hi, cnt[sib])
-                    tight.add(sib)
-                cc = cnt[c]
-                if cc >= 2:
-                    lo, hi = st(c, c)
-                    d[c] = (lo, hi, cc - 1)
-                    tight.add(c)
-                lists[c] = _CList(d, tight)
+                # Query bound first: the floor gate can then skip the
+                # whole sibling contribution pass for floored children.
+                # (``q_st``/the sp finishes never touch the pair memo,
+                # so the reorder is value- and counter-invisible.)
                 if sp is None:
                     qb = q_st(c)
                 elif is_obj[c]:
@@ -616,6 +653,28 @@ class SnapshotEngine:
                             alpha * s_lo + (1.0 - alpha) * t_lo,
                             alpha * s_hi + (1.0 - alpha) * t_hi,
                         )
+                if use_floors and qb[1] < floor_of(c):
+                    # Floored child: no list, no heap entry — but it
+                    # stays a *contributor* in its siblings' lists (each
+                    # surviving sibling's pass covers the full range).
+                    status[c] = _PRUNED
+                    stats.pruned_entries += 1
+                    stats.pruned_objects += cnt[c]
+                    continue
+                d = dict(parent_d)
+                tight = set()
+                for sib in children:
+                    if sib == c:
+                        continue
+                    lo, hi = st(c, sib)
+                    d[sib] = (lo, hi, cnt[sib])
+                    tight.add(sib)
+                cc = cnt[c]
+                if cc >= 2:
+                    lo, hi = st(c, c)
+                    d[c] = (lo, hi, cc - 1)
+                    tight.add(c)
+                lists[c] = _CList(d, tight)
                 qbounds[c] = qb
                 # Child-site priority uses the tree-wide cluster divisor.
                 if te == 0.0 or is_obj[c]:

@@ -35,6 +35,7 @@ from .metrics import (
     MetricsRegistry,
     NullRegistry,
     latency_percentiles,
+    record_approx,
     record_search,
     registry_or_null,
 )
@@ -55,6 +56,7 @@ __all__ = [
     "MetricsRegistry",
     "NullRegistry",
     "latency_percentiles",
+    "record_approx",
     "record_search",
     "registry_or_null",
     "PhaseTimer",

@@ -79,8 +79,25 @@ def latency_percentiles(
     Nearest-rank (not interpolated) so every reported value is an
     actually observed latency — tail figures stay honest at small
     sample counts, where interpolation would invent values between the
-    worst and second-worst observation.  Empty input yields ``{}``.
+    worst and second-worst observation.
+
+    Edge contract (relied on by the bench reports and the service's
+    stats endpoint, and pinned by ``tests/test_obs.py``):
+
+    - **empty input** yields ``{}`` — no keys, never a zero-filled dict
+      that could be mistaken for "measured and fast";
+    - **a single sample** yields that sample for *every* requested
+      point (``p50 == p95 == p99``), because nearest-rank with ``n=1``
+      has only one observation to report;
+    - every percentile point must lie in ``1..100`` — out-of-range
+      points raise :class:`~repro.errors.ConfigError` at call time
+      rather than silently clamping.
     """
+    for p in points:
+        if not 1 <= p <= 100:
+            raise ConfigError(
+                f"percentile points must be in 1..100, got {p!r}"
+            )
     if not samples:
         return {}
     ordered = sorted(samples)
@@ -371,9 +388,9 @@ def record_search(
     """Record one finished search's counters into a registry.
 
     ``stats`` is the :class:`~repro.core.rstknn.SearchStats` any of the
-    three engines returns; ``engine`` labels the per-engine query
-    counter and latency histogram (``seed`` / ``snapshot`` / ``fused``).
-    A ``None`` or null registry makes this a no-op.
+    engines return; ``engine`` labels the per-engine query counter and
+    latency histogram (``seed`` / ``snapshot`` / ``fused`` /
+    ``approx``).  A ``None`` or null registry makes this a no-op.
     """
     if metrics is None or not metrics.enabled:
         return
@@ -389,6 +406,24 @@ def record_search(
     counter("search.objects.group_decided").inc(stats.group_decided_objects())
     counter("search.objects.results").inc(stats.result_count)
     counter("search.verify_node_reads").inc(stats.verify_node_reads)
+
+
+def record_approx(
+    metrics: Optional[MetricsRegistry], last_filter: Dict[str, float]
+) -> None:
+    """Record one approx-engine filter pass into a registry.
+
+    ``last_filter`` is :attr:`repro.approx.ApproxEngine.last_filter` —
+    the per-query candidate-filter counters (candidates kept, objects
+    and nodes floor-pruned, spatial shortcuts, verified count).  Each
+    key lands under ``approx.<key>`` as a counter; a ``None`` or null
+    registry makes this a no-op (see ``docs/OBSERVABILITY.md``).
+    """
+    if metrics is None or not metrics.enabled or not last_filter:
+        return
+    counter = metrics.counter
+    for key, value in last_filter.items():
+        counter(f"approx.{key}").inc(int(value))
 
 
 def _fmt(value: float) -> str:

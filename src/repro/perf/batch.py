@@ -79,20 +79,30 @@ def _init_worker(payload: bytes) -> None:
     """
     spec = pickle.loads(payload)
     if spec[0] == "shm":
-        _tag, name, generation, config, te_weight = spec
+        (_tag, name, generation, config, te_weight,
+         engine, warm_floors, approx_verify) = spec
         from .shm import attach  # noqa: PLC0415 — worker-side only
 
         attached = attach(name, expected_generation=generation)
         _WORKER["attached"] = attached
-        _WORKER["searcher"] = attached.searcher(config, te_weight=te_weight)
+        _WORKER["searcher"] = attached.searcher(
+            config,
+            te_weight=te_weight,
+            engine=engine,
+            warm_floors=warm_floors,
+            approx_verify=approx_verify,
+        )
     else:
-        _tag, tree, config, te_weight, cache_entries, engine = spec
+        (_tag, tree, config, te_weight, cache_entries,
+         engine, warm_floors, approx_verify) = spec
         _WORKER["searcher"] = RSTkNNSearcher(
             tree,
             config,
             te_weight=te_weight,
             bound_cache=BoundCache(cache_entries),
             engine=engine,
+            warm_floors=warm_floors,
+            approx_verify=approx_verify,
         )
 
 
@@ -243,6 +253,11 @@ class BatchSearcher:
         share: str = "auto",
         metrics: Optional[MetricsRegistry] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        warm_floors: Optional[bool] = None,
+        approx_verify: bool = True,
+        sketch_kmax: Optional[int] = None,
+        sketch_budget: Optional[int] = None,
+        sketch_pool: Optional[int] = None,
     ) -> None:
         """``workers=1`` runs sequentially with the shared bound cache;
         ``workers>1`` fans out over that many processes, each holding its
@@ -276,7 +291,17 @@ class BatchSearcher:
         crashed or erroring pool worker lost (``None`` uses
         :data:`repro.service.retry.DEFAULT_RETRY_POLICY`); an exhausted
         budget runs the surviving chunks sequentially in the parent, so
-        a batch always completes."""
+        a batch always completes.
+
+        ``warm_floors`` arms the frozen kNNL floor sketch
+        (:mod:`repro.approx`) on exact snapshot/fused walks — results
+        stay bit-identical; ``None`` defers to ``REPRO_WARM_FLOORS``.
+        ``approx_verify`` applies under ``engine="approx"``: ``True``
+        verifies candidates exactly, ``False`` returns the raw
+        conservative candidate set.  The ``sketch_*`` knobs override
+        the sketch build parameters for the sequential searcher and
+        pickled workers (shm workers use the segment's exported sketch
+        or the :mod:`repro.approx.sketch` defaults)."""
         if workers < 1:
             raise QueryError(f"workers must be >= 1, got {workers}")
         if mode not in BATCH_MODES:
@@ -299,6 +324,13 @@ class BatchSearcher:
                     "fused batch mode runs over the index snapshot; it is "
                     "incompatible with engine='seed'"
                 )
+            if engine == "approx":
+                raise QueryError(
+                    "fused batch mode runs the exact fused engine; it is "
+                    "incompatible with engine='approx' (use "
+                    "mode='per-query', or warm_floors=True to accelerate "
+                    "fused walks exactly)"
+                )
             if group_size < 1:
                 raise QueryError(
                     f"group_size must be >= 1, got {group_size}"
@@ -316,6 +348,10 @@ class BatchSearcher:
         self.retry_policy = (
             retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
         )
+        self.approx_verify = bool(approx_verify)
+        self.sketch_kmax = sketch_kmax
+        self.sketch_budget = sketch_budget
+        self.sketch_pool = sketch_pool
         self.bound_cache = BoundCache(cache_entries)
         self._pickle_error: Optional[str] = None
         self._last_retries = 0
@@ -330,7 +366,14 @@ class BatchSearcher:
             te_weight=te_weight,
             bound_cache=self.bound_cache,
             engine=engine,
+            warm_floors=warm_floors,
+            approx_verify=approx_verify,
+            sketch_kmax=sketch_kmax,
+            sketch_budget=sketch_budget,
+            sketch_pool=sketch_pool,
         )
+        # Resolved (env applied) on the inner searcher; workers reuse it.
+        self.warm_floors = self._searcher.warm_floors
         if warm:
             tree.warm_kernels()
 
@@ -372,6 +415,13 @@ class BatchSearcher:
                 max_attempts=perf.retry_attempts,
                 base_delay=perf.retry_base_delay,
             ),
+            # False (the default) defers to REPRO_WARM_FLOORS, so the
+            # env knob can arm floors fleet-wide without config edits.
+            warm_floors=perf.warm_floors or None,
+            approx_verify=perf.approx_verify,
+            sketch_kmax=perf.sketch_kmax,
+            sketch_budget=perf.sketch_budget,
+            sketch_pool=perf.sketch_pool,
         )
 
     def invalidate(self) -> None:
@@ -535,9 +585,23 @@ class BatchSearcher:
         searcher = self._searcher
         with timer.phase("freeze"):
             snap = self.tree.snapshot()
-            engine = snap.fused_engine_for(
-                self.tree, searcher.measure, searcher.alpha, searcher.te_weight
-            )
+            if self.warm_floors:
+                engine = snap.warm_fused_engine_for(
+                    self.tree,
+                    searcher.measure,
+                    searcher.alpha,
+                    searcher.te_weight,
+                    kmax=self.sketch_kmax,
+                    budget=self.sketch_budget,
+                    pool=self.sketch_pool,
+                )
+            else:
+                engine = snap.fused_engine_for(
+                    self.tree,
+                    searcher.measure,
+                    searcher.alpha,
+                    searcher.te_weight,
+                )
         results: List[Optional[SearchResult]] = [None] * len(queries)
         with timer.phase("group"):
             groups = make_groups(queries, self.group_size)
@@ -593,6 +657,21 @@ class BatchSearcher:
 
                 try:
                     with timer.phase("share"):
+                        if self.warm_floors or self.engine == "approx":
+                            # Bake the floor sketch into the segment so
+                            # workers attach it zero-copy instead of
+                            # rebuilding it once per process.
+                            s = self._searcher
+                            snap = self.tree.snapshot()
+                            snap.sketch_for(
+                                snap.engine_for(
+                                    self.tree, s.measure, s.alpha,
+                                    s.te_weight,
+                                ),
+                                kmax=self.sketch_kmax,
+                                budget=self.sketch_budget,
+                                pool=self.sketch_pool,
+                            )
                         seg = SharedSnapshotSegment.create(
                             self.tree,
                             config=self.config,
@@ -605,6 +684,11 @@ class BatchSearcher:
                                 seg.generation,
                                 self.config,
                                 self.te_weight,
+                                "approx"
+                                if self.engine == "approx"
+                                else "snapshot",
+                                self.warm_floors,
+                                self.approx_verify,
                             )
                         )
                     self._share_used = "shm"
@@ -626,6 +710,8 @@ class BatchSearcher:
                         self.te_weight,
                         self.cache_entries,
                         self.engine,
+                        self.warm_floors,
+                        self.approx_verify,
                     )
                 )
         except (pickle.PicklingError, TypeError, AttributeError) as exc:

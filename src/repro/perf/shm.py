@@ -67,8 +67,9 @@ from ..text.vector import SparseVector
 from . import kernels
 from .snapshot import IndexSnapshot, SnapshotTextMatrix
 
-#: First eight bytes of every segment (version-bumped on layout changes).
-SEGMENT_MAGIC = b"RSTSHM01"
+#: First eight bytes of every segment (version-bumped on layout changes;
+#: 02 added the optional frozen kNNL sketch arrays).
+SEGMENT_MAGIC = b"RSTSHM02"
 
 #: Byte offsets of the fixed-width header words (little-endian int64).
 _OFF_GENERATION = 8
@@ -287,6 +288,38 @@ class SharedSnapshotSegment:
         matrix = snap.text_matrix()
         arrays = _export_arrays(tree, snap, matrix)
 
+        # Frozen kNNL sketches ride along so attached workers can serve
+        # warm-floor and approx engines without re-running the
+        # freeze-time build: one array quartet per memoized sketch plus
+        # a header row carrying its key and scalar metadata.
+        sketch_rows: List[Tuple] = []
+        for key, sketch in snap._sketches.items():
+            i = len(sketch_rows)
+            arrays[f"sk{i}_floor_idx"] = np.frombuffer(
+                memoryview(sketch.floor_idx), dtype=np.int64
+            )
+            arrays[f"sk{i}_floor_table"] = np.frombuffer(
+                memoryview(sketch.floor_table), dtype=np.float64
+            )
+            arrays[f"sk{i}_curve_c"] = np.frombuffer(
+                memoryview(sketch.curve_c), dtype=np.float64
+            )
+            arrays[f"sk{i}_curve_b"] = np.frombuffer(
+                memoryview(sketch.curve_b), dtype=np.float64
+            )
+            sketch_rows.append(
+                (
+                    key,
+                    {
+                        "kmax": sketch.kmax,
+                        "budget": sketch.budget,
+                        "pool": sketch.pool,
+                        "frontier": sketch.frontier,
+                        "build_seconds": sketch.build_seconds,
+                    },
+                )
+            )
+
         offset = _ARRAY_REGION
         table: Dict[str, Tuple[int, str, int]] = {}
         for array_name, arr in arrays.items():
@@ -308,6 +341,7 @@ class SharedSnapshotSegment:
             "te_weight": te_weight,
             "use_entropy_priority": tree.config.use_entropy_priority,
             "buffer_pages": tree.config.buffer_pages,
+            "sketches": sketch_rows,
             "arrays": table,
         }
         header_bytes = pickle.dumps(header)
@@ -728,7 +762,8 @@ class ShmSearcher:
     """
 
     def __init__(self, attached: "AttachedIndex", config: Optional[SimilarityConfig],
-                 te_weight: float) -> None:
+                 te_weight: float, engine: str = "snapshot",
+                 warm_floors: bool = False, approx_verify: bool = True) -> None:
         header = attached.header
         cfg = config if config is not None else header["sim_config"]
         self.config = cfg
@@ -736,9 +771,22 @@ class ShmSearcher:
         self.alpha = cfg.alpha
         self.te_weight = te_weight if header["use_entropy_priority"] else 0.0
         self.tree = attached.tree
-        self.engine = attached.snapshot.engine_for(
-            attached.tree, self.measure, self.alpha, self.te_weight
-        )
+        snapshot = attached.snapshot
+        if engine == "approx":
+            # Served from the segment's frozen sketch when the parent
+            # exported one; rebuilt worker-side otherwise (memoized).
+            self.engine = snapshot.approx_engine_for(
+                attached.tree, self.measure, self.alpha, self.te_weight,
+                verify=approx_verify,
+            )
+        elif warm_floors:
+            self.engine = snapshot.warm_engine_for(
+                attached.tree, self.measure, self.alpha, self.te_weight
+            )
+        else:
+            self.engine = snapshot.engine_for(
+                attached.tree, self.measure, self.alpha, self.te_weight
+            )
 
     def search(self, query, k: int):
         """Run one RSTkNN query on the attached snapshot engine."""
@@ -761,10 +809,17 @@ class AttachedIndex:
         self,
         config: Optional[SimilarityConfig] = None,
         te_weight: Optional[float] = None,
+        engine: str = "snapshot",
+        warm_floors: bool = False,
+        approx_verify: bool = True,
     ) -> ShmSearcher:
         """A searcher over this attachment (header defaults apply)."""
         te = self.header["te_weight"] if te_weight is None else te_weight
-        return ShmSearcher(self, config, te)
+        return ShmSearcher(
+            self, config, te,
+            engine=engine, warm_floors=warm_floors,
+            approx_verify=approx_verify,
+        )
 
     def refcount(self) -> int:
         """Advisory reference count stored in the segment."""
@@ -845,6 +900,20 @@ def attach(name: str, expected_generation: Optional[int] = None) -> AttachedInde
         _write_word(shm.buf, _OFF_REFCOUNT, _read_word(shm.buf, _OFF_REFCOUNT) + 1)
         views = _SegmentViews(shm, header["arrays"])
         snapshot = AttachedSnapshot(header, views)
+        for i, (key, meta) in enumerate(header.get("sketches", ())):
+            from ..approx.sketch import KnnlSketch  # noqa: PLC0415
+
+            snapshot._sketches[key] = KnnlSketch(
+                kmax=meta["kmax"],
+                budget=meta["budget"],
+                pool=meta["pool"],
+                frontier=meta["frontier"],
+                floor_idx=views.cast(f"sk{i}_floor_idx", "q"),
+                floor_table=views.cast(f"sk{i}_floor_table", "d"),
+                curve_c=views.cast(f"sk{i}_curve_c", "d"),
+                curve_b=views.cast(f"sk{i}_curve_b", "d"),
+                build_seconds=meta["build_seconds"],
+            )
         tree = _ShmStubTree(snapshot, header, views)
         return AttachedIndex(shm, header, views, snapshot, tree)
     except BaseException:

@@ -75,6 +75,7 @@ class IndexSnapshot:
         "root_slots",
         "_collect_plans",
         "_engines",
+        "_sketches",
         "_text_matrix",
     )
 
@@ -106,6 +107,7 @@ class IndexSnapshot:
         self.root_slots: Tuple[int, ...] = ()
         self._collect_plans: Dict[int, Tuple[Tuple[int, ...], Tuple[int, ...]]] = {}
         self._engines: Dict[Tuple, object] = {}
+        self._sketches: Dict[Tuple, object] = {}
         self._text_matrix: Optional["SnapshotTextMatrix"] = None
 
     # ------------------------------------------------------------------
@@ -285,6 +287,129 @@ class IndexSnapshot:
             from ..core.fused import FusedBatchEngine
 
             engine = FusedBatchEngine(tree, self, measure, alpha, te_weight)
+            self._engines[key] = engine
+        return engine
+
+    def sketch_for(
+        self,
+        engine,
+        kmax: Optional[int] = None,
+        budget: Optional[int] = None,
+        pool: Optional[int] = None,
+    ):
+        """The memoized :class:`~repro.approx.sketch.KnnlSketch` of one
+        exact engine's similarity setting (built on first request).
+
+        Sketches depend on the same ``(measure, alpha)`` values the pair
+        memo does, so they key on the engine's setting plus the sketch
+        knobs; an attached shared-memory snapshot pre-populates this
+        table from the segment instead of rebuilding.
+        """
+        from ..approx.sketch import (
+            DEFAULT_SKETCH_BUDGET,
+            DEFAULT_SKETCH_KMAX,
+            DEFAULT_SKETCH_POOL,
+            build_sketch,
+        )
+
+        kmax = DEFAULT_SKETCH_KMAX if kmax is None else kmax
+        budget = DEFAULT_SKETCH_BUDGET if budget is None else budget
+        pool = DEFAULT_SKETCH_POOL if pool is None else pool
+        key = (
+            engine.measure.name, engine.alpha, engine.te_weight,
+            kmax, budget, pool,
+        )
+        sketch = self._sketches.get(key)
+        if sketch is None:
+            sketch = build_sketch(engine, kmax=kmax, budget=budget, pool=pool)
+            self._sketches[key] = sketch
+        return sketch
+
+    def warm_engine_for(
+        self,
+        tree,
+        measure,
+        alpha: float,
+        te_weight: float,
+        kmax: Optional[int] = None,
+        budget: Optional[int] = None,
+        pool: Optional[int] = None,
+    ):
+        """A traversal engine seeded with frozen kNNL warm-start floors.
+
+        Separate from :meth:`engine_for` (floor pruning changes decision
+        *counters*, though never result ids, so the parity engine stays
+        pristine) but sharing its pair-bound memo — work done by either
+        engine warms the other.
+        """
+        key = ("floors", measure.name, alpha, te_weight, kmax, budget, pool)
+        engine = self._engines.get(key)
+        if engine is None:
+            from ..core.traversal import SnapshotEngine
+
+            base = self.engine_for(tree, measure, alpha, te_weight)
+            sketch = self.sketch_for(base, kmax=kmax, budget=budget, pool=pool)
+            engine = SnapshotEngine(
+                tree, self, measure, alpha, te_weight, floors=sketch
+            )
+            engine._memo = base._memo
+            self._engines[key] = engine
+        return engine
+
+    def warm_fused_engine_for(
+        self,
+        tree,
+        measure,
+        alpha: float,
+        te_weight: float,
+        kmax: Optional[int] = None,
+        budget: Optional[int] = None,
+        pool: Optional[int] = None,
+    ):
+        """The fused group engine with warm-start floors (see
+        :meth:`warm_engine_for` for the memo-sharing contract)."""
+        key = (
+            "fused-floors", measure.name, alpha, te_weight,
+            kmax, budget, pool,
+        )
+        engine = self._engines.get(key)
+        if engine is None:
+            from ..core.fused import FusedBatchEngine
+
+            base = self.engine_for(tree, measure, alpha, te_weight)
+            sketch = self.sketch_for(base, kmax=kmax, budget=budget, pool=pool)
+            engine = FusedBatchEngine(
+                tree, self, measure, alpha, te_weight, floors=sketch
+            )
+            self._engines[key] = engine
+        return engine
+
+    def approx_engine_for(
+        self,
+        tree,
+        measure,
+        alpha: float,
+        te_weight: float,
+        verify: bool = True,
+        kmax: Optional[int] = None,
+        budget: Optional[int] = None,
+        pool: Optional[int] = None,
+    ):
+        """The memoized sketch-filter engine
+        (:class:`~repro.approx.engine.ApproxEngine`) for one setting."""
+        key = (
+            "approx", measure.name, alpha, te_weight, verify,
+            kmax, budget, pool,
+        )
+        engine = self._engines.get(key)
+        if engine is None:
+            from ..approx.engine import ApproxEngine
+
+            base = self.engine_for(tree, measure, alpha, te_weight)
+            sketch = self.sketch_for(base, kmax=kmax, budget=budget, pool=pool)
+            engine = ApproxEngine(
+                tree, self, measure, alpha, te_weight, sketch, verify=verify
+            )
             self._engines[key] = engine
         return engine
 

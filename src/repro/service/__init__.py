@@ -36,6 +36,7 @@ from .faults import FaultPlan, current_plan, set_plan
 from .queue import AdmissionQueue
 from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from .service import (
+    CHAIN_ENGINE_CHOICES,
     DEGRADATION_CHAIN,
     QueryService,
     ServiceBatchResult,
@@ -47,6 +48,7 @@ __all__ = [
     "CancelToken",
     "Deadline",
     "DeadlineExceeded",
+    "CHAIN_ENGINE_CHOICES",
     "DEFAULT_RETRY_POLICY",
     "DEGRADATION_CHAIN",
     "FaultInjected",

@@ -54,6 +54,13 @@ from .queue import AdmissionQueue
 #: chain as the always-available engine of last resort.
 DEGRADATION_CHAIN: Tuple[str, ...] = ("fused", "snapshot", "seed")
 
+#: Every engine a custom ``chain=`` may name.  ``approx`` is opt-in
+#: (never in the default chain): with ``approx_verify=True`` it returns
+#: exact ids like the others; with ``approx_verify=False`` it serves
+#: the raw conservative candidate set, which is a *superset* of the
+#: exact answer — only build such a chain when callers tolerate that.
+CHAIN_ENGINE_CHOICES: Tuple[str, ...] = ("approx",) + DEGRADATION_CHAIN
+
 #: Metric names this module emits (see ``docs/OBSERVABILITY.md``).
 SERVED_COUNTER = "service.served"
 DEGRADED_COUNTER = "service.degraded"
@@ -141,6 +148,13 @@ class QueryService:
             no-op instruments).
         clock: Monotonic time source for deadlines — injectable for
             deterministic tests.
+        warm_floors: Arm the frozen kNNL floor sketch
+            (:mod:`repro.approx`) on the exact snapshot/fused hops —
+            ids stay bit-identical, pruning happens earlier.
+        approx_verify: Applies to an ``approx`` hop in a custom chain:
+            ``True`` verifies candidates exactly (ids identical to the
+            other engines), ``False`` serves the raw conservative
+            candidate superset.
     """
 
     def __init__(
@@ -154,15 +168,17 @@ class QueryService:
         max_pending: int = 1024,
         metrics: Optional[MetricsRegistry] = None,
         clock: Callable[[], float] = time.monotonic,
+        warm_floors: bool = False,
+        approx_verify: bool = True,
     ) -> None:
         chain = tuple(chain)
         if not chain:
             raise ConfigError("degradation chain must name at least one engine")
         for name in chain:
-            if name not in DEGRADATION_CHAIN:
+            if name not in CHAIN_ENGINE_CHOICES:
                 raise ConfigError(
                     f"unknown engine {name!r} in chain; expected names "
-                    f"from {DEGRADATION_CHAIN}"
+                    f"from {CHAIN_ENGINE_CHOICES}"
                 )
         if deadline_seconds is not None and not deadline_seconds > 0.0:
             raise ConfigError(
@@ -171,6 +187,8 @@ class QueryService:
         self.tree = tree
         self.chain = chain
         self.deadline_seconds = deadline_seconds
+        self.warm_floors = bool(warm_floors)
+        self.approx_verify = bool(approx_verify)
         self.metrics = registry_or_null(metrics)
         self._clock = clock
         # The seed searcher doubles as the resolved similarity setting
@@ -196,8 +214,9 @@ class QueryService:
     ) -> "QueryService":
         """Build a service from a :class:`repro.config.PerfConfig`.
 
-        Honors ``perf.service_max_pending`` and
-        ``perf.service_deadline_seconds``.
+        Honors ``perf.service_max_pending``,
+        ``perf.service_deadline_seconds``, ``perf.warm_floors``, and
+        ``perf.approx_verify``.
         """
         return cls(
             tree,
@@ -206,6 +225,8 @@ class QueryService:
             deadline_seconds=perf.service_deadline_seconds,
             max_pending=perf.service_max_pending,
             metrics=metrics,
+            warm_floors=perf.warm_floors,
+            approx_verify=perf.approx_verify,
         )
 
     # ------------------------------------------------------------------
@@ -228,14 +249,33 @@ class QueryService:
         check_freeze(plan)
         snap = self.tree.snapshot()
         if engine == "fused":
-            runner = snap.fused_engine_for(
-                self.tree, seed.measure, seed.alpha, seed.te_weight
-            )
+            if self.warm_floors:
+                runner = snap.warm_fused_engine_for(
+                    self.tree, seed.measure, seed.alpha, seed.te_weight
+                )
+            else:
+                runner = snap.fused_engine_for(
+                    self.tree, seed.measure, seed.alpha, seed.te_weight
+                )
             # Singleton group: per-query deadlines stay per-query.
             return runner.run_group([query], k, cancel=token)[0]
-        runner = snap.engine_for(
-            self.tree, seed.measure, seed.alpha, seed.te_weight
-        )
+        if engine == "approx":
+            runner = snap.approx_engine_for(
+                self.tree,
+                seed.measure,
+                seed.alpha,
+                seed.te_weight,
+                verify=self.approx_verify,
+            )
+            return runner.search(query, k, cancel=token)
+        if self.warm_floors:
+            runner = snap.warm_engine_for(
+                self.tree, seed.measure, seed.alpha, seed.te_weight
+            )
+        else:
+            runner = snap.engine_for(
+                self.tree, seed.measure, seed.alpha, seed.te_weight
+            )
         return runner.search(query, k, cancel=token)
 
     # ------------------------------------------------------------------

@@ -195,16 +195,34 @@ class ShardedIndex:
         *,
         kmax: int = DEFAULT_KMAX,
         frontier_size: int = DEFAULT_FRONTIER,
+        warm_floors: bool = False,
     ) -> Tuple[ShardSummary, ...]:
         """Admission-pruning tables for every shard, built once per
-        ``(measure, alpha, te_weight, kmax, frontier_size)`` setting."""
-        key = (measure.name, alpha, te_weight, kmax, frontier_size)
+        ``(measure, alpha, te_weight, kmax, frontier_size, warm_floors)``
+        setting.  ``warm_floors=True`` tightens each table with the
+        shard's frozen :class:`~repro.approx.KnnlSketch` global floor
+        (still a sound lower bound — see
+        :func:`~repro.shard.summaries.build_summary`)."""
+        key = (measure.name, alpha, te_weight, kmax, frontier_size,
+               warm_floors)
         cached = self._summaries.get(key)
         if cached is not None:
             return cached
         engines = self.engines(measure, alpha, te_weight)
+        sketches = [None] * len(engines)
+        if warm_floors:
+            sketches = [
+                shard.snapshot().sketch_for(engine, kmax=kmax)
+                for shard, engine in zip(self.shards, engines)
+            ]
         built = tuple(
-            build_summary(i, engine, kmax=kmax, frontier_size=frontier_size)
+            build_summary(
+                i,
+                engine,
+                kmax=kmax,
+                frontier_size=frontier_size,
+                sketch=sketches[i],
+            )
             for i, engine in enumerate(engines)
         )
         self._summaries[key] = built

@@ -188,6 +188,9 @@ class ScatterGatherSearcher:
         frontier_size: Summary frontier width per shard.
         metrics: Optional :class:`~repro.obs.MetricsRegistry` receiving
             the ``shard.*`` instruments (see ``docs/OBSERVABILITY.md``).
+        warm_floors: Tighten each shard's admission table with its
+            frozen kNNL sketch (:mod:`repro.approx`) — results stay
+            bit-identical, admission can only prune more shards.
 
     Use as a context manager (or call :meth:`close`) when ``workers >
     0`` so segments are unlinked deterministically.
@@ -204,6 +207,7 @@ class ScatterGatherSearcher:
         kmax: int = DEFAULT_KMAX,
         frontier_size: int = DEFAULT_FRONTIER,
         metrics: Optional[MetricsRegistry] = None,
+        warm_floors: bool = False,
     ) -> None:
         if workers < 0:
             raise ConfigError(f"workers must be >= 0, got {workers}")
@@ -227,12 +231,14 @@ class ScatterGatherSearcher:
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.fallback_reason: Optional[str] = None
         self._engines = index.engines(self.measure, self.alpha, self.te_weight)
+        self.warm_floors = bool(warm_floors)
         self._summaries = index.summaries(
             self.measure,
             self.alpha,
             self.te_weight,
             kmax=kmax,
             frontier_size=frontier_size,
+            warm_floors=self.warm_floors,
         )
         self._maxD = index.dataset.proximity.max_distance
         self._slot_maps: List[Optional[Dict[int, int]]] = [None] * len(index)
@@ -252,8 +258,9 @@ class ScatterGatherSearcher:
         """Build from a :class:`repro.config.PerfConfig`.
 
         Honors ``perf.shard_kmax`` (admission-table depth),
-        ``perf.batch_workers`` (``1`` = in-process scatter) and
-        ``perf.batch_share`` (pool snapshot transport); when
+        ``perf.batch_workers`` (``1`` = in-process scatter),
+        ``perf.batch_share`` (pool snapshot transport) and
+        ``perf.warm_floors`` (sketch-tightened admission tables); when
         ``perf.observability`` is set and no registry is passed, a live
         one is attached, mirroring ``BatchSearcher.from_perf_config``.
         """
@@ -268,6 +275,7 @@ class ScatterGatherSearcher:
             share=perf.batch_share,
             kmax=perf.shard_kmax,
             metrics=metrics,
+            warm_floors=perf.warm_floors,
         )
 
     # ------------------------------------------------------------------

@@ -78,7 +78,18 @@ class ShardSummary:
 
     def can_prune(self, q_upper: float, k: int) -> bool:
         """Whether the whole shard is skippable for a query bounded by
-        ``q_upper`` at this ``k`` (strict comparison; see module doc)."""
+        ``q_upper`` at this ``k`` (strict comparison; see module doc).
+
+        Count-aware: an object in a shard of ``n_objects`` has at most
+        ``n_objects - 1`` within-shard competitors, so ``k`` beyond
+        that can never assemble k provably-better competitors and the
+        shard is never pruned.  (The ``knnl`` math already degrades to
+        a 0.0 bound there — :func:`_kth_largest` runs out of weighted
+        competitors — but the guard keeps soundness explicit rather
+        than an artifact of the table values; ``tests/test_shard.py``
+        pins it with single-object shards.)"""
+        if k > self.n_objects - 1:
+            return False
         return 1 <= k <= len(self.knnl) and q_upper < self.knnl[k - 1]
 
 
@@ -113,6 +124,7 @@ def build_summary(
     engine,
     kmax: int = DEFAULT_KMAX,
     frontier_size: int = DEFAULT_FRONTIER,
+    sketch=None,
 ) -> ShardSummary:
     """Compute one shard's :class:`ShardSummary` from its snapshot engine.
 
@@ -120,6 +132,13 @@ def build_summary(
     for the similarity setting being served — its memoized pair-bound
     table supplies every ``MinST`` the template needs (and keeps the
     values it computes for the scatter walk to reuse).
+
+    ``sketch`` optionally tightens the table with the shard's frozen
+    :class:`~repro.approx.KnnlSketch` (built over the *same* engine, so
+    the same snapshot and similarity setting): both ``knnl[k-1]`` and
+    ``sketch.global_floor(k)`` lower-bound every shard object's k-th
+    best within-shard competitor, so their maximum is still a sound —
+    and possibly tighter — admission floor.
     """
     snap = engine.snap
     frontier = _peel_frontier(snap, frontier_size)
@@ -142,11 +161,17 @@ def build_summary(
             if bound < knnl[k - 1]:
                 knnl[k - 1] = bound
     n_objects = sum(cnt[r] for r in snap.root_slots)
+    table = [0.0 if b == float("inf") else b for b in knnl]
+    if sketch is not None:
+        for k in range(1, min(kmax, sketch.kmax) + 1):
+            floor = sketch.global_floor(k)
+            if floor > table[k - 1]:
+                table[k - 1] = floor
     return ShardSummary(
         shard_id=shard_id,
         n_objects=int(n_objects),
         frontier=tuple(frontier),
-        knnl=tuple(0.0 if b == float("inf") else b for b in knnl),
+        knnl=tuple(table),
     )
 
 
@@ -155,6 +180,12 @@ def query_upper(probe: ShardProbe, summary: ShardSummary) -> float:
 
     The maximum of the probe's ``MaxST`` upper bounds over the summary
     frontier — every shard object lies under some frontier slot, whose
-    upper bound dominates it.
+    upper bound dominates it.  An empty frontier (a shard snapshot with
+    no slots, i.e. no objects) yields ``0.0``: nothing to reach, and a
+    zero upper bound never satisfies the strict ``can_prune``
+    comparison against a non-negative floor incorrectly, since an empty
+    shard has nothing to over-prune.
     """
+    if not summary.frontier:
+        return 0.0
     return max(probe.upper(f) for f in summary.frontier)

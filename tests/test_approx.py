@@ -1,0 +1,342 @@
+"""The approx tier: kNNL sketch soundness, warm-floor parity, recall.
+
+The sketch (:mod:`repro.approx.sketch`) is only allowed to influence
+the exact engines because every floor it stores is a *provably
+conservative* lower bound on each object's true k-th competitor
+similarity ``s_k``.  These tests pin that contract from below and
+above:
+
+* **floor conservativeness** (hypothesis) — every object's
+  ``obj_floor``/``node_floor``/``global_floor`` is bounded by a brute
+  force ``s_k`` computed from pairwise exact similarities, across
+  alphas and ``k``; ``k > kmax`` always reads 0.0 (never prunes);
+* **warm-floor parity** (hypothesis) — the snapshot engine with
+  ``warm_floors=True`` returns ids bit-identical to the plain engine
+  for every query/alpha/``k``, including ``k`` beyond the sketch;
+* **verified-mode byte-identity** (hypothesis) — ``engine="approx",
+  verify=True`` matches the exact engine exactly; ``verify=False``
+  returns a sorted superset (recall 1.0 by construction);
+* **plumbing** — filter counters, env knobs (``REPRO_ENGINE=approx``,
+  ``REPRO_WARM_FLOORS``), fused+approx rejection, and the shm segment
+  round-trip of the sketch arrays.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import SimilarityConfig
+from repro.approx import KnnlSketch, build_sketch
+from repro.approx.sketch import DEFAULT_SKETCH_KMAX
+from repro.core.rstknn import RSTkNNSearcher
+from repro.errors import QueryError
+from repro.index.iurtree import IURTree
+from repro.perf.batch import BatchSearcher
+from repro.text.similarity import make_measure
+from repro.workloads import gn_like, sample_queries
+
+_ALPHAS = (0.0, 0.4, 1.0)
+_STATE = {}
+
+
+def _env():
+    if not _STATE:
+        dataset = gn_like(n=120)
+        tree = IURTree.build(dataset)
+        tree.snapshot()
+        queries = sample_queries(dataset, 6, seed=17)
+        _STATE.update(dataset=dataset, tree=tree, queries=queries, cells={})
+    return _STATE
+
+
+def _cell(alpha: float):
+    """Engine + sketch + brute-force ``s_k`` table for one alpha."""
+    env = _env()
+    cell = env["cells"].get(alpha)
+    if cell is None:
+        tree = env["tree"]
+        measure = make_measure(env["dataset"].config.text_measure)
+        snap = tree.snapshot()
+        engine = snap.engine_for(tree, measure, alpha, 0.0)
+        sketch = snap.sketch_for(engine)
+        objs = [s for s in range(snap.n_slots) if snap.is_obj[s]]
+        ref = snap.ref
+        exact = engine._exact
+        # Brute-force k-th competitor similarity per object slot: the
+        # sorted (descending) exact similarities to every other object.
+        brute = {}
+        for a in objs:
+            sims = sorted(
+                (exact(a, b) for b in objs if ref[b] != ref[a]),
+                reverse=True,
+            )
+            brute[a] = sims
+        cell = {"snap": snap, "sketch": sketch, "objs": objs, "brute": brute}
+        env["cells"][alpha] = cell
+    return cell
+
+
+def _searcher(alpha: float, **kwargs) -> RSTkNNSearcher:
+    env = _env()
+    config = SimilarityConfig(
+        alpha=alpha, text_measure=env["dataset"].config.text_measure
+    )
+    return RSTkNNSearcher(env["tree"], config=config, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Floor conservativeness vs brute force (hypothesis)
+# ----------------------------------------------------------------------
+
+
+class TestFloorConservativeness:
+    @settings(deadline=None, max_examples=25)
+    @given(
+        alpha=st.sampled_from(_ALPHAS),
+        k=st.integers(min_value=1, max_value=DEFAULT_SKETCH_KMAX),
+    )
+    def test_every_floor_bounded_by_brute_force_sk(self, alpha, k):
+        cell = _cell(alpha)
+        sketch = cell["sketch"]
+        for slot in cell["objs"]:
+            sims = cell["brute"][slot]
+            s_k = sims[k - 1] if len(sims) >= k else 0.0
+            assert sketch.obj_floor(slot, k) <= s_k + 1e-12
+            assert sketch.node_floor(slot, k) <= s_k + 1e-12
+            assert sketch.global_floor(k) <= s_k + 1e-12
+
+    @settings(deadline=None, max_examples=10)
+    @given(alpha=st.sampled_from(_ALPHAS), extra=st.integers(1, 50))
+    def test_beyond_kmax_floors_read_zero(self, alpha, extra):
+        cell = _cell(alpha)
+        sketch = cell["sketch"]
+        k = sketch.kmax + extra
+        assert sketch.global_floor(k) == 0.0
+        for slot in cell["objs"][:5]:
+            assert sketch.obj_floor(slot, k) == 0.0
+            assert sketch.node_floor(slot, k) == 0.0
+
+    def test_node_floor_monotone_in_k(self):
+        # s_1 >= s_2 >= ... so a sound floor table must be non-increasing.
+        sketch = _cell(0.4)["sketch"]
+        for slot in _cell(0.4)["objs"][:10]:
+            floors = [
+                sketch.node_floor(slot, k)
+                for k in range(1, sketch.kmax + 1)
+            ]
+            assert floors == sorted(floors, reverse=True)
+
+    def test_describe_and_nbytes(self):
+        sketch = _cell(0.4)["sketch"]
+        desc = sketch.describe()
+        assert desc["kmax"] == DEFAULT_SKETCH_KMAX
+        assert desc["nbytes"] == sketch.nbytes() > 0
+        assert desc["frontier_size"] == len(sketch.frontier)
+
+
+# ----------------------------------------------------------------------
+# Warm-floor bit-parity on the exact engines (hypothesis)
+# ----------------------------------------------------------------------
+
+
+class TestWarmFloorParity:
+    @settings(deadline=None, max_examples=30)
+    @given(
+        alpha=st.sampled_from(_ALPHAS),
+        k=st.integers(min_value=1, max_value=DEFAULT_SKETCH_KMAX + 4),
+        qi=st.integers(min_value=0, max_value=5),
+    )
+    def test_warm_floors_ids_bit_identical(self, alpha, k, qi):
+        env = _env()
+        query = env["queries"][qi]
+        plain = _searcher(alpha, engine="snapshot")
+        warm = _searcher(alpha, engine="snapshot", warm_floors=True)
+        assert warm.search(query, k).ids == plain.search(query, k).ids
+
+    def test_warm_fused_batch_parity(self):
+        env = _env()
+        plain = BatchSearcher(env["tree"], engine="snapshot", mode="fused")
+        warm = BatchSearcher(
+            env["tree"], engine="snapshot", mode="fused", warm_floors=True
+        )
+        ref = [r.ids for r in plain.run(env["queries"], 4).results]
+        got = [r.ids for r in warm.run(env["queries"], 4).results]
+        assert got == ref
+
+    def test_env_knob_arms_warm_floors(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WARM_FLOORS", "1")
+        assert _searcher(0.4, engine="snapshot").warm_floors
+        monkeypatch.setenv("REPRO_WARM_FLOORS", "off")
+        assert not _searcher(0.4, engine="snapshot").warm_floors
+        # An explicit argument beats the environment.
+        assert not _searcher(
+            0.4, engine="snapshot", warm_floors=False
+        ).warm_floors
+
+
+# ----------------------------------------------------------------------
+# The approx engine: byte-identity, recall, counters
+# ----------------------------------------------------------------------
+
+
+class TestApproxEngine:
+    @settings(deadline=None, max_examples=30)
+    @given(
+        alpha=st.sampled_from(_ALPHAS),
+        k=st.integers(min_value=1, max_value=DEFAULT_SKETCH_KMAX + 4),
+        qi=st.integers(min_value=0, max_value=5),
+    )
+    def test_verified_mode_byte_identical(self, alpha, k, qi):
+        env = _env()
+        query = env["queries"][qi]
+        exact = _searcher(alpha, engine="snapshot")
+        approx = _searcher(alpha, engine="approx", approx_verify=True)
+        assert approx.search(query, k).ids == exact.search(query, k).ids
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        alpha=st.sampled_from(_ALPHAS),
+        k=st.integers(min_value=1, max_value=DEFAULT_SKETCH_KMAX + 4),
+        qi=st.integers(min_value=0, max_value=5),
+    )
+    def test_raw_mode_is_sorted_superset(self, alpha, k, qi):
+        env = _env()
+        query = env["queries"][qi]
+        exact_ids = _searcher(alpha, engine="snapshot").search(query, k).ids
+        raw_ids = _searcher(
+            alpha, engine="approx", approx_verify=False
+        ).search(query, k).ids
+        assert raw_ids == sorted(raw_ids)
+        assert set(exact_ids) <= set(raw_ids)  # recall 1.0 by construction
+
+    def test_filter_counters_and_last_filter(self):
+        env = _env()
+        searcher = _searcher(0.4, engine="approx", approx_verify=False)
+        searcher.search(env["queries"][0], 4)
+        snap = env["tree"].snapshot()
+        engine = snap.approx_engine_for(
+            env["tree"], searcher.measure, searcher.alpha,
+            searcher.te_weight, verify=False,
+        )
+        assert engine.counters["searches"] >= 1
+        assert engine.counters["verified"] == 0
+        assert set(engine.last_filter) == {
+            "nodes_pruned", "objects_pruned", "spatial_shortcuts",
+            "candidates", "verified",
+        }
+        assert engine.last_filter["candidates"] >= 0
+
+    def test_env_knob_selects_approx_engine(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "approx")
+        searcher = _searcher(0.4)
+        assert searcher.engine == "approx"
+        env = _env()
+        exact = _searcher(0.4, engine="snapshot")
+        q = env["queries"][1]
+        assert searcher.search(q, 3).ids == exact.search(q, 3).ids
+
+    def test_fused_batch_rejects_approx(self):
+        env = _env()
+        with pytest.raises(QueryError):
+            BatchSearcher(env["tree"], engine="approx", mode="fused")
+
+    def test_approx_batch_matches_exact(self):
+        env = _env()
+        exact = BatchSearcher(env["tree"], engine="snapshot")
+        approx = BatchSearcher(env["tree"], engine="approx")
+        ref = [r.ids for r in exact.run(env["queries"], 4).results]
+        got = [r.ids for r in approx.run(env["queries"], 4).results]
+        assert got == ref
+
+
+# ----------------------------------------------------------------------
+# Shared-memory round-trip of the sketch arrays
+# ----------------------------------------------------------------------
+
+
+class TestShmSketchRoundTrip:
+    def test_attached_snapshot_serves_frozen_sketch(self):
+        from repro.perf.shm import (
+            SharedSnapshotSegment,
+            attach,
+            shm_available,
+        )
+
+        ok, why = shm_available()
+        if not ok:
+            pytest.skip(f"shm unavailable: {why}")
+        env = _env()
+        tree = env["tree"]
+        measure = make_measure(env["dataset"].config.text_measure)
+        snap = tree.snapshot()
+        parent = snap.sketch_for(snap.engine_for(tree, measure, 0.5, 0.0))
+
+        seg = SharedSnapshotSegment.create(tree)
+        attached = attach(seg.name)
+        try:
+            asnap = attached.snapshot
+            # The attached snapshot reconstructed the sketch from the
+            # segment — identical arrays, no rebuild.
+            assert len(asnap._sketches) == len(snap._sketches)
+            twin = asnap.sketch_for(
+                asnap.engine_for(attached.tree, measure, 0.5, 0.0)
+            )
+            assert isinstance(twin, KnnlSketch)
+            assert list(twin.floor_table) == list(parent.floor_table)
+            assert list(twin.floor_idx) == list(parent.floor_idx)
+            assert list(twin.curve_c) == list(parent.curve_c)
+            assert list(twin.curve_b) == list(parent.curve_b)
+            assert twin.frontier == parent.frontier
+            # And the attached searcher answers identically in approx
+            # mode against the parent's exact engine.
+            remote = attached.searcher(
+                engine="approx", approx_verify=True
+            )
+            local = _searcher(0.5, engine="snapshot")
+            q = env["queries"][2]
+            assert remote.search(q, 3).ids == local.search(q, 3).ids
+        finally:
+            attached.close()
+            seg.release()
+
+
+# ----------------------------------------------------------------------
+# Build-path edges
+# ----------------------------------------------------------------------
+
+
+class TestBuildEdges:
+    def test_tiny_corpus_sketch_never_overclaims(self):
+        # Two objects: s_1 exists, s_2 does not (no second competitor)
+        # so every k >= 2 floor must read 0.0.
+        dataset = gn_like(n=2)
+        tree = IURTree.build(dataset)
+        snap = tree.snapshot()
+        measure = make_measure(dataset.config.text_measure)
+        engine = snap.engine_for(tree, measure, 0.5, 0.0)
+        sketch = build_sketch(engine)
+        objs = [s for s in range(snap.n_slots) if snap.is_obj[s]]
+        for slot in objs:
+            for k in range(2, sketch.kmax + 1):
+                assert sketch.obj_floor(slot, k) == 0.0
+
+    def test_sketch_knob_override_plumbs_through(self):
+        env = _env()
+        searcher = _searcher(
+            0.4,
+            engine="approx",
+            sketch_kmax=4,
+            sketch_budget=16,
+            sketch_pool=8,
+        )
+        searcher.search(env["queries"][0], 2)
+        snap = env["tree"].snapshot()
+        engine = snap.approx_engine_for(
+            env["tree"], searcher.measure, searcher.alpha,
+            searcher.te_weight, verify=True, kmax=4, budget=16, pool=8,
+        )
+        assert engine.sketch.kmax == 4
+        assert engine.sketch.budget == 16
+        assert engine.sketch.pool == 8

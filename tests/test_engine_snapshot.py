@@ -159,7 +159,7 @@ class TestEngineResolution:
         assert searcher.engine == "auto"
 
     def test_engine_choices_exported(self):
-        assert set(ENGINE_CHOICES) == {"seed", "snapshot", "auto"}
+        assert set(ENGINE_CHOICES) == {"seed", "snapshot", "auto", "approx"}
 
 
 class TestParityAcrossIndexVariants:

@@ -37,7 +37,12 @@ from repro.obs import (
     TeeSink,
     registry_or_null,
 )
-from repro.obs.metrics import Histogram, record_search
+from repro.obs.metrics import (
+    Histogram,
+    latency_percentiles,
+    record_approx,
+    record_search,
+)
 from repro.perf.batch import BatchSearcher
 from repro.workloads import sample_queries
 
@@ -381,3 +386,62 @@ class TestCliObs:
         assert result.returncode == 0, result.stderr
         assert "repro_search_queries_seed_total 2" in result.stdout
         assert 'le="+Inf"' in result.stdout
+
+
+class TestLatencyPercentiles:
+    """The edge contract spelled out in the function's docstring."""
+
+    def test_empty_input_yields_empty_dict(self):
+        assert latency_percentiles([]) == {}
+
+    def test_single_sample_repeats_for_every_point(self):
+        out = latency_percentiles([0.25])
+        assert out == {"p50": 0.25, "p95": 0.25, "p99": 0.25}
+
+    def test_nearest_rank_never_interpolates(self):
+        samples = [0.1, 0.2, 0.3, 0.4]
+        out = latency_percentiles(samples)
+        assert set(out.values()) <= set(samples)
+        assert out["p50"] == 0.2
+        assert out["p99"] == 0.4
+
+    def test_out_of_range_points_raise(self):
+        with pytest.raises(ConfigError):
+            latency_percentiles([0.1], points=[0])
+        with pytest.raises(ConfigError):
+            latency_percentiles([0.1], points=[101])
+        # Validation happens before the empty-input check.
+        with pytest.raises(ConfigError):
+            latency_percentiles([], points=[0])
+
+    def test_custom_points(self):
+        out = latency_percentiles([0.1, 0.2], points=[1, 100])
+        assert out == {"p1": 0.1, "p100": 0.2}
+
+
+class TestRecordApprox:
+    def test_counters_accumulate_per_key(self):
+        reg = MetricsRegistry()
+        record_approx(reg, {"candidates": 3, "nodes_pruned": 2})
+        record_approx(reg, {"candidates": 1})
+        counters = reg.snapshot()["counters"]
+        assert counters["approx.candidates"] == 4
+        assert counters["approx.nodes_pruned"] == 2
+
+    def test_noop_on_null_none_and_empty(self):
+        record_approx(None, {"candidates": 3})
+        record_approx(NULL_REGISTRY, {"candidates": 3})
+        reg = MetricsRegistry()
+        record_approx(reg, {})
+        assert reg.snapshot()["counters"] == {}
+
+    def test_approx_searcher_records_metrics(self):
+        env = _env()
+        reg = MetricsRegistry()
+        searcher = RSTkNNSearcher(
+            env["tree"], engine="approx", approx_verify=False, metrics=reg
+        )
+        searcher.search(env["queries"][0], 3)
+        snap = reg.snapshot()
+        assert snap["counters"]["search.queries.approx"] == 1
+        assert "approx.candidates" in snap["counters"]

@@ -331,3 +331,66 @@ class TestParallel:
         ) as searcher:
             result = searcher.search(query, 4)
         assert list(result.ids) == reference
+
+
+# ----------------------------------------------------------------------
+# Degenerate shards and sketch-tightened admission
+# ----------------------------------------------------------------------
+
+
+class TestSingleObjectShards:
+    """A shard holding one object has zero within-shard competitors, so
+    admission must never prune it — pinned explicitly rather than left
+    to the 0.0 rows ``_kth_largest`` happens to produce."""
+
+    def _tiny(self):
+        dataset = gn_like(n=6)
+        index = build_sharded_index(dataset, 6)
+        return dataset, index
+
+    def test_can_prune_never_true(self):
+        _dataset, index = self._tiny()
+        searcher = ScatterGatherSearcher(index)
+        for summary in searcher._summaries:
+            assert summary.n_objects == 1
+            for k in range(1, 10):
+                # Even an impossible query bound below every table value
+                # must not prune a competitor-free shard.
+                assert not summary.can_prune(-1.0, k)
+
+    def test_parity_with_unsharded_engine(self):
+        dataset, index = self._tiny()
+        tree = IURTree.build(dataset)
+        measure = make_measure(dataset.config.text_measure)
+        searcher = ScatterGatherSearcher(index)
+        engine = tree.snapshot().engine_for(
+            tree, measure, dataset.config.alpha, 0.0
+        )
+        for query in sample_queries(dataset, 3, seed=5):
+            for k in (1, 3, 8):
+                assert searcher.search(query, k).ids == list(
+                    engine.search(query, k).ids
+                )
+
+
+class TestSketchTightenedSummaries:
+    def test_warm_floors_dominate_and_preserve_parity(self):
+        env = _env()
+        alpha = 0.5
+        plain = _searcher(env, 3, alpha)
+        config = SimilarityConfig(
+            alpha=alpha, text_measure=env["dataset"].config.text_measure
+        )
+        warm = ScatterGatherSearcher(
+            env["indexes"][3], config, warm_floors=True
+        )
+        for cold, hot in zip(plain._summaries, warm._summaries):
+            assert len(hot.knnl) == len(cold.knnl)
+            for a, b in zip(cold.knnl, hot.knnl):
+                assert b >= a  # tightened floors only ever rise
+            assert list(hot.knnl) == sorted(hot.knnl, reverse=True)
+        for query in env["queries"][:4]:
+            for k in (1, 3):
+                assert warm.search(query, k).ids == plain.search(
+                    query, k
+                ).ids
