@@ -34,6 +34,7 @@ from .errors import (
     DeadlineExceeded,
     FaultInjected,
     IndexCorruptionError,
+    OverlayPendingError,
     PageFormatError,
     QueryError,
     QueueFull,
@@ -68,6 +69,7 @@ from .core import (
 )
 from .index.costmodel import CostEstimate, RSTkNNCostModel, estimate_rstknn_io
 from .io import load_dataset, load_index, save_dataset, save_index
+from .lsm import LiveIndex, LiveScatterGather
 from .perf import BatchResult, BatchSearcher, BatchStats, BoundCache, CacheStats
 from .service import (
     DEGRADATION_CHAIN,
@@ -96,6 +98,7 @@ __all__ = [
     "DeadlineExceeded",
     "FaultInjected",
     "IndexCorruptionError",
+    "OverlayPendingError",
     "PageFormatError",
     "QueryError",
     "QueueFull",
@@ -145,6 +148,9 @@ __all__ = [
     "load_index",
     "save_dataset",
     "save_index",
+    # lsm (live updates)
+    "LiveIndex",
+    "LiveScatterGather",
     # perf
     "BatchResult",
     "BatchSearcher",

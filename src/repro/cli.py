@@ -91,12 +91,58 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_live_writes(live, dataset, writes: int, seed: int = 7):
+    """Apply a mixed insert/delete churn through a live index.
+
+    Deletes pick random existing oids; inserts clone a random existing
+    object's location and keywords (guaranteed in-region/in-vocab).
+    Returns ``(inserted, deleted)``.
+    """
+    import random
+
+    rng = random.Random(seed)
+    inserted = deleted = 0
+    for _ in range(writes):
+        oids = [o.oid for o in dataset.objects]
+        if rng.random() < 0.5 and len(oids) > 2:
+            if live.delete_object(rng.choice(oids)):
+                deleted += 1
+                continue
+        donor = dataset.get(rng.choice(oids))
+        live.insert(donor.point, " ".join(donor.keywords))
+        inserted += 1
+    return inserted, deleted
+
+
+def _add_live_args(parser) -> None:
+    """``--live-updates``/``--writes`` for batch, serve-batch, serve-http."""
+    parser.add_argument(
+        "--live-updates",
+        action="store_true",
+        help="wrap the index in the LSM live-update path "
+        "(repro.lsm.LiveIndex; also REPRO_LIVE_UPDATES)",
+    )
+    parser.add_argument(
+        "--writes",
+        type=int,
+        default=0,
+        help="mixed insert/delete writes to absorb through the live "
+        "overlay before serving (implies --live-updates)",
+    )
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     from .bench.harness import build_tree
     from .perf import BatchSearcher
 
     dataset = gn_like(n=args.n)
     tree = build_tree(dataset, args.method)
+    live = None
+    if args.live_updates or args.writes:
+        from .lsm import LiveIndex
+
+        live = LiveIndex(tree)
+        tree = live
     queries = sample_queries(dataset, args.queries)
     engine = BatchSearcher(
         tree,
@@ -109,6 +155,21 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         warm_floors=True if args.warm_floors else None,
         approx_verify=not args.approx_raw,
     )
+    live_rows = []
+    if live is not None and args.writes:
+        inserted, deleted = _apply_live_writes(live, dataset, args.writes)
+        dirty = engine.run(queries, args.k).stats
+        import time as _time
+
+        fold_started = _time.perf_counter()
+        live.freeze_step()
+        fold_seconds = _time.perf_counter() - fold_started
+        live_rows = [
+            ["live writes", f"{inserted} inserts, {deleted} deletes"],
+            ["dirty throughput (q/s)", f"{dirty.queries_per_second:.1f}"],
+            ["dirty fallback", dirty.fallback_reason or "-"],
+            ["fold (s)", f"{fold_seconds:.3f}"],
+        ]
     batch = engine.run(queries, args.k)
     stats = batch.stats
     rows = [
@@ -131,6 +192,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         )
     if stats.fallback_reason:
         rows.append(["fallback", stats.fallback_reason])
+    rows.extend(live_rows)
     if stats.cache:
         rows.append(["cache hits", int(stats.cache["hits"])])
         rows.append(["cache misses", int(stats.cache["misses"])])
@@ -181,6 +243,19 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     )
     dataset = gn_like(n=args.n, config=config)
     tree = build_tree(dataset, args.method)
+    live = None
+    if args.live_updates or args.writes:
+        from .lsm import LiveIndex
+
+        live = LiveIndex(tree, metrics=registry)
+        tree = live
+        if args.writes:
+            inserted, deleted = _apply_live_writes(live, dataset, args.writes)
+            print(
+                f"live writes applied: {inserted} inserts, {deleted} deletes "
+                f"({live.pending()} pending; fused/snapshot hops degrade to "
+                "the merged seed walk until the overlay folds)"
+            )
     queries = sample_queries(dataset, args.queries)
     if args.workers > 1:
         return _serve_batch_parallel(args, tree, queries, registry)
@@ -229,6 +304,15 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
                 ]
             )
             break
+    if live is not None:
+        import time as _time
+
+        pending = live.pending()
+        fold_started = _time.perf_counter()
+        folded = live.freeze_step()
+        fold_seconds = _time.perf_counter() - fold_started
+        rows.append(["live pending (pre-fold)", pending])
+        rows.append(["fold (s)", f"{fold_seconds:.3f}" if folded else "clean"])
     print(
         format_table(
             ["metric", "value"],
@@ -320,8 +404,13 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
     )
     dataset = gn_like(n=args.n, config=config)
     tree_cls = CIURTree if args.method == "ciur" else IURTree
-    index = build_sharded_index(dataset, args.shards, tree_cls=tree_cls)
     registry = MetricsRegistry()
+    if args.live_updates or args.writes:
+        # Pre-serve churn leg: absorb writes through the live scatter
+        # path (merged seed walk while dirty), fold, then serve the
+        # post-fold dataset through the regular sharded stack below.
+        _serve_http_live_churn(args, dataset, tree_cls, registry)
+    index = build_sharded_index(dataset, args.shards, tree_cls=tree_cls)
     searcher = ScatterGatherSearcher(
         index,
         workers=args.workers,
@@ -361,6 +450,51 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
         return 0
     finally:
         searcher.close()
+
+
+def _serve_http_live_churn(args, dataset, tree_cls, registry) -> None:
+    """``serve-http --live-updates``: write churn before serving.
+
+    The HTTP stack serves a frozen sharded index, so live writes run
+    through :class:`repro.lsm.LiveScatterGather` *before* the server
+    binds: absorb ``--writes`` mixed writes, answer a probe query per
+    write batch over the merged (dirty) view, check it against a tree
+    freshly built from the mutated dataset, then fold.  The sharded
+    index built afterwards serves the post-fold dataset.
+    """
+    import time as _time
+
+    from .core import RSTkNNSearcher
+    from .lsm import LiveIndex, LiveScatterGather
+
+    live = LiveIndex(tree_cls.build(dataset), metrics=registry)
+    scatter = LiveScatterGather(
+        live, args.shards, workers=args.workers, share=args.share,
+        metrics=registry,
+    )
+    try:
+        inserted, deleted = _apply_live_writes(live, dataset, args.writes)
+        probes = sample_queries(dataset, min(4, max(args.queries, 1)))
+        fresh = RSTkNNSearcher(tree_cls.build(dataset), engine="seed")
+        for i, probe in enumerate(probes):
+            merged = scatter.search(probe, args.k)
+            reference = fresh.search(probe, args.k)
+            if list(merged.ids) != list(reference.ids):
+                raise SystemExit(
+                    f"live churn parity failure on probe {i}: merged "
+                    f"{merged.ids} != fresh build {reference.ids}"
+                )
+        fold_started = _time.perf_counter()
+        folded = scatter.freeze_step()
+        fold_seconds = _time.perf_counter() - fold_started
+        print(
+            f"live churn: {inserted} inserts, {deleted} deletes; "
+            f"{len(probes)} merged probes matched a fresh build; "
+            + (f"fold took {fold_seconds:.3f}s" if folded else "overlay clean")
+        )
+    finally:
+        scatter.close()
+        live.close()
 
 
 def _serve_http_self_test(args, dataset, tree_cls, service, server) -> int:
@@ -565,6 +699,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel-mode index transport: shared-memory snapshot "
         "segment (zero-copy) or a pickled tree per worker",
     )
+    _add_live_args(p_batch)
     p_batch.set_defaults(fn=_cmd_batch)
 
     p_serve = sub.add_parser(
@@ -624,6 +759,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="parallel-mode index transport (see `batch --share`)",
     )
+    _add_live_args(p_serve)
     p_serve.set_defaults(fn=_cmd_serve_batch)
 
     p_http = sub.add_parser(
@@ -684,6 +820,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="boot on an ephemeral port, run queries over HTTP, gate "
         "parity against direct serve and the unsharded engine, exit",
     )
+    _add_live_args(p_http)
     p_http.set_defaults(fn=_cmd_serve_http)
 
     p_obs = sub.add_parser(

@@ -216,6 +216,21 @@ class PerfConfig:
             (build cost is quadratic in it).
         sketch_pool: Per-object sample-pool size of the sketch's
             k-distance curve fit.
+        live_updates: Wrap the serving tree in a
+            :class:`repro.lsm.LiveIndex` at construction time
+            (``from_perf_config`` paths and the CLI): inserts and
+            deletes then land in a delta overlay instead of forcing a
+            full snapshot re-freeze, queries merge both sources, and a
+            freezer folds the overlay into fresh frozen generations.
+            The ``REPRO_LIVE_UPDATES`` environment variable overrides
+            the library default at process level (see
+            ``docs/UPDATES.md``).
+        lsm_freeze_threshold: Overlay size (objects + tombstones) at
+            which the background freezer folds the overlay into a new
+            frozen generation.  Explicit ``freeze_step()`` calls ignore
+            it.  Smaller values keep the merged-walk window short
+            (queries return to the frozen fast paths sooner) at the
+            cost of more frequent fold builds.
     """
 
     kernel_backend: str = "python"
@@ -237,6 +252,8 @@ class PerfConfig:
     sketch_kmax: int = 16
     sketch_budget: int = 256
     sketch_pool: int = 32
+    live_updates: bool = False
+    lsm_freeze_threshold: int = 256
 
     def __post_init__(self) -> None:
         if self.kernel_backend not in KERNEL_BACKENDS:
@@ -320,6 +337,15 @@ class PerfConfig:
         if self.sketch_pool < 1:
             raise ConfigError(
                 f"sketch_pool must be >= 1, got {self.sketch_pool}"
+            )
+        if not isinstance(self.live_updates, bool):
+            raise ConfigError(
+                f"live_updates must be a bool, got {self.live_updates!r}"
+            )
+        if self.lsm_freeze_threshold < 1:
+            raise ConfigError(
+                "lsm_freeze_threshold must be >= 1, got "
+                f"{self.lsm_freeze_threshold}"
             )
 
 

@@ -30,6 +30,7 @@ baseline: ``q`` is in the reverse set of ``o`` iff strictly fewer than
 
 from __future__ import annotations
 
+import copy
 import heapq
 import itertools
 import os
@@ -254,6 +255,15 @@ class RSTkNNSearcher:
         """
         del trace  # every engine can trace; kept for signature stability
         engine = self.engine
+        if getattr(self.tree, "overlay_dirty", False):
+            # A live overlay/tombstone set is pending (repro.lsm): only
+            # the seed walk merges the frozen and overlay sources under
+            # the bound logic, and the frozen-side fast paths — columnar
+            # snapshot, warm kNNL floors, the approx sketch — are all
+            # derived from the pre-write snapshot, so they are unsound
+            # against the union.  After a fold the view is clean and the
+            # requested engine applies again.
+            return "seed"
         can_snapshot = getattr(self.tree, "snapshot", None) is not None
         if engine == "auto":
             if self.bound_cache is not None or not can_snapshot:
@@ -290,6 +300,17 @@ class RSTkNNSearcher:
         """
         if k < 1:
             raise QueryError(f"k must be >= 1, got {k}")
+        pin = getattr(self.tree, "pin", None)
+        if pin is not None:
+            # Live trees (repro.lsm.LiveIndex) are searched through a
+            # pinned epoch view: the pin keeps the background freezer
+            # from retiring the epoch (and its shm segments) mid-walk.
+            # The view has no ``pin`` of its own, so the recursion runs
+            # the normal path exactly once.
+            with pin() as view:
+                pinned = copy.copy(self)
+                pinned.tree = view
+                return pinned.search(query, k, trace=trace, cancel=cancel)
         resolved = self._resolve_engine(trace)
         if resolved == "snapshot":
             snap = self.tree.snapshot()

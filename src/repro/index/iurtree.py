@@ -247,7 +247,7 @@ class IURTree:
     # ------------------------------------------------------------------
 
     def insert_object(self, obj: STObject) -> None:
-        """Insert a (new) dataset object into the live index.
+        """Insert a (new) dataset object directly into this tree.
 
         The object must already be part of :attr:`dataset` (use
         :meth:`STDataset.append_record`).  Its text cluster is assigned
@@ -256,6 +256,15 @@ class IURTree:
         it, the object joins the outlier side list instead of the tree.
         Changed nodes are re-persisted immediately (update costs show up
         in the write counters, like the paper's update analysis).
+
+        Note that only the *structural* write is incremental — the write
+        bumps :attr:`generation`, which invalidates the derived frozen
+        stack (memoized snapshot, text matrix, kNNL sketch), so the next
+        ``snapshot()`` pays a full re-freeze.  Write-heavy workloads
+        should wrap the tree in :class:`repro.lsm.LiveIndex` instead:
+        writes then land in a delta overlay, queries merge both sources,
+        and re-freezing happens off the query path (``freeze_step()`` or
+        the background freezer — see ``docs/UPDATES.md``).
         """
         # Validate membership + id consistency.
         if self.dataset.get(obj.oid) is not obj:
@@ -278,9 +287,13 @@ class IURTree:
         self.flush()
 
     def delete_object(self, oid: int) -> bool:
-        """Remove an object from the live index (and the dataset).
+        """Remove an object directly from this tree (and the dataset).
 
-        Returns False when the object is unknown to the index.
+        Returns False when the object is unknown to the index.  Like
+        :meth:`insert_object`, the structural delete is incremental but
+        invalidates the whole derived frozen stack; under sustained
+        mixed traffic prefer :class:`repro.lsm.LiveIndex`, which turns
+        deletes into tombstones and defers the re-freeze to a fold.
         """
         for i, outlier in enumerate(self._outliers):
             if outlier.oid == oid:
@@ -349,6 +362,22 @@ class IURTree:
                     self.buffer.invalidate(record_id)
                 self.disk.rewrite(record_id, data)
         rtree.dirty.clear()
+
+    def assign_cluster(self, obj: STObject) -> tuple:
+        """``(label, cohesion)`` this tree would give a new document.
+
+        Public so the live-update overlay (:mod:`repro.lsm`) can label
+        overlay inserts consistently with the frozen clustering; plain
+        IUR-trees always answer ``(0, 1.0)``-ish (single cluster).
+        """
+        return self._assign_cluster(obj)
+
+    def cluster_label(self, oid: int) -> int:
+        """The stored cluster label of an indexed object."""
+        try:
+            return self._label_by_oid[oid]
+        except KeyError:
+            raise IndexError_(f"object {oid} is not indexed") from None
 
     def _assign_cluster(self, obj: STObject) -> tuple:
         """(label, cohesion) for a new document."""

@@ -358,6 +358,7 @@ class BatchSearcher:
         self._retry_note: Optional[str] = None
         self._share_used: Optional[str] = None
         self._share_note: Optional[str] = None
+        self._seg_owned = True
         self._worker_rss: Optional[int] = None
         self._warned_reasons: Set[str] = set()
         self._searcher = RSTkNNSearcher(
@@ -395,10 +396,17 @@ class BatchSearcher:
         :class:`~repro.obs.metrics.MetricsRegistry` is created and
         exposed as ``searcher.metrics`` for export after the run.
         ``perf.kernel_backend`` is process-wide state — apply it
-        separately with :func:`repro.perf.set_backend`.
+        separately with :func:`repro.perf.set_backend`.  When
+        ``perf.live_updates`` is true (or ``REPRO_LIVE_UPDATES`` arms
+        it), the tree is first wrapped in a
+        :class:`repro.lsm.LiveIndex` so the returned searcher serves
+        mixed read/write traffic without per-write re-freezes.
         """
         if metrics is None and perf.observability:
             metrics = MetricsRegistry()
+        from ..lsm import maybe_wrap_live  # noqa: PLC0415 — avoid cycle
+
+        tree = maybe_wrap_live(tree, perf, metrics=metrics)
         return cls(
             tree,
             config,
@@ -429,7 +437,23 @@ class BatchSearcher:
         self.bound_cache.clear()
 
     def run(self, queries: Sequence[STObject], k: int) -> BatchResult:
-        """Execute the workload; results align with ``queries`` order."""
+        """Execute the workload; results align with ``queries`` order.
+
+        Live trees (:class:`repro.lsm.LiveIndex`) run under one epoch
+        pin, so a background fold cannot retire the epoch — or the shm
+        segment parallel workers are attached to — mid-batch.  While
+        the overlay is dirty, fused and parallel dispatch degrade to
+        the sequential merged seed walk (recorded as
+        ``fallback_reason="live_overlay_dirty (...)"``); clean live
+        trees run every mode, shipping the epoch's frozen tree.
+        """
+        pin = getattr(self.tree, "pin", None)
+        if pin is None:
+            return self._run_impl(queries, k)
+        with pin():
+            return self._run_impl(queries, k)
+
+    def _run_impl(self, queries: Sequence[STObject], k: int) -> BatchResult:
         queries = list(queries)
         started = time.perf_counter()
         timer = PhaseTimer()
@@ -441,7 +465,23 @@ class BatchSearcher:
         self._share_used = None
         self._share_note = None
         self._worker_rss = None
-        if self.mode == "fused" and queries:
+        live_dirty = bool(getattr(self.tree, "overlay_dirty", False))
+        if live_dirty and queries and (
+            self.mode == "fused" or (self.workers > 1 and len(queries) > 1)
+        ):
+            # Fused and shm/pickle-parallel dispatch all run over the
+            # frozen snapshot, which cannot represent pending overlay
+            # writes; the merged seed walk is the only sound executor
+            # until the next fold.
+            workers_used = 1
+            fallback_reason = (
+                "live_overlay_dirty (merged seed walk; fold the overlay "
+                "to restore fused/parallel dispatch)"
+            )
+            self._count_fallback("live_overlay_dirty")
+            with timer.phase("walk"):
+                results = self._run_sequential(queries, k)
+        elif self.mode == "fused" and queries:
             workers_used = 1
             results, groups = self._run_fused(queries, k, timer)
         elif self.workers > 1 and len(queries) > 1:
@@ -650,6 +690,7 @@ class BatchSearcher:
         """
         seg = None
         why = ""
+        self._seg_owned = True
         if self.share != "pickle":
             ok, why = self._share_eligibility()
             if ok:
@@ -672,11 +713,25 @@ class BatchSearcher:
                                 budget=self.sketch_budget,
                                 pool=self.sketch_pool,
                             )
-                        seg = SharedSnapshotSegment.create(
-                            self.tree,
-                            config=self.config,
-                            te_weight=self.te_weight,
+                        exporter = getattr(
+                            self.tree, "export_segment", None
                         )
+                        if exporter is not None:
+                            # Live trees own their segment per epoch:
+                            # it is reused across runs and released by
+                            # the refcounted epoch retirement, not at
+                            # the end of this run.
+                            seg = exporter(
+                                config=self.config,
+                                te_weight=self.te_weight,
+                            )
+                            self._seg_owned = False
+                        else:
+                            seg = SharedSnapshotSegment.create(
+                                self.tree,
+                                config=self.config,
+                                te_weight=self.te_weight,
+                            )
                         payload = pickle.dumps(
                             (
                                 "shm",
@@ -695,9 +750,9 @@ class BatchSearcher:
                     self._record_shm_created(seg)
                     return payload, seg
                 except Exception as exc:  # degrade to pickle, loudly
-                    if seg is not None:
+                    if seg is not None and self._seg_owned:
                         seg.release()
-                        seg = None
+                    seg = None
                     why = f"{type(exc).__name__}: {exc}"
             self._share_note = f"shm_unavailable ({why})"
         try:
@@ -705,7 +760,10 @@ class BatchSearcher:
                 payload = pickle.dumps(
                     (
                         "pickle",
-                        self.tree,
+                        # Clean live trees ship their epoch's frozen
+                        # tree — the LiveIndex itself holds locks and a
+                        # freezer thread, which do not pickle.
+                        getattr(self.tree, "frozen_tree", self.tree),
                         self.config,
                         self.te_weight,
                         self.cache_entries,
@@ -821,9 +879,11 @@ class BatchSearcher:
                         pending.append((retried, next_attempt))
         finally:
             pool.shutdown()
-            if seg is not None:
+            if seg is not None and self._seg_owned:
                 # Workers' mappings died with their processes; the
                 # parent's unlink is the last reference to the segment.
+                # (Epoch-owned segments of a live tree are released by
+                # epoch retirement instead, so later runs re-attach.)
                 seg.release()
         if seg is not None:
             metrics = self.metrics

@@ -216,8 +216,17 @@ class QueryService:
 
         Honors ``perf.service_max_pending``,
         ``perf.service_deadline_seconds``, ``perf.warm_floors``, and
-        ``perf.approx_verify``.
+        ``perf.approx_verify``.  When ``perf.live_updates`` is true (or
+        ``REPRO_LIVE_UPDATES`` arms it), the tree is wrapped in a
+        :class:`repro.lsm.LiveIndex` first: while its overlay is dirty,
+        the fused/snapshot hops raise
+        :class:`~repro.errors.OverlayPendingError` and the chain
+        degrades to the merged seed walk — honest
+        ``service.degraded.*`` counters included — until the next fold.
         """
+        from ..lsm import maybe_wrap_live  # noqa: PLC0415 — avoid cycle
+
+        tree = maybe_wrap_live(tree, perf, metrics=metrics)
         return cls(
             tree,
             config,

@@ -19,6 +19,7 @@ from repro import (
     SimilarityConfig,
     STDataset,
 )
+from repro.errors import FaultInjected
 from repro.spatial import Point
 
 TERMS = ["alpha", "beta", "gamma", "delta"]
@@ -87,3 +88,87 @@ IndexMachine.TestCase.settings = settings(
     max_examples=25, stateful_step_count=12, deadline=None
 )
 TestIndexMachine = IndexMachine.TestCase
+
+
+class LiveIndexMachine(RuleBasedStateMachine):
+    """The LSM live path under any interleaving of writes, queries, and
+    folds.
+
+    The searcher runs over a :class:`repro.lsm.LiveIndex` (overlay +
+    tombstone-masked frozen tree, merged at query time) with warm kNNL
+    floors armed — while the overlay is dirty the engine resolver must
+    force the merged seed walk, so stale frozen-side floors (the
+    tombstone-masked warm-floor hazard) never touch a live answer.  At
+    every query the live ids are byte-compared against a tree freshly
+    built from the mutated dataset AND brute force over it.
+    """
+
+    @initialize(
+        seeds=st.lists(st.tuples(coords, coords, texts), min_size=2, max_size=6)
+    )
+    def build(self, seeds):
+        from repro.lsm import LiveIndex
+
+        records = [(Point(x, y), text) for x, y, text in seeds]
+        self.dataset = STDataset.from_corpus(
+            records, SimilarityConfig(alpha=0.5, weighting="tf")
+        )
+        self.config = IndexConfig(max_entries=4, min_entries=2)
+        self.live = LiveIndex(
+            IURTree.build(self.dataset, self.config), freeze_threshold=10**9
+        )
+        self.searcher = RSTkNNSearcher(self.live, warm_floors=True)
+
+    @rule(x=coords, y=coords, text=texts)
+    def insert(self, x, y, text):
+        self.live.insert(Point(x, y), text)
+
+    @rule(pick=st.integers(min_value=0, max_value=10**6))
+    def delete(self, pick):
+        if len(self.dataset) <= 2:
+            return
+        victim = self.dataset.objects[pick % len(self.dataset)].oid
+        assert self.live.delete_object(victim)
+
+    @rule()
+    def freeze(self):
+        was_dirty = self.live.overlay_dirty
+        pending = self.live.pending()
+        try:
+            folded = self.live.freeze_step()
+        except FaultInjected:
+            # An armed REPRO_FAULTS freeze_fail landed mid-fold: the
+            # old generation must keep serving, overlay untouched (the
+            # query rule keeps asserting byte-identity afterwards).
+            assert self.live.overlay_dirty == was_dirty
+            assert self.live.pending() == pending
+            return
+        assert folded == was_dirty
+        assert self.live.pending() == 0
+        assert not self.live.overlay_dirty
+
+    @rule(x=coords, y=coords, text=texts, k=st.integers(min_value=1, max_value=3))
+    def query(self, x, y, text, k):
+        query = self.dataset.make_query(Point(x, y), text)
+        expected = BruteForceRSTkNN(self.dataset).search(query, k)
+        fresh = RSTkNNSearcher(
+            IURTree.build(self.dataset, self.config), engine="seed"
+        )
+        live_ids = self.searcher.search(query, k).ids
+        assert live_ids == fresh.search(query, k).ids
+        assert live_ids == expected
+
+    @invariant()
+    def pending_matches_overlay_state(self):
+        if hasattr(self, "live"):
+            assert (self.live.pending() > 0) == self.live.overlay_dirty
+
+    def teardown(self):
+        if hasattr(self, "live"):
+            self.live.close()
+
+
+LiveIndexMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=12, deadline=None
+)
+TestLiveIndexMachine = LiveIndexMachine.TestCase
