@@ -18,22 +18,29 @@ and writes ``BENCH_approx.json`` with QPS, speedups, recall/precision,
 the sketch build cost (time and bytes, also under
 ``report["phases"]``), and the filter counters.
 
-**Three hard gates** (the run exits non-zero on any failure):
+**Five hard gates** (the run exits non-zero on any failure):
 
 1. warm floors and verified approx must return ids identical to the
    exact snapshot engine in every cell — always armed, ``--quick``
    included;
-2. raw-filter recall must be >= 0.95 in every cell — always armed (the
-   conservative sketch makes it 1.0 by construction, so any dip is a
-   soundness bug, not a tuning miss);
+2. raw-filter recall must be exactly 1.0 in every cell — always armed
+   (the conservative sketch guarantees it by construction, so any dip
+   is a soundness bug, not a tuning miss);
 3. warm-floor single-query QPS must be >= 1.2x the snapshot engine in
    the headline cell — armed at ``n >= 50_000`` (floors only matter
-   once contribution lists dominate).
+   once contribution lists dominate);
+4. raw-filter precision must be >= 10x the pre-true-kNN baseline in
+   every baselined cell — armed at ``n >= 50_000``; smaller runs
+   (``--quick`` included) instead gate on an absolute small-n floor,
+   so the smoke tier still catches precision regressions;
+5. verified-mode QPS must be strictly above the pre-true-kNN baseline
+   in every baselined cell — armed at ``n >= 50_000``.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_approx.py [--quick] [--n N]
-        [--k K [K ...]] [--alpha A [A ...]] [--out F]
+        [--k K [K ...]] [--alpha A [A ...]] [--out F] [--no-lsh]
+        [--sample-frac F]
 """
 
 from __future__ import annotations
@@ -55,7 +62,39 @@ from repro.workloads import gn_like, sample_queries
 #: too short for freeze-time floors to beat their own bookkeeping.
 GATE_N = 50_000
 WARM_SPEEDUP_GATE = 1.2
-RECALL_GATE = 0.95
+
+#: The conservative sketch guarantees recall 1.0 by construction, so
+#: the gate is exact: anything below is a soundness bug.
+RECALL_GATE = 1.0
+
+#: Raw-filter precision of the layout-window-only sketch (the
+#: pre-true-kNN build) at n=100_000 — the baseline the true-kNN curve
+#: fits must beat by PRECISION_MULTIPLE_GATE.
+_BASELINE_PRECISION = {
+    (4, 0.3): 0.011241,
+    (4, 0.6): 0.025641,
+    (8, 0.3): 0.009395,
+    (8, 0.6): 0.022358,
+}
+
+#: Verified-mode QPS of the same baseline build at n=100_000; the
+#: tighter floors must strictly improve every baselined cell.
+_BASELINE_VERIFIED_QPS = {
+    (4, 0.3): 1.01185,
+    (4, 0.6): 5.64065,
+    (8, 0.3): 0.26303,
+    (8, 0.6): 1.21472,
+}
+
+PRECISION_MULTIPLE_GATE = 10.0
+
+#: Absolute raw-precision floor for sub-GATE_N runs (the CI smoke
+#: tier): small corpora run far above this, so a trip means the curve
+#: fits or the LSH stage regressed, not that the workload drifted.
+QUICK_PRECISION_GATE = 0.05
+
+#: Budgets swept by the budget-vs-tightness section of the report.
+BUDGET_SWEEP = (64, 256, 1024)
 
 
 def recall_precision(
@@ -77,16 +116,24 @@ def recall_precision(
 
 
 def bench_cell(
-    tree, queries, k: int, alpha: float, rounds: int, metrics
+    tree,
+    queries,
+    k: int,
+    alpha: float,
+    rounds: int,
+    metrics,
+    lsh: bool = True,
+    sample_frac=None,
 ) -> Dict[str, object]:
     """Gates + QPS for one ``(k, alpha)`` cell of the sweep."""
     config = SimilarityConfig(alpha=alpha)
+    knobs = dict(sketch_sample_frac=sample_frac, approx_lsh=lsh)
     base = RSTkNNSearcher(tree, config=config, engine="snapshot")
     warm = RSTkNNSearcher(
-        tree, config=config, engine="snapshot", warm_floors=True
+        tree, config=config, engine="snapshot", warm_floors=True, **knobs
     )
     verified = RSTkNNSearcher(
-        tree, config=config, engine="approx", approx_verify=True
+        tree, config=config, engine="approx", approx_verify=True, **knobs
     )
     raw = RSTkNNSearcher(
         tree,
@@ -94,6 +141,7 @@ def bench_cell(
         engine="approx",
         approx_verify=False,
         metrics=metrics,
+        **knobs,
     )
     label = f"k={k} alpha={alpha}"
 
@@ -109,9 +157,22 @@ def bench_cell(
         [verified.search(q, k).ids for q in queries],
         f"approx verify=True vs snapshot, {label}",
     )
+
+    # Per-cell candidate-flow counters: delta around the quality pass
+    # (the engine's own counters are cumulative across cells).
+    snap = tree.snapshot()
+    raw_engine = snap.approx_engine_for(
+        tree, raw.measure, raw.alpha, raw.te_weight, verify=False,
+        sample_frac=sample_frac, lsh=lsh,
+    )
+    before = dict(raw_engine.counters)
     quality = recall_precision(
         reference, [raw.search(q, k).ids for q in queries]
     )
+    flow = {
+        key: raw_engine.counters[key] - before.get(key, 0)
+        for key in ("candidates", "lsh_pruned", "answers")
+    }
     if quality["recall"] < RECALL_GATE:
         raise SystemExit(
             f"recall gate FAILED ({label}): "
@@ -134,12 +195,7 @@ def bench_cell(
     raw_qps = sweep(raw)
 
     # The memoized filter engine exposes its cumulative counters.
-    snap = tree.snapshot()
-    filter_counters = dict(
-        snap.approx_engine_for(
-            tree, raw.measure, raw.alpha, raw.te_weight, verify=False
-        ).counters
-    )
+    filter_counters = dict(raw_engine.counters)
 
     return {
         "k": k,
@@ -150,6 +206,14 @@ def bench_cell(
         "precision": quality["precision"],
         "reference_results": quality["reference_results"],
         "returned_results": quality["returned_results"],
+        "candidates_per_query": flow["candidates"] / n,
+        "lsh_pruned_per_query": flow["lsh_pruned"] / n,
+        "answers_per_query": flow["answers"] / n,
+        "candidate_precision": (
+            flow["answers"] / flow["candidates"]
+            if flow["candidates"]
+            else 1.0
+        ),
         "snapshot_qps": snapshot_qps,
         "warm_floors_qps": warm_qps,
         "approx_verified_qps": verified_qps,
@@ -159,6 +223,40 @@ def bench_cell(
         "speedup_raw_vs_snapshot": raw_qps / snapshot_qps,
         "filter_counters": filter_counters,
     }
+
+
+def budget_sweep(
+    tree, snapshot, queries, k: int, alpha: float
+) -> List[Dict[str, object]]:
+    """Budget-vs-tightness rows: per-budget frontier shape, row
+    tightness, and raw-filter precision (window-only sketches, so the
+    sweep isolates the node-floor lever from the curve fits)."""
+    config = SimilarityConfig(alpha=alpha)
+    s = RSTkNNSearcher(tree, config=config, engine="snapshot")
+    base = RSTkNNSearcher(tree, config=config, engine="snapshot")
+    reference = [base.search(q, k).ids for q in queries]
+    rows = []
+    for budget in BUDGET_SWEEP:
+        engine = snapshot.approx_engine_for(
+            tree, s.measure, s.alpha, s.te_weight,
+            verify=False, budget=budget, sample_frac=0.0, lsh=False,
+        )
+        quality = recall_precision(
+            reference, [engine.search(q, k).ids for q in queries]
+        )
+        desc = engine.sketch.describe()
+        rows.append(
+            {
+                "budget": budget,
+                "frontier_size": desc["frontier_size"],
+                "row_objects_max": desc["row_objects_max"],
+                "row_objects_mean": desc["row_objects_mean"],
+                "build_seconds": desc["build_seconds"],
+                "recall": quality["recall"],
+                "precision": quality["precision"],
+            }
+        )
+    return rows
 
 
 def main(argv=None) -> int:
@@ -177,6 +275,18 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--queries", type=int, default=None)
     parser.add_argument("--out", default="BENCH_approx.json")
+    parser.add_argument(
+        "--no-lsh",
+        action="store_true",
+        help="disable the approx engine's LSH pre-filter stage",
+    )
+    parser.add_argument(
+        "--sample-frac",
+        type=float,
+        default=None,
+        help="true-kNN curve sampling fraction (default: the sketch "
+        "default, 1.0)",
+    )
     parser.add_argument(
         "--backend",
         choices=kernels.KERNEL_BACKENDS,
@@ -218,17 +328,27 @@ def main(argv=None) -> int:
             config = SimilarityConfig(alpha=alpha)
             s = RSTkNNSearcher(tree, config=config, engine="snapshot")
             sketch = snapshot.sketch_for(
-                snapshot.engine_for(tree, s.measure, s.alpha, s.te_weight)
+                snapshot.engine_for(tree, s.measure, s.alpha, s.te_weight),
+                sample_frac=args.sample_frac,
             )
             sketches.append(dict(sketch.describe(), alpha=alpha))
 
     metrics = MetricsRegistry()
+    lsh = not args.no_lsh
     with timer.phase("walk"):
         cells = [
-            bench_cell(tree, queries, k, alpha, rounds, metrics)
+            bench_cell(
+                tree, queries, k, alpha, rounds, metrics,
+                lsh=lsh, sample_frac=args.sample_frac,
+            )
             for k in ks
             for alpha in alphas
         ]
+
+    with timer.phase("budget_sweep"):
+        budgets = budget_sweep(
+            tree, snapshot, queries, ks[0], alphas[0]
+        )
 
     headline = cells[0]
     gate_armed = n >= GATE_N
@@ -242,6 +362,36 @@ def main(argv=None) -> int:
             f"{WARM_SPEEDUP_GATE}x at n={n}"
         )
 
+    # Precision and verified-QPS gates: against the pre-true-kNN
+    # baseline at scale, against the absolute smoke floor below it.
+    for cell in cells:
+        key = (cell["k"], cell["alpha"])
+        label = f"k={key[0]} alpha={key[1]}"
+        if gate_armed:
+            baseline = _BASELINE_PRECISION.get(key)
+            if baseline is not None and (
+                cell["precision"] < PRECISION_MULTIPLE_GATE * baseline
+            ):
+                raise SystemExit(
+                    f"precision gate FAILED ({label}): "
+                    f"{cell['precision']:.4f} < "
+                    f"{PRECISION_MULTIPLE_GATE}x baseline {baseline:.4f}"
+                )
+            qps_floor = _BASELINE_VERIFIED_QPS.get(key)
+            if qps_floor is not None and (
+                cell["approx_verified_qps"] <= qps_floor
+            ):
+                raise SystemExit(
+                    f"verified-QPS gate FAILED ({label}): "
+                    f"{cell['approx_verified_qps']:.3f} <= baseline "
+                    f"{qps_floor:.3f}"
+                )
+        elif cell["precision"] < QUICK_PRECISION_GATE:
+            raise SystemExit(
+                f"small-n precision gate FAILED ({label}): "
+                f"{cell['precision']:.4f} < {QUICK_PRECISION_GATE}"
+            )
+
     report = report_header(n, args.quick, timer=timer, snapshot=snapshot)
     report["gates"] = {
         "parity": "ok",
@@ -249,9 +399,21 @@ def main(argv=None) -> int:
         "warm_speedup_gate": WARM_SPEEDUP_GATE,
         "warm_speedup_gate_armed": gate_armed,
         "warm_speedup_gate_n": GATE_N,
+        "precision_multiple_gate": PRECISION_MULTIPLE_GATE,
+        "precision_baseline": {
+            f"{k},{a}": v for (k, a), v in _BASELINE_PRECISION.items()
+        },
+        "verified_qps_baseline": {
+            f"{k},{a}": v
+            for (k, a), v in _BASELINE_VERIFIED_QPS.items()
+        },
+        "quick_precision_gate": QUICK_PRECISION_GATE,
+        "lsh": lsh,
+        "sample_frac": args.sample_frac,
     }
     report["sketches"] = sketches
     report["cells"] = cells
+    report["budget_sweep"] = budgets
     report["approx_metrics"] = metrics.snapshot()
 
     with open(args.out, "w") as fh:
@@ -262,7 +424,8 @@ def main(argv=None) -> int:
         f"headline (k={headline['k']} alpha={headline['alpha']}): "
         f"warm floors {headline['speedup_warm_vs_snapshot']:.2f}x, "
         f"approx raw {headline['speedup_raw_vs_snapshot']:.2f}x vs "
-        f"snapshot; recall {headline['recall']:.4f}"
+        f"snapshot; recall {headline['recall']:.4f}, "
+        f"precision {headline['precision']:.4f}"
     )
     return 0
 

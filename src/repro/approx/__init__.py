@@ -1,14 +1,16 @@
 """Frozen k-distance sketches and the ``engine="approx"`` tier.
 
 See :mod:`repro.approx.sketch` for the freeze-time kNNL floor builder
-and :mod:`repro.approx.engine` for the sketch-filtered search engine.
+and :mod:`repro.approx.engine` for the sketch-filtered search engine
+(including its LSH pre-filter stage).
 """
 
-from .engine import ApproxEngine
+from .engine import ApproxEngine, LSH_BANDS, LSH_PROBE_CAP
 from .sketch import (
     DEFAULT_SKETCH_BUDGET,
     DEFAULT_SKETCH_KMAX,
     DEFAULT_SKETCH_POOL,
+    DEFAULT_SKETCH_SAMPLE_FRAC,
     KnnlSketch,
     build_sketch,
 )
@@ -20,4 +22,7 @@ __all__ = [
     "DEFAULT_SKETCH_KMAX",
     "DEFAULT_SKETCH_BUDGET",
     "DEFAULT_SKETCH_POOL",
+    "DEFAULT_SKETCH_SAMPLE_FRAC",
+    "LSH_BANDS",
+    "LSH_PROBE_CAP",
 ]

@@ -28,6 +28,20 @@ similarity capped at 1) is tried first and the blended text upper bound
 is only computed when the spatial stage cannot already prune — the same
 lazy-text trick the exact verification probe uses.
 
+Between the floor DFS and verification sits an optional **LSH
+pre-filter stage** (after Arthur & Oudot, arXiv:1011.4955): the
+sketch's frozen 64-bit term signatures are banded into eight 8-bit
+buckets, and each candidate probes the objects sharing one of its
+bands — its likeliest strong competitors — with *exact* pairwise
+similarities.  A candidate is dropped only once ``k`` distinct
+competitors are proven strictly more similar to it than the query,
+the same strict count the exact membership probe uses, so the stage is
+conservative by construction (the banding only chooses *which*
+competitors to try first; every drop is backed by exact similarities
+and recall stays 1.0).  In verified mode the stage cheaply refutes
+non-members before the expensive full membership probe; in raw mode it
+directly raises precision.
+
 The engine accepts the ``trace`` argument for interface compatibility
 but emits no events: its walk makes no accept/prune/verify decisions in
 the exact engines' sense, so an event stream would be misleading
@@ -47,6 +61,15 @@ from ..model.objects import STObject
 from ..text.interval import IntervalVector
 from ..text.similarity import ExtendedJaccard
 from .sketch import KnnlSketch
+
+#: Number of 8-bit bands the 64-bit term signature is split into.
+LSH_BANDS = 8
+
+#: Per-candidate cap on exact competitor probes in the LSH stage: the
+#: stage must stay far cheaper than the full membership probe it
+#: tries to avoid, so it gives up (keeps the candidate) after this
+#: many similarity evaluations.
+LSH_PROBE_CAP = 64
 
 
 class ApproxEngine:
@@ -69,6 +92,7 @@ class ApproxEngine:
         te_weight: float,
         sketch: KnnlSketch,
         verify: bool = True,
+        lsh: bool = True,
     ) -> None:
         self.tree = tree
         self.snap = snap
@@ -77,20 +101,49 @@ class ApproxEngine:
         self.te_weight = te_weight
         self.sketch = sketch
         self.verify = verify
+        self.lsh = lsh and len(sketch.lsh_sig) > 0
+        self._lsh_buckets: Optional[Dict[int, List[int]]] = None
         self.base = snap.engine_for(tree, measure, alpha, te_weight)
         self._ej = isinstance(measure, ExtendedJaccard)
         #: Cumulative filter counters since engine creation; published
-        #: by :func:`repro.obs.record_approx` as ``approx.*`` metrics.
+        #: by :func:`repro.obs.record_approx` as ``approx.*`` metrics
+        #: (key semantics documented in ``docs/OBSERVABILITY.md``).
         self.counters: Dict[str, int] = {
             "searches": 0,
             "nodes_pruned": 0,
             "objects_pruned": 0,
             "spatial_shortcuts": 0,
+            "lsh_pruned": 0,
             "candidates": 0,
             "verified": 0,
+            "answers": 0,
         }
         #: The last query's filter counters (same keys), for reporting.
         self.last_filter: Dict[str, int] = {}
+
+    def _bands(self) -> Dict[int, List[int]]:
+        """Lazily built LSH band buckets over the sketch signatures.
+
+        Bucket key ``(band << 8) | byte`` maps to the object slots
+        whose signature carries that byte in that band; all-zero bands
+        (no term hashed there) are skipped, as they would bucket
+        textually unrelated objects together.
+        """
+        buckets = self._lsh_buckets
+        if buckets is None:
+            buckets = {}
+            sig_arr = self.sketch.lsh_sig
+            is_obj = self.snap.is_obj
+            for slot in range(len(sig_arr)):
+                if not is_obj[slot]:
+                    continue
+                sig = sig_arr[slot]
+                for band in range(LSH_BANDS):
+                    byte = (sig >> (band * 8)) & 0xFF
+                    if byte:
+                        buckets.setdefault((band << 8) | byte, []).append(slot)
+            self._lsh_buckets = buckets
+        return buckets
 
     def search(
         self,
@@ -167,7 +220,7 @@ class ApproxEngine:
 
         counters = self.counters
         counters["searches"] += 1
-        nodes_pruned = objects_pruned = spatial_shortcuts = 0
+        nodes_pruned = objects_pruned = spatial_shortcuts = lsh_pruned = 0
         candidates: List[Tuple[int, float]] = []
         use_floors = k <= sketch.kmax
 
@@ -186,26 +239,30 @@ class ApproxEngine:
             if use_floors:
                 floor = sketch.node_floor(slot, k)
                 if floor > 0.0:
+                    pruned = False
+                    spatial_only = False
                     if alpha > 0.0:
                         dx = max(qxlo - xhi[slot], 0.0, xlo[slot] - qxhi)
                         dy = max(qylo - yhi[slot], 0.0, ylo[slot] - qyhi)
                         s_hi = fd(math.hypot(dx, dy))
                         # Stage 1: text capped at 1; dominates the full
                         # upper bound, so failing it prunes exactly.
+                        # For alpha == 1.0 this *is* the full bound —
+                        # the text term is skipped by construction, so
+                        # every prune on that path is also a spatial
+                        # shortcut (no text bound was ever computed).
                         if alpha * s_hi + (1.0 - alpha) < floor:
-                            nodes_pruned += 1
-                            spatial_shortcuts += 1
-                            stats.pruned_entries += 1
-                            stats.pruned_objects += cnt[slot]
-                            continue
-                        if alpha < 1.0:
+                            pruned = True
+                            spatial_only = True
+                        elif alpha < 1.0:
                             q_hi = alpha * s_hi + (1.0 - alpha) * q_text_hi(slot)
-                        else:
-                            q_hi = alpha * s_hi
+                            pruned = q_hi < floor
                     else:
-                        q_hi = q_text_hi(slot)
-                    if q_hi < floor:
+                        pruned = q_text_hi(slot) < floor
+                    if pruned:
                         nodes_pruned += 1
+                        if spatial_only:
+                            spatial_shortcuts += 1
                         stats.pruned_entries += 1
                         stats.pruned_objects += cnt[slot]
                         continue
@@ -215,6 +272,53 @@ class ApproxEngine:
             tree.buffer.get(snap.record_id[slot], "node")
             stats.expansions += 1
             stack.extend(range(snap.first_child[slot], snap.last_child[slot]))
+
+        n_candidates = len(candidates)
+        if self.lsh and use_floors and candidates:
+            # LSH pre-filter: for each candidate, probe the objects
+            # sharing one of its signature bands — its likeliest strong
+            # competitors — with exact similarities, and drop it once k
+            # distinct competitors strictly beat the query (the same
+            # strict count the membership probe uses, so drops are
+            # provably correct and recall stays 1.0).
+            buckets = self._bands()
+            sig_arr = sketch.lsh_sig
+            exact_pair = base._exact
+            kept: List[Tuple[int, float]] = []
+            for slot, sim in candidates:
+                sig = sig_arr[slot]
+                rslot = ref[slot]
+                beaten = 0
+                probes = 0
+                seen = {slot}
+                refuted = False
+                for band in range(LSH_BANDS):
+                    byte = (sig >> (band * 8)) & 0xFF
+                    if not byte:
+                        continue
+                    for other in buckets.get((band << 8) | byte, ()):
+                        if other in seen:
+                            continue
+                        seen.add(other)
+                        if ref[other] == rslot:
+                            continue
+                        probes += 1
+                        if exact_pair(slot, other) > sim:
+                            beaten += 1
+                            if beaten >= k:
+                                refuted = True
+                                break
+                        if probes >= LSH_PROBE_CAP:
+                            break
+                    if refuted or probes >= LSH_PROBE_CAP:
+                        break
+                if refuted:
+                    lsh_pruned += 1
+                    stats.pruned_entries += 1
+                    stats.pruned_objects += 1
+                else:
+                    kept.append((slot, sim))
+            candidates = kept
 
         ids: List[int] = []
         if self.verify:
@@ -230,14 +334,18 @@ class ApproxEngine:
         counters["nodes_pruned"] += nodes_pruned
         counters["objects_pruned"] += objects_pruned
         counters["spatial_shortcuts"] += spatial_shortcuts
-        counters["candidates"] += len(candidates)
+        counters["lsh_pruned"] += lsh_pruned
+        counters["candidates"] += n_candidates
         counters["verified"] += len(candidates) if self.verify else 0
+        counters["answers"] += len(ids)
         self.last_filter = {
             "nodes_pruned": nodes_pruned,
             "objects_pruned": objects_pruned,
             "spatial_shortcuts": spatial_shortcuts,
-            "candidates": len(candidates),
+            "lsh_pruned": lsh_pruned,
+            "candidates": n_candidates,
             "verified": len(candidates) if self.verify else 0,
+            "answers": len(ids),
         }
 
         stats.result_count = len(ids)

@@ -15,22 +15,43 @@ are combined:
   through :func:`repro.core.contributions._kth_largest`.  Every object
   under ``f`` has at least ``cnt[g]`` competitors at similarity
   ``>= MinST(f, g)``, so the row lower-bounds its true k-th competitor
-  similarity ``s_k``.  Slots under ``f`` inherit ``f``'s row; slots
-  above the frontier use the *global* row (the elementwise minimum over
-  all rows, which is valid for every object of the snapshot).
+  similarity ``s_k``.  The peel is *adaptive*: a node whose expansion
+  would overflow the budget is kept as its own row and the peel keeps
+  refining smaller nodes that still fit, so the row count approaches
+  the budget instead of stopping at the first oversized node.  Slots
+  under ``f`` inherit ``f``'s row; slots above the frontier use the
+  *global* row (the elementwise minimum over all rows, which is valid
+  for every object of the snapshot).
 
-* **object curves** (nonlinear k-distance fit, after Obermeier et
-  al., arXiv:2011.01773): a sampled kNN pass over object slots in
-  layout order (window of ``pool`` neighbours per object — layout
-  order is spatially clustered, so the window catches strong
-  competitors) yields each object's top-``kmax`` sampled competitor
-  similarities; a monomial ``c * k**-b`` is least-squares fitted in
-  log space and then *rescaled down* so the fitted value never exceeds
-  a sampled one.  Sampled similarities are a subset of the true
-  competitor multiset, so sampled ``s_k`` <= true ``s_k`` and the
-  rescaled curve is conservative at every ``k <= kmax``.  Objects with
-  fewer than ``kmax`` sampled competitors get no curve (``c = 0``) —
-  the count-aware degenerate case, mirroring ``_kth_largest``'s 0.0.
+* **object profiles and curves** (nonlinear k-distance fit, after
+  Obermeier et al., arXiv:2011.01773): each object's top-``kmax``
+  competitor similarities are collected; the sampled profile is stored
+  verbatim (``obj_profile``, the per-object floor the consumers
+  actually read) and additionally summarised as a monomial
+  ``c * k**-b`` least-squares fitted in log space, then *rescaled
+  down* so the fitted value never exceeds a collected one.  The
+  default sampling pass (``sample_frac`` of the objects, evenly spaced
+  in layout order) is a **true-kNN** walk: a best-first descent of the
+  snapshot with staged ``MaxST`` upper bounds — seeded by
+  layout-neighbour similarities and warm-started by the object's own
+  node-floor row — that returns the object's *exact* top-``kmax``
+  competitor similarities, so profile and curve describe the real
+  k-distance profile.  Objects outside the sample budget fall back to
+  a cheap *symmetric* layout-window pass (circular window of ``pool``
+  neighbours, so edge objects in layout order collect exactly as many
+  samples as interior ones).  Either way the collected similarities
+  are a subset of (or equal to) the true competitor multiset, so
+  collected ``s_k`` <= true ``s_k``: the stored profile — and the
+  rescaled curve, which by construction never exceeds it — is
+  conservative at every ``k <= kmax``.  Objects with fewer than
+  ``kmax`` collected competitors get a zero-padded profile (the zero
+  entries never prune) and no curve (``c = 0``) — the count-aware
+  degenerate case, mirroring ``_kth_largest``'s 0.0.
+
+The sketch also freezes each object's 64-bit **term signature** (the
+Bloom-style ``1 << (tid % 64)`` mask of the frozen kernels), which the
+``engine="approx"`` tier bands into an LSH pre-filter stage (see
+:meth:`~repro.approx.engine.ApproxEngine.search`).
 
 The floors feed three consumers: warm-start pruning in the exact
 engines (:class:`~repro.core.traversal.SnapshotEngine` /
@@ -56,6 +77,8 @@ from array import array
 from typing import Dict, List, Tuple
 
 from ..core.contributions import _kth_largest
+from ..text.interval import IntervalVector
+from ..text.similarity import ExtendedJaccard
 
 #: Largest ``k`` the sketch covers; beyond it floors read 0.0 (never
 #: prune).  Matches the shard admission default.
@@ -65,14 +88,29 @@ DEFAULT_SKETCH_KMAX = 16
 #: tighter per-subtree floors at quadratic pair-bound build cost.
 DEFAULT_SKETCH_BUDGET = 256
 
-#: Per-object sample-pool size for the k-distance curve fit (each
+#: Per-object sample-pool size for the fallback k-distance window (each
 #: object sees roughly ``pool`` sampled competitors).
 DEFAULT_SKETCH_POOL = 32
+
+#: Fraction of objects (evenly spaced in layout order) that get the
+#: exact true-kNN sampling pass; the rest use the symmetric layout
+#: window.  1.0 fits every curve over the real k-distance profile.
+DEFAULT_SKETCH_SAMPLE_FRAC = 1.0
 
 #: Multiplicative safety margin applied to the fitted curve so float
 #: re-evaluation of ``c * k**-b`` can never creep above the sampled
 #: similarity it was fitted under.
 _CURVE_MARGIN = 1.0 - 1e-12
+
+#: Node-pop budget of one true-kNN sampling walk.  The cluster text
+#: bounds on wide nodes are loose, so the tail of a best-first descent
+#: pops many nodes that contribute nothing; cutting it keeps the build
+#: linear in ``n``.  A truncated walk returns a *subset* of the true
+#: competitor similarities, so the fitted curve only gets looser,
+#: never unsound.  96 pops recovers the exact profile on every
+#: workload we measure (the seeded threshold is near-final before the
+#: first pop).
+_TRUE_WALK_POP_CAP = 96
 
 
 class KnnlSketch:
@@ -81,7 +119,9 @@ class KnnlSketch:
     Attributes:
         kmax: Largest ``k`` covered; all floors are 0.0 beyond it.
         budget: Frontier budget the sketch was built with.
-        pool: Curve sample-pool size the sketch was built with.
+        pool: Fallback-window sample-pool size the sketch was built with.
+        sample_frac: Fraction of objects whose curves were fitted over
+            exact true-kNN samples (the rest used the layout window).
         frontier: The peeled antichain slots (row ``i`` of the floor
             table belongs to ``frontier[i]``'s subtree).
         floor_idx: Per-slot row index into :attr:`floor_table`
@@ -92,6 +132,21 @@ class KnnlSketch:
         curve_c: Per-slot monomial coefficient (``array('d')``; 0.0
             for directory slots and objects without a conservative fit).
         curve_b: Per-slot monomial exponent (``array('d')``).
+        obj_profile: Row-major ``n_slots x kmax`` sampled k-distance
+            profile (``array('d')``): entry ``[slot][k-1]`` is object
+            ``slot``'s sampled k-th largest competitor similarity
+            (0.0 for directory slots and beyond the collected
+            samples).  Dominates the fitted curve pointwise wherever
+            both exist, so :meth:`obj_floor` reads it first.
+        row_objects: Objects under each frontier row (``array('q')``,
+            length ``len(frontier)``) — the per-row tightness signal:
+            wide rows share one floor across many objects and are the
+            first to profit from a larger ``budget``.
+        lsh_sig: Per-slot 64-bit term signature (``array('Q')``; 0 for
+            directory slots), banded by the approx tier's LSH
+            pre-filter.
+        curves_true: How many fitted curves came from the exact
+            true-kNN pass (the rest came from the window fallback).
         build_seconds: Wall-clock cost of the freeze-time build.
     """
 
@@ -99,11 +154,16 @@ class KnnlSketch:
         "kmax",
         "budget",
         "pool",
+        "sample_frac",
         "frontier",
         "floor_idx",
         "floor_table",
         "curve_c",
         "curve_b",
+        "obj_profile",
+        "row_objects",
+        "lsh_sig",
+        "curves_true",
         "build_seconds",
     )
 
@@ -118,15 +178,27 @@ class KnnlSketch:
         curve_c,
         curve_b,
         build_seconds: float,
+        sample_frac: float = 0.0,
+        obj_profile=None,
+        row_objects=None,
+        lsh_sig=None,
+        curves_true: int = 0,
     ) -> None:
         self.kmax = kmax
         self.budget = budget
         self.pool = pool
+        self.sample_frac = sample_frac
         self.frontier = frontier
         self.floor_idx = floor_idx
         self.floor_table = floor_table
         self.curve_c = curve_c
         self.curve_b = curve_b
+        self.obj_profile = (
+            obj_profile if obj_profile is not None else array("d")
+        )
+        self.row_objects = row_objects if row_objects is not None else array("q")
+        self.lsh_sig = lsh_sig if lsh_sig is not None else array("Q")
+        self.curves_true = curves_true
         self.build_seconds = build_seconds
 
     def node_floor(self, slot: int, k: int) -> float:
@@ -138,10 +210,17 @@ class KnnlSketch:
 
     def obj_floor(self, slot: int, k: int) -> float:
         """Conservative lower bound on object ``slot``'s own ``s_k``:
-        the node floor sharpened by the object's fitted curve."""
+        the node floor sharpened by the object's sampled k-distance
+        profile (or, absent a profile, its fitted curve — the profile
+        dominates the curve pointwise whenever both exist)."""
         if k > self.kmax:
             return 0.0
         floor = self.floor_table[self.floor_idx[slot] * self.kmax + (k - 1)]
+        if self.obj_profile:
+            y = self.obj_profile[slot * self.kmax + (k - 1)]
+            if y > floor:
+                return y
+            return floor
         c = self.curve_c[slot]
         if c > 0.0:
             curve = c * k ** -self.curve_b[slot]
@@ -162,29 +241,44 @@ class KnnlSketch:
             + self.floor_table.itemsize * len(self.floor_table)
             + self.curve_c.itemsize * len(self.curve_c)
             + self.curve_b.itemsize * len(self.curve_b)
+            + self.obj_profile.itemsize * len(self.obj_profile)
+            + self.row_objects.itemsize * len(self.row_objects)
+            + self.lsh_sig.itemsize * len(self.lsh_sig)
         )
 
     def describe(self) -> Dict[str, object]:
         """Summary counters for logs and benchmark reports."""
         curves = sum(1 for c in self.curve_c if c > 0.0)
+        rows = list(self.row_objects)
         return {
             "kmax": self.kmax,
             "budget": self.budget,
             "pool": self.pool,
+            "sample_frac": self.sample_frac,
             "frontier_size": len(self.frontier),
             "curves_fitted": curves,
+            "curves_true": self.curves_true,
+            "row_objects_max": max(rows) if rows else 0,
+            "row_objects_mean": (sum(rows) / len(rows)) if rows else 0.0,
             "nbytes": self.nbytes(),
             "build_seconds": self.build_seconds,
         }
 
 
 def _peel_frontier(snap, budget: int) -> List[int]:
-    """Largest-count-first antichain of roughly ``budget`` slots.
+    """Largest-count-first antichain of up to ``budget`` slots.
 
     Same discipline as the shard admission peel
     (:func:`repro.shard.summaries._peel_frontier`): every object of the
     snapshot lies under exactly one returned slot, which is what makes
     the per-row floors complete.
+
+    Two refusal cases keep the peel *adaptive* instead of aborting: a
+    zero-fanout directory slot (a degenerate empty node) becomes its
+    own frontier row and the peel continues — it must not dump the
+    whole heap and leave the frontier far under budget — and a node
+    whose expansion would overflow the budget is likewise kept as a
+    row while smaller nodes later in the heap may still be refined.
     """
     frontier: List[int] = []
     heap: List[Tuple[int, int]] = []  # (-cnt, slot) for directory slots
@@ -197,10 +291,12 @@ def _peel_frontier(snap, budget: int) -> List[int]:
         _neg_cnt, slot = heapq.heappop(heap)
         children = range(snap.first_child[slot], snap.last_child[slot])
         fanout = len(children)
-        if len(frontier) + len(heap) + fanout > budget or fanout == 0:
+        if fanout == 0:
             frontier.append(slot)
-            frontier.extend(s for _, s in heap)
-            break
+            continue
+        if len(frontier) + len(heap) + fanout > budget:
+            frontier.append(slot)
+            continue
         for c in children:
             if snap.is_obj[c]:
                 frontier.append(c)
@@ -242,11 +338,150 @@ def _fit_curve(ys: List[float]) -> Tuple[float, float]:
     return (c, b) if c > 0.0 else (0.0, 0.0)
 
 
+def _make_true_topk(engine, kmax: int):
+    """A closure computing one object's exact top-``kmax`` competitor
+    similarities by best-first descent of the snapshot.
+
+    The walk uses the same staged upper bound as the approx tier's
+    query walk — spatial-only first (text capped at 1), blended text
+    bound only when the spatial stage cannot already discard — against
+    a threshold that starts at the caller's warm-start ``floor`` (a
+    proven lower bound on the object's ``s_kmax``) and rises to the
+    running k-th best as real similarities arrive.  Subtrees are
+    skipped only when their upper bound is strictly below the floor or
+    at most the current k-th best, so the returned value multiset
+    equals the true top-``kmax`` exactly (ties may swap which object
+    supplied a value, never the value itself) — unless the
+    :data:`_TRUE_WALK_POP_CAP` node budget trips first, in which case
+    the values are a *subset* of the true multiset and the curve
+    fitted over them is merely looser, never unsound.
+    """
+    snap = engine.snap
+    measure = engine.measure
+    alpha = engine.alpha
+    fd = engine._fd
+    exact = engine._exact
+    ej = isinstance(measure, ExtendedJaccard)
+    is_obj = snap.is_obj
+    ref = snap.ref
+    xlo, ylo, xhi, yhi = snap.xlo, snap.ylo, snap.xhi, snap.yhi
+    first_child, last_child = snap.first_child, snap.last_child
+    clusters = snap.clusters
+    obj_frozen = snap.obj_frozen
+    obj_vec = snap.obj_vec
+    root_slots = snap.root_slots
+
+    def topk(a: int, floor: float, seeds=()):
+        ax, ay = xlo[a], ylo[a]
+        a_frozen = obj_frozen[a]
+        a_nsq = a_frozen.norm_sq
+        a_iv = None
+        if not ej and alpha < 1.0:
+            a_iv = IntervalVector.from_document(obj_vec[a])
+        ra = ref[a]
+        # Min-heap of the running top-kmax ``(sim, supplier)`` pairs —
+        # suppliers are returned so the build can seed the *next*
+        # object's walk with this object's actual competitors.
+        best: List[Tuple[float, int]] = []
+        seen = set()  # slots already offered (seeds recur in the walk)
+
+        def offer(b: int) -> None:
+            if ref[b] == ra or b in seen:
+                return
+            seen.add(b)
+            s = exact(a, b)
+            if s < floor:
+                # Provably below s_kmax >= floor: cannot be a top value.
+                return
+            if len(best) < kmax:
+                heapq.heappush(best, (s, b))
+            elif s > best[0][0]:
+                heapq.heapreplace(best, (s, b))
+
+        def text_hi(slot: int) -> float:
+            hi = 0.0
+            if ej:
+                for _iv, _int_b, uni_b, insq_b, _unsq_b in clusters[slot]:
+                    d_max = a_frozen.dot(uni_b)
+                    if d_max == 0.0:
+                        pair_hi = 0.0
+                    elif 2.0 * d_max >= a_nsq + insq_b:
+                        pair_hi = 1.0
+                    else:
+                        pair_hi = d_max / (a_nsq + insq_b - d_max)
+                    if pair_hi > hi:
+                        hi = pair_hi
+            else:
+                for ivb, *_ in clusters[slot]:
+                    pair_hi = measure.max_similarity(a_iv, ivb)
+                    if pair_hi > hi:
+                        hi = pair_hi
+            return hi
+
+        pq: List[Tuple[float, int]] = []  # (-upper, slot)
+
+        def push(slot: int) -> None:
+            if alpha > 0.0:
+                dx = max(ax - xhi[slot], 0.0, xlo[slot] - ax)
+                dy = max(ay - yhi[slot], 0.0, ylo[slot] - ay)
+                s_hi = fd(math.hypot(dx, dy))
+                hi = alpha * s_hi + (1.0 - alpha)
+                if hi < floor or (
+                    len(best) == kmax and hi <= best[0][0]
+                ):
+                    return
+                if alpha < 1.0:
+                    hi = alpha * s_hi + (1.0 - alpha) * text_hi(slot)
+            else:
+                hi = text_hi(slot)
+            if hi < floor:
+                return
+            if len(best) == kmax and hi <= best[0][0]:
+                return
+            heapq.heappush(pq, (-hi, slot))
+
+        # Seeds (layout neighbours) are offered before the tree walk:
+        # their exact similarities raise the running threshold early,
+        # so the best-first descent prunes subtrees much sooner.  The
+        # ``seen`` set keeps the walk from counting a seed twice —
+        # a duplicate value would inflate the returned k-th best.
+        for b in seeds:
+            offer(b)
+        for r in root_slots:
+            if is_obj[r]:
+                offer(r)
+            else:
+                push(r)
+        pops = 0
+        while pq:
+            neg_hi, slot = heapq.heappop(pq)
+            if len(best) == kmax and -neg_hi <= best[0][0]:
+                break
+            pops += 1
+            if pops > _TRUE_WALK_POP_CAP:
+                # Budget trip: the values found so far are a subset of
+                # the true top-kmax, so the curve fitted over them can
+                # only be looser — conservativeness is unconditional.
+                break
+            for c in range(first_child[slot], last_child[slot]):
+                if is_obj[c]:
+                    offer(c)
+                else:
+                    push(c)
+        pairs = sorted(best, reverse=True)
+        ys = [s for s, _b in pairs]
+        ys.extend([0.0] * (kmax - len(ys)))
+        return ys, [b for _s, b in pairs]
+
+    return topk
+
+
 def build_sketch(
     engine,
     kmax: int = DEFAULT_SKETCH_KMAX,
     budget: int = DEFAULT_SKETCH_BUDGET,
     pool: int = DEFAULT_SKETCH_POOL,
+    sample_frac: float = DEFAULT_SKETCH_SAMPLE_FRAC,
 ) -> KnnlSketch:
     """Compute one snapshot's :class:`KnnlSketch` from its exact engine.
 
@@ -254,6 +489,11 @@ def build_sketch(
     the similarity setting being served; its memoized ``_st`` pair table
     supplies every ``MinST`` lower bound (and keeps the values it
     computes warm for the query-time walks to reuse).
+
+    ``sample_frac`` budgets the exact true-kNN sampling pass: that
+    fraction of the objects (evenly spaced in layout order) gets curves
+    fitted over its real top-``kmax`` competitor similarities; the rest
+    fall back to the symmetric layout-window sampling.
     """
     started = time.perf_counter()
     snap = engine.snap
@@ -283,48 +523,10 @@ def build_sketch(
         for k in range(1, kmax + 1):
             floor_table[base + k - 1] = _kth_largest(contribs, k)
 
-    # Object curves: sampled kNN pass over object slots in layout order.
-    objs = [s for s in range(n_slots) if is_obj[s]]
-    window = max(kmax, pool // 2)
-    samples: Dict[int, List[float]] = {s: [] for s in objs}
-    exact = engine._exact
-    for i, a in enumerate(objs):
-        for j in range(i + 1, min(i + 1 + window, len(objs))):
-            b = objs[j]
-            if ref[a] == ref[b]:
-                continue
-            sim = exact(a, b)
-            samples[a].append(sim)
-            samples[b].append(sim)
-
-    curve_c = array("d", [0.0] * n_slots)
-    curve_b = array("d", [0.0] * n_slots)
-    for s in objs:
-        ys = heapq.nlargest(kmax, samples[s])
-        ys.extend([0.0] * (kmax - len(ys)))
-        c, b_exp = _fit_curve(ys)
-        curve_c[s] = c
-        curve_b[s] = b_exp
-
-    # Global row: elementwise minimum over the frontier rows (valid for
-    # every object), sharpened by the minimum fitted curve when every
-    # object carries one.
-    gbase = n_rows * kmax
-    all_curves = bool(objs) and all(curve_c[s] > 0.0 for s in objs)
-    for k in range(1, kmax + 1):
-        row_min = min(
-            (floor_table[row * kmax + k - 1] for row in range(n_rows)),
-            default=0.0,
-        )
-        curve_min = 0.0
-        if all_curves:
-            curve_min = min(
-                curve_c[s] * k ** -curve_b[s] for s in objs
-            )
-        floor_table[gbase + k - 1] = max(row_min, curve_min)
-
     # Every slot starts on the global row; frontier subtrees then claim
     # their own rows (the frontier is an antichain, so no overlap).
+    # Assigned before the curve pass so the true-kNN walks can
+    # warm-start from each object's own row floor.
     floor_idx = array("q", [n_rows] * n_slots)
     first_child = snap.first_child
     last_child = snap.last_child
@@ -338,14 +540,128 @@ def build_sketch(
                 if fc >= 0:
                     stack.extend(range(fc, lc))
 
+    # Per-row tightness: objects sharing each row (wide rows dilute the
+    # floor across many objects and profit first from a larger budget).
+    row_objects = array("q", [cnt[f] for f in frontier])
+
+    # 64-bit term signatures for the approx tier's LSH pre-filter.
+    obj_frozen = snap.obj_frozen
+    lsh_sig = array("Q", [0] * n_slots)
+    objs = [s for s in range(n_slots) if is_obj[s]]
+    for s in objs:
+        lsh_sig[s] = obj_frozen[s].mask
+
+    # Object curves.  True-kNN pass first: `sample_frac` of the objects
+    # (evenly spaced in layout order) get their exact top-kmax
+    # competitor similarities via a best-first snapshot walk seeded with
+    # layout-neighbour similarities and warm-started by their row floor.
+    n_objs = len(objs)
+    sample_frac = min(1.0, max(0.0, sample_frac))
+    n_sample = int(round(sample_frac * n_objs))
+    sampled: set = set()
+    if n_sample >= n_objs:
+        sampled = set(objs)
+    elif n_sample > 0:
+        sampled = {
+            objs[(i * n_objs) // n_sample] for i in range(n_sample)
+        }
+    exact = engine._exact
+    true_ys: Dict[int, List[float]] = {}
+    if sampled:
+        topk = _make_true_topk(engine, kmax)
+        seed_span = 2 * kmax
+        # Consecutive sampled objects are layout (hence spatial)
+        # neighbours, so the previous walk's winning suppliers are
+        # prime competitor candidates for the next walk too: chaining
+        # them as seeds starts each threshold near its final value and
+        # collapses the descent to a few node pops.
+        prev_suppliers: List[int] = []
+        for i, a in enumerate(objs):
+            if a not in sampled:
+                continue
+            floor = floor_table[floor_idx[a] * kmax + (kmax - 1)]
+            seeds = prev_suppliers + objs[
+                max(0, i - seed_span):i + 1 + seed_span
+            ]
+            true_ys[a], prev_suppliers = topk(a, floor, seeds)
+
+    # Symmetric circular layout-window fallback for unsampled objects:
+    # every object sees `window` neighbours on each side (modulo wrap),
+    # so edge objects in layout order collect exactly as many samples
+    # as interior ones.  Circular distance is capped at floor(n/2) so
+    # no unordered pair is ever collected twice — duplicate samples
+    # could overstate a sampled s_k and break conservativeness.
+    samples: Dict[int, List[float]] = {}
+    rest = [s for s in objs if s not in sampled]
+    if rest:
+        samples = {s: [] for s in objs}
+        window = max(kmax, pool // 2)
+        for i, a in enumerate(objs):
+            for d in range(1, window + 1):
+                if d > n_objs - d:
+                    break
+                j = (i + d) % n_objs
+                if d == n_objs - d and i > j:
+                    continue
+                b = objs[j]
+                if a == b or ref[a] == ref[b]:
+                    continue
+                if a in sampled and b in sampled:
+                    continue
+                sim = exact(a, b)
+                samples[a].append(sim)
+                samples[b].append(sim)
+
+    curve_c = array("d", [0.0] * n_slots)
+    curve_b = array("d", [0.0] * n_slots)
+    obj_profile = array("d", [0.0] * (n_slots * kmax))
+    curves_true = 0
+    for s in objs:
+        if s in true_ys:
+            ys = true_ys[s]
+        else:
+            ys = heapq.nlargest(kmax, samples.get(s, ()))
+            ys.extend([0.0] * (kmax - len(ys)))
+        # The sampled profile is itself a conservative per-object floor
+        # (sampled s_k <= true s_k), tighter than any curve fitted
+        # under it — store it verbatim for obj_floor to read first.
+        obj_profile[s * kmax:(s + 1) * kmax] = array("d", ys)
+        c, b_exp = _fit_curve(ys)
+        curve_c[s] = c
+        curve_b[s] = b_exp
+        if c > 0.0 and s in true_ys:
+            curves_true += 1
+
+    # Global row: elementwise minimum over the frontier rows (valid for
+    # every object), sharpened by the minimum sampled profile (which
+    # dominates the minimum fitted curve; a single unsampled object
+    # zeroes it out, leaving the row minimum).
+    gbase = n_rows * kmax
+    for k in range(1, kmax + 1):
+        row_min = min(
+            (floor_table[row * kmax + k - 1] for row in range(n_rows)),
+            default=0.0,
+        )
+        prof_min = 0.0
+        if objs:
+            prof_min = min(
+                obj_profile[s * kmax + (k - 1)] for s in objs
+            )
+        floor_table[gbase + k - 1] = max(row_min, prof_min)
+
     return KnnlSketch(
         kmax=kmax,
         budget=budget,
         pool=pool,
+        sample_frac=sample_frac,
         frontier=tuple(frontier),
         floor_idx=floor_idx,
         floor_table=floor_table,
         curve_c=curve_c,
         curve_b=curve_b,
+        obj_profile=obj_profile,
+        row_objects=row_objects,
+        lsh_sig=lsh_sig,
+        curves_true=curves_true,
         build_seconds=time.perf_counter() - started,
     )

@@ -439,10 +439,18 @@ class SnapshotEngine:
             f_koff = k - 1
             f_curve_c = floors.curve_c
             f_curve_b = floors.curve_b
+            f_prof = floors.obj_profile
 
             def floor_of(slot: int) -> float:
                 fl = f_tbl[f_idx[slot] * f_kmax + f_koff]
                 if is_obj[slot]:
+                    if f_prof:
+                        # Sampled k-distance profile: dominates the
+                        # fitted curve pointwise wherever both exist.
+                        y = f_prof[slot * f_kmax + f_koff]
+                        if y > fl:
+                            return y
+                        return fl
                     c = f_curve_c[slot]
                     if c > 0.0:
                         curve = c * k ** -f_curve_b[slot]

@@ -296,6 +296,7 @@ class IndexSnapshot:
         kmax: Optional[int] = None,
         budget: Optional[int] = None,
         pool: Optional[int] = None,
+        sample_frac: Optional[float] = None,
     ):
         """The memoized :class:`~repro.approx.sketch.KnnlSketch` of one
         exact engine's similarity setting (built on first request).
@@ -309,19 +310,25 @@ class IndexSnapshot:
             DEFAULT_SKETCH_BUDGET,
             DEFAULT_SKETCH_KMAX,
             DEFAULT_SKETCH_POOL,
+            DEFAULT_SKETCH_SAMPLE_FRAC,
             build_sketch,
         )
 
         kmax = DEFAULT_SKETCH_KMAX if kmax is None else kmax
         budget = DEFAULT_SKETCH_BUDGET if budget is None else budget
         pool = DEFAULT_SKETCH_POOL if pool is None else pool
+        if sample_frac is None:
+            sample_frac = DEFAULT_SKETCH_SAMPLE_FRAC
         key = (
             engine.measure.name, engine.alpha, engine.te_weight,
-            kmax, budget, pool,
+            kmax, budget, pool, sample_frac,
         )
         sketch = self._sketches.get(key)
         if sketch is None:
-            sketch = build_sketch(engine, kmax=kmax, budget=budget, pool=pool)
+            sketch = build_sketch(
+                engine, kmax=kmax, budget=budget, pool=pool,
+                sample_frac=sample_frac,
+            )
             self._sketches[key] = sketch
         return sketch
 
@@ -334,6 +341,7 @@ class IndexSnapshot:
         kmax: Optional[int] = None,
         budget: Optional[int] = None,
         pool: Optional[int] = None,
+        sample_frac: Optional[float] = None,
     ):
         """A traversal engine seeded with frozen kNNL warm-start floors.
 
@@ -342,13 +350,19 @@ class IndexSnapshot:
         pristine) but sharing its pair-bound memo — work done by either
         engine warms the other.
         """
-        key = ("floors", measure.name, alpha, te_weight, kmax, budget, pool)
+        key = (
+            "floors", measure.name, alpha, te_weight,
+            kmax, budget, pool, sample_frac,
+        )
         engine = self._engines.get(key)
         if engine is None:
             from ..core.traversal import SnapshotEngine
 
             base = self.engine_for(tree, measure, alpha, te_weight)
-            sketch = self.sketch_for(base, kmax=kmax, budget=budget, pool=pool)
+            sketch = self.sketch_for(
+                base, kmax=kmax, budget=budget, pool=pool,
+                sample_frac=sample_frac,
+            )
             engine = SnapshotEngine(
                 tree, self, measure, alpha, te_weight, floors=sketch
             )
@@ -365,19 +379,23 @@ class IndexSnapshot:
         kmax: Optional[int] = None,
         budget: Optional[int] = None,
         pool: Optional[int] = None,
+        sample_frac: Optional[float] = None,
     ):
         """The fused group engine with warm-start floors (see
         :meth:`warm_engine_for` for the memo-sharing contract)."""
         key = (
             "fused-floors", measure.name, alpha, te_weight,
-            kmax, budget, pool,
+            kmax, budget, pool, sample_frac,
         )
         engine = self._engines.get(key)
         if engine is None:
             from ..core.fused import FusedBatchEngine
 
             base = self.engine_for(tree, measure, alpha, te_weight)
-            sketch = self.sketch_for(base, kmax=kmax, budget=budget, pool=pool)
+            sketch = self.sketch_for(
+                base, kmax=kmax, budget=budget, pool=pool,
+                sample_frac=sample_frac,
+            )
             engine = FusedBatchEngine(
                 tree, self, measure, alpha, te_weight, floors=sketch
             )
@@ -394,21 +412,35 @@ class IndexSnapshot:
         kmax: Optional[int] = None,
         budget: Optional[int] = None,
         pool: Optional[int] = None,
+        sample_frac: Optional[float] = None,
+        lsh: bool = True,
     ):
         """The memoized sketch-filter engine
-        (:class:`~repro.approx.engine.ApproxEngine`) for one setting."""
+        (:class:`~repro.approx.engine.ApproxEngine`) for one setting.
+
+        ``lsh`` arms the engine's LSH pre-filter stage (candidate
+        refutation by exact probes against band-bucket competitors).
+        Verified-mode ids are unaffected — the stage only refutes
+        provable non-members before the full probe; in raw mode it
+        shrinks the conservative candidate set (higher precision,
+        recall still 1.0).
+        """
         key = (
             "approx", measure.name, alpha, te_weight, verify,
-            kmax, budget, pool,
+            kmax, budget, pool, sample_frac, lsh,
         )
         engine = self._engines.get(key)
         if engine is None:
             from ..approx.engine import ApproxEngine
 
             base = self.engine_for(tree, measure, alpha, te_weight)
-            sketch = self.sketch_for(base, kmax=kmax, budget=budget, pool=pool)
+            sketch = self.sketch_for(
+                base, kmax=kmax, budget=budget, pool=pool,
+                sample_frac=sample_frac,
+            )
             engine = ApproxEngine(
-                tree, self, measure, alpha, te_weight, sketch, verify=verify
+                tree, self, measure, alpha, te_weight, sketch,
+                verify=verify, lsh=lsh,
             )
             self._engines[key] = engine
         return engine

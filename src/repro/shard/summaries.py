@@ -94,8 +94,17 @@ class ShardSummary:
 
 
 def _peel_frontier(snap, frontier_size: int) -> List[int]:
-    """Descend the snapshot's largest directory nodes until roughly
-    ``frontier_size`` slots cover the shard (objects stay as-is)."""
+    """Descend the snapshot's largest directory nodes until up to
+    ``frontier_size`` slots cover the shard (objects stay as-is).
+
+    Same adaptive discipline as the sketch peel
+    (:func:`repro.approx.sketch._peel_frontier`): a zero-fanout
+    directory slot (degenerate empty node) becomes its own frontier
+    slot and the peel continues — it must not dump the whole heap and
+    leave the frontier far under budget with correspondingly loose
+    floors — and a node whose expansion would overflow the budget is
+    likewise kept while smaller nodes may still be refined.
+    """
     frontier: List[int] = []
     heap: List[Tuple[int, int]] = []  # (-cnt, slot) for directory slots
     for r in snap.root_slots:
@@ -104,13 +113,15 @@ def _peel_frontier(snap, frontier_size: int) -> List[int]:
         else:
             heapq.heappush(heap, (-snap.cnt[r], r))
     while heap:
-        neg_cnt, slot = heapq.heappop(heap)
+        _neg_cnt, slot = heapq.heappop(heap)
         children = range(snap.first_child[slot], snap.last_child[slot])
         fanout = len(children)
-        if len(frontier) + len(heap) + fanout > frontier_size or fanout == 0:
+        if fanout == 0:
             frontier.append(slot)
-            frontier.extend(s for _, s in heap)
-            break
+            continue
+        if len(frontier) + len(heap) + fanout > frontier_size:
+            frontier.append(slot)
+            continue
         for c in children:
             if snap.is_obj[c]:
                 frontier.append(c)
@@ -135,10 +146,16 @@ def build_summary(
 
     ``sketch`` optionally tightens the table with the shard's frozen
     :class:`~repro.approx.KnnlSketch` (built over the *same* engine, so
-    the same snapshot and similarity setting): both ``knnl[k-1]`` and
-    ``sketch.global_floor(k)`` lower-bound every shard object's k-th
-    best within-shard competitor, so their maximum is still a sound —
-    and possibly tighter — admission floor.
+    the same snapshot and similarity setting).  Tightening happens at
+    two levels: per frontier node, ``sketch.node_floor(f, k)``
+    lower-bounds the k-th best within-shard competitor of every object
+    under ``f`` exactly like the pair-template bound does, so each
+    node's contribution is the maximum of the two; globally,
+    ``sketch.global_floor(k)`` (which the sketch's per-object
+    k-distance curves can sharpen above any node row) lower-bounds
+    every shard object, so the finished table entry takes that maximum
+    too.  Both combinations are sound — each side independently
+    lower-bounds the same quantity — and possibly tighter.
     """
     snap = engine.snap
     frontier = _peel_frontier(snap, frontier_size)
@@ -158,6 +175,10 @@ def build_summary(
             contribs.append((lo, cf - 1))
         for k in range(1, kmax + 1):
             bound = _kth_largest(contribs, k)
+            if sketch is not None and k <= sketch.kmax:
+                node_floor = sketch.node_floor(f, k)
+                if node_floor > bound:
+                    bound = node_floor
             if bound < knnl[k - 1]:
                 knnl[k - 1] = bound
     n_objects = sum(cnt[r] for r in snap.root_slots)

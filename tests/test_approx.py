@@ -224,9 +224,15 @@ class TestApproxEngine:
         assert engine.counters["verified"] == 0
         assert set(engine.last_filter) == {
             "nodes_pruned", "objects_pruned", "spatial_shortcuts",
-            "candidates", "verified",
+            "lsh_pruned", "candidates", "verified", "answers",
         }
         assert engine.last_filter["candidates"] >= 0
+        # Raw mode returns every surviving candidate, so the answer
+        # count is the candidate count minus the LSH-refuted ones.
+        assert engine.last_filter["answers"] == (
+            engine.last_filter["candidates"]
+            - engine.last_filter["lsh_pruned"]
+        )
 
     def test_env_knob_selects_approx_engine(self, monkeypatch):
         monkeypatch.setenv("REPRO_ENGINE", "approx")
@@ -288,6 +294,11 @@ class TestShmSketchRoundTrip:
             assert list(twin.floor_idx) == list(parent.floor_idx)
             assert list(twin.curve_c) == list(parent.curve_c)
             assert list(twin.curve_b) == list(parent.curve_b)
+            assert list(twin.obj_profile) == list(parent.obj_profile)
+            assert list(twin.row_objects) == list(parent.row_objects)
+            assert list(twin.lsh_sig) == list(parent.lsh_sig)
+            assert twin.sample_frac == parent.sample_frac
+            assert twin.curves_true == parent.curves_true
             assert twin.frontier == parent.frontier
             # And the attached searcher answers identically in approx
             # mode against the parent's exact engine.
@@ -299,6 +310,35 @@ class TestShmSketchRoundTrip:
             assert remote.search(q, 3).ids == local.search(q, 3).ids
         finally:
             attached.close()
+            seg.release()
+
+    def test_stale_layout_version_raises_stale_segment_error(self):
+        from repro.errors import SnapshotSegmentError, StaleSegmentError
+        from repro.perf.shm import (
+            SEGMENT_MAGIC,
+            SharedSnapshotSegment,
+            attach,
+            shm_available,
+        )
+
+        ok, why = shm_available()
+        if not ok:
+            pytest.skip(f"shm unavailable: {why}")
+        env = _env()
+        seg = SharedSnapshotSegment.create(env["tree"])
+        try:
+            # A segment written by a previous layout version (same
+            # RSTSHM family, older version byte pair) is *stale*, not
+            # foreign: the remedy is re-exporting with this build.
+            seg.shm.buf[: len(SEGMENT_MAGIC)] = b"RSTSHM02"
+            with pytest.raises(StaleSegmentError):
+                attach(seg.name)
+            # Arbitrary bytes are a foreign (non-snapshot) segment.
+            seg.shm.buf[: len(SEGMENT_MAGIC)] = b"NOTMAGIC"
+            with pytest.raises(SnapshotSegmentError):
+                attach(seg.name)
+        finally:
+            seg.shm.buf[: len(SEGMENT_MAGIC)] = SEGMENT_MAGIC
             seg.release()
 
 
@@ -340,3 +380,309 @@ class TestBuildEdges:
         assert engine.sketch.kmax == 4
         assert engine.sketch.budget == 16
         assert engine.sketch.pool == 8
+
+
+# ----------------------------------------------------------------------
+# Adaptive frontier peel (empty-node and budget-overflow regressions)
+# ----------------------------------------------------------------------
+
+
+class _StubSnap:
+    """Minimal snapshot shape shared by both frontier peels.
+
+    Slot 0 is the root directory; slot 1 is a *degenerate empty*
+    directory node (no children) given an inflated count so the
+    largest-count-first heap pops it while refinable nodes are still
+    queued; slot 2 is an object at root level; slot 3 is a directory
+    holding objects 4 and 5.
+    """
+
+    root_slots = (0,)
+    is_obj = [0, 0, 1, 0, 1, 1]
+    cnt = [3, 5, 1, 2, 1, 1]
+    first_child = [1, 0, 0, 4, 0, 0]
+    last_child = [4, 0, 0, 6, 0, 0]
+
+
+class TestAdaptivePeel:
+    def _check(self, peel):
+        # The empty node pops first (cnt 5).  The regression: appending
+        # it must not abort the peel — slot 3 (still in the heap) must
+        # go on to be refined into its object children 4 and 5.
+        frontier = peel(_StubSnap(), 16)
+        assert sorted(frontier) == [1, 2, 4, 5]
+
+    def test_sketch_peel_continues_past_empty_node(self):
+        from repro.approx.sketch import _peel_frontier
+
+        self._check(_peel_frontier)
+
+    def test_shard_peel_continues_past_empty_node(self):
+        from repro.shard.summaries import _peel_frontier
+
+        self._check(_peel_frontier)
+
+    def test_overflowing_node_is_kept_while_smaller_nodes_refine(self):
+        from repro.approx.sketch import _peel_frontier
+
+        # Budget 4: expanding root yields [2] + heap {1, 3}.  Slot 1
+        # (empty) becomes a row; slot 3's expansion fits (2 + 0 + 2 =
+        # 4), so the peel still refines it instead of stopping.
+        frontier = _peel_frontier(_StubSnap(), 4)
+        assert sorted(frontier) == [1, 2, 4, 5]
+        # Budget 3 cannot hold slot 3's two children next to the two
+        # existing rows, so slot 3 itself is the row — never dropped.
+        frontier = _peel_frontier(_StubSnap(), 3)
+        assert sorted(frontier) == [1, 2, 3]
+
+
+# ----------------------------------------------------------------------
+# Curve sampling: symmetric window, true-kNN pass, budget monotonicity
+# ----------------------------------------------------------------------
+
+
+class TestCurveSampling:
+    def test_edge_objects_get_curves_at_interior_rate(self):
+        # sample_frac=0.0 forces the layout-window fallback for every
+        # object.  The window is circular, so the first and last
+        # objects in layout order see exactly as many samples as
+        # interior ones; with pool >= 2*kmax every object has enough
+        # samples for a fit wherever similarities are nonzero.
+        env = _env()
+        tree = env["tree"]
+        snap = tree.snapshot()
+        measure = make_measure(env["dataset"].config.text_measure)
+        engine = snap.engine_for(tree, measure, 0.4, 0.0)
+        sketch = build_sketch(engine, sample_frac=0.0)
+        assert sketch.curves_true == 0
+        objs = [s for s in range(snap.n_slots) if snap.is_obj[s]]
+        kmax = sketch.kmax
+        edge = objs[:kmax] + objs[-kmax:]
+        interior = objs[kmax:-kmax]
+        edge_rate = sum(
+            1 for s in edge if sketch.curve_c[s] > 0.0
+        ) / len(edge)
+        interior_rate = sum(
+            1 for s in interior if sketch.curve_c[s] > 0.0
+        ) / len(interior)
+        # A forward-only window starves trailing objects entirely; the
+        # symmetric window keeps both populations at the same rate.
+        assert edge_rate >= interior_rate - 1e-9
+
+    @settings(deadline=None, max_examples=10)
+    @given(
+        alpha=st.sampled_from(_ALPHAS),
+        frac=st.sampled_from((0.0, 0.5, 1.0)),
+    )
+    def test_floors_conservative_across_sample_fracs(self, alpha, frac):
+        cell = _cell(alpha)
+        env = _env()
+        tree = env["tree"]
+        snap = tree.snapshot()
+        measure = make_measure(env["dataset"].config.text_measure)
+        engine = snap.engine_for(tree, measure, alpha, 0.0)
+        sketch = build_sketch(engine, sample_frac=frac)
+        for slot in cell["objs"]:
+            sims = cell["brute"][slot]
+            for k in (1, 2, sketch.kmax):
+                s_k = sims[k - 1] if len(sims) >= k else 0.0
+                assert sketch.obj_floor(slot, k) <= s_k + 1e-12
+
+    def test_floors_conservative_under_other_measures(self):
+        env = _env()
+        tree = env["tree"]
+        snap = tree.snapshot()
+        for name in ("cosine", "dice"):
+            measure = make_measure(name)
+            engine = snap.engine_for(tree, measure, 0.4, 0.0)
+            sketch = build_sketch(engine, sample_frac=1.0)
+            exact = engine._exact
+            ref = snap.ref
+            objs = [s for s in range(snap.n_slots) if snap.is_obj[s]]
+            for a in objs:
+                sims = sorted(
+                    (exact(a, b) for b in objs if ref[b] != ref[a]),
+                    reverse=True,
+                )
+                for k in (1, 2, sketch.kmax):
+                    s_k = sims[k - 1] if len(sims) >= k else 0.0
+                    assert sketch.obj_floor(a, k) <= s_k + 1e-12
+
+    def test_true_pass_fits_curves_over_exact_profiles(self):
+        env = _env()
+        tree = env["tree"]
+        snap = tree.snapshot()
+        measure = make_measure(env["dataset"].config.text_measure)
+        engine = snap.engine_for(tree, measure, 0.4, 0.0)
+        sketch = build_sketch(engine, sample_frac=1.0)
+        objs = [s for s in range(snap.n_slots) if snap.is_obj[s]]
+        assert sketch.curves_true == len(objs)
+        # The true pass collects each object's exact top-kmax, so the
+        # fitted curve is bounded by the brute-force profile pointwise.
+        cell = _cell(0.4)
+        kmax = sketch.kmax
+        for slot in objs:
+            sims = cell["brute"][slot]
+            for k in range(1, kmax + 1):
+                s_k = sims[k - 1] if len(sims) >= k else 0.0
+                c = sketch.curve_c[slot]
+                if c > 0.0:
+                    curve = c * k ** -sketch.curve_b[slot]
+                    assert curve <= s_k + 1e-12
+                    # The stored profile equals the exact sampled s_k
+                    # and dominates the curve fitted under it.
+                    prof = sketch.obj_profile[slot * kmax + (k - 1)]
+                    assert prof == pytest.approx(s_k, abs=1e-12)
+                    assert prof >= curve - 1e-12
+                    assert sketch.obj_floor(slot, k) >= prof - 1e-12
+
+    def test_floors_monotone_in_budget(self):
+        env = _env()
+        tree = env["tree"]
+        snap = tree.snapshot()
+        measure = make_measure(env["dataset"].config.text_measure)
+        engine = snap.engine_for(tree, measure, 0.4, 0.0)
+        sketches = [
+            build_sketch(engine, budget=budget, sample_frac=0.0)
+            for budget in (16, 32, 64, 128)
+        ]
+        objs = [s for s in range(snap.n_slots) if snap.is_obj[s]]
+        for lo, hi in zip(sketches, sketches[1:]):
+            assert len(lo.frontier) <= len(hi.frontier)
+            for k in range(1, lo.kmax + 1):
+                assert lo.global_floor(k) <= hi.global_floor(k) + 1e-12
+                for slot in objs:
+                    assert (
+                        lo.node_floor(slot, k)
+                        <= hi.node_floor(slot, k) + 1e-12
+                    )
+
+
+# ----------------------------------------------------------------------
+# LSH pre-filter: recall, byte-identity, counters, knobs
+# ----------------------------------------------------------------------
+
+
+class TestLshPreFilter:
+    def _engines(self, alpha):
+        env = _env()
+        tree = env["tree"]
+        measure = make_measure(env["dataset"].config.text_measure)
+        snap = tree.snapshot()
+        on = snap.approx_engine_for(
+            tree, measure, alpha, 0.0, verify=False, lsh=True
+        )
+        off = snap.approx_engine_for(
+            tree, measure, alpha, 0.0, verify=False, lsh=False
+        )
+        return env, on, off
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        alpha=st.sampled_from(_ALPHAS),
+        k=st.integers(min_value=1, max_value=DEFAULT_SKETCH_KMAX),
+        qi=st.integers(min_value=0, max_value=5),
+    )
+    def test_lsh_raw_set_nested_between_exact_and_unfiltered(
+        self, alpha, k, qi
+    ):
+        env, on, off = self._engines(alpha)
+        query = env["queries"][qi]
+        exact_ids = _searcher(alpha, engine="snapshot").search(query, k).ids
+        on_ids = on.search(query, k).ids
+        off_ids = off.search(query, k).ids
+        # The pre-filter only ever *removes* refuted candidates, and
+        # never a true answer: exact ⊆ lsh-on ⊆ lsh-off (recall 1.0).
+        assert set(exact_ids) <= set(on_ids) <= set(off_ids)
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        alpha=st.sampled_from(_ALPHAS),
+        k=st.integers(min_value=1, max_value=DEFAULT_SKETCH_KMAX),
+        qi=st.integers(min_value=0, max_value=5),
+    )
+    def test_verified_mode_identical_with_and_without_lsh(
+        self, alpha, k, qi
+    ):
+        env = _env()
+        query = env["queries"][qi]
+        exact_ids = _searcher(alpha, engine="snapshot").search(query, k).ids
+        for lsh in (True, False):
+            searcher = _searcher(
+                alpha, engine="approx", approx_verify=True, approx_lsh=lsh
+            )
+            assert searcher.search(query, k).ids == exact_ids
+
+    def test_lsh_counter_published(self):
+        env, on, _off = self._engines(0.4)
+        on.search(env["queries"][0], 4)
+        assert "lsh_pruned" in on.counters
+        assert on.last_filter["lsh_pruned"] >= 0
+        assert (
+            on.last_filter["answers"]
+            == on.last_filter["candidates"] - on.last_filter["lsh_pruned"]
+        )
+
+    def test_env_knob_disarms_lsh(self, monkeypatch):
+        monkeypatch.setenv("REPRO_APPROX_LSH", "0")
+        assert not _searcher(0.4, engine="approx").approx_lsh
+        monkeypatch.delenv("REPRO_APPROX_LSH")
+        assert _searcher(0.4, engine="approx").approx_lsh
+        monkeypatch.setenv("REPRO_APPROX_LSH", "off")
+        # An explicit argument beats the environment.
+        assert _searcher(
+            0.4, engine="approx", approx_lsh=True
+        ).approx_lsh
+
+    def test_spatial_shortcuts_counted_at_pure_spatial_alpha(self):
+        # At alpha == 1.0 the stage-1 bound IS the full bound (text is
+        # skipped by construction), so every node prune there must be
+        # counted as a spatial shortcut — the counter used to read 0.
+        env = _env()
+        tree = env["tree"]
+        measure = make_measure(env["dataset"].config.text_measure)
+        snap = tree.snapshot()
+        engine = snap.approx_engine_for(
+            tree, measure, 1.0, 0.0, verify=False, lsh=False
+        )
+        pruned = shortcuts = 0
+        for query in env["queries"]:
+            engine.search(query, 2)
+            pruned += engine.last_filter["nodes_pruned"]
+            shortcuts += engine.last_filter["spatial_shortcuts"]
+            assert (
+                engine.last_filter["spatial_shortcuts"]
+                == engine.last_filter["nodes_pruned"]
+            )
+        assert pruned > 0 and shortcuts == pruned
+
+
+# ----------------------------------------------------------------------
+# Knob validation and plumbing
+# ----------------------------------------------------------------------
+
+
+class TestSketchKnobs:
+    def test_perf_config_validates_sample_frac(self):
+        from repro.config import PerfConfig
+        from repro.errors import ConfigError
+
+        assert PerfConfig(sketch_sample_frac=0.5).sketch_sample_frac == 0.5
+        with pytest.raises(ConfigError):
+            PerfConfig(sketch_sample_frac=-0.1)
+        with pytest.raises(ConfigError):
+            PerfConfig(sketch_sample_frac=1.5)
+        with pytest.raises(ConfigError):
+            PerfConfig(approx_lsh="yes")
+
+    def test_sample_frac_memoizes_distinct_sketches(self):
+        env = _env()
+        tree = env["tree"]
+        measure = make_measure(env["dataset"].config.text_measure)
+        snap = tree.snapshot()
+        engine = snap.engine_for(tree, measure, 0.4, 0.0)
+        full = snap.sketch_for(engine, sample_frac=1.0)
+        window = snap.sketch_for(engine, sample_frac=0.0)
+        assert full is not window
+        assert full.curves_true > 0 and window.curves_true == 0
+        assert snap.sketch_for(engine, sample_frac=1.0) is full
